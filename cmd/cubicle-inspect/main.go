@@ -1,0 +1,105 @@
+// Command cubicle-inspect boots a deployment and dumps its isolation
+// state: cubicles with their MPK keys and exports, the page map by owner
+// and type, installed trampolines, and (after a short workload) the
+// window tables and event counters — the view a CubicleOS operator gets
+// of a running system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"cubicleos"
+	"cubicleos/internal/siege"
+	"cubicleos/internal/vm"
+)
+
+func main() {
+	workload := flag.Bool("workload", true, "run a short HTTP workload before dumping")
+	flag.Parse()
+
+	tgt, err := siege.NewTarget(cubicleos.ModeFull)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workload {
+		if err := tgt.PutFile("/probe.bin", make([]byte, 16<<10)); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tgt.Fetch("/probe.bin"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	m := tgt.Sys.M
+
+	fmt.Println("CUBICLES")
+	fmt.Printf("%-4s %-10s %-9s %-4s %-8s %s\n", "id", "name", "kind", "key", "windows", "exports")
+	for _, c := range m.Cubicles() {
+		exports := c.Exports()
+		sort.Strings(exports)
+		show := exports
+		if len(show) > 4 {
+			show = append(append([]string{}, show[:4]...), fmt.Sprintf("… (%d total)", len(exports)))
+		}
+		fmt.Printf("%-4d %-10s %-9s %-4d %-8d %v\n", c.ID, c.Name, c.Kind, c.Key, m.WindowCount(c.ID), show)
+	}
+
+	fmt.Println("\nPAGE MAP (pages by owner and type)")
+	type key struct {
+		owner int
+		typ   vm.PageType
+	}
+	counts := map[key]int{}
+	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
+		counts[key{p.Owner, p.Type}]++
+	})
+	names := map[int]string{int(cubicleos.CubicleID(0)): "MONITOR"}
+	for _, c := range m.Cubicles() {
+		names[int(c.ID)] = c.Name
+	}
+	var keys []key
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].owner != keys[j].owner {
+			return keys[i].owner < keys[j].owner
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	for _, k := range keys {
+		owner := names[k.owner]
+		if owner == "" {
+			owner = fmt.Sprintf("cubicle-%d", k.owner)
+		}
+		fmt.Printf("  %-10s %-7s %6d pages (%d KiB)\n", owner, k.typ, counts[k],
+			counts[k]*vm.PageSize/1024)
+	}
+
+	fmt.Println("\nTRAMPOLINES")
+	trs := m.Trampolines()
+	fmt.Printf("  %d cross-cubicle call trampolines installed (one per public symbol)\n", len(trs))
+	for i, tr := range trs {
+		if i >= 8 {
+			fmt.Printf("  … and %d more\n", len(trs)-8)
+			break
+		}
+		fmt.Printf("  %s\n", tr.Symbol())
+	}
+
+	st := m.Stats
+	fmt.Println("\nEVENT COUNTERS")
+	fmt.Printf("  cross-cubicle calls   %10d\n", st.CallsTotal)
+	fmt.Printf("  shared-cubicle calls  %10d\n", st.SharedCalls)
+	fmt.Printf("  protection traps      %10d (%d denied)\n", st.Faults, st.DeniedFaults)
+	fmt.Printf("  page retags           %10d\n", st.Retags)
+	fmt.Printf("  wrpkru executions     %10d\n", st.WRPKRUs)
+	fmt.Printf("  window operations     %10d\n", st.WindowOps)
+	fmt.Printf("  window search steps   %10d\n", st.WindowSearchSteps)
+	fmt.Printf("  stack arg bytes       %10d\n", st.StackBytesCopied)
+	fmt.Printf("  bulk bytes copied     %10d\n", st.BulkBytesCopied)
+	fmt.Printf("  virtual time          %10d cycles (%.3f ms at 2.2 GHz)\n",
+		m.Clock.Cycles(), float64(m.Clock.Duration().Microseconds())/1000)
+}

@@ -1,0 +1,75 @@
+// Command httpbench runs the NGINX download-latency sweep of the paper's
+// §6.3 evaluation (Figure 7): it provisions files of each size into the
+// server's RAMFS, fetches them with the siege-style client, and prints
+// latency per transfer size for the chosen isolation mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cubicleos"
+	"cubicleos/internal/siege"
+)
+
+func main() {
+	mode := flag.String("mode", "both", "isolation mode: unikraft, full, both")
+	repeats := flag.Int("repeats", 2, "measured requests per size (after one warm-up)")
+	flag.Parse()
+
+	sizes := []int{1 << 10, 2 << 10, 8 << 10, 32 << 10, 64 << 10, 128 << 10,
+		512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
+
+	measure := func(m cubicleos.Mode) map[int]float64 {
+		tgt, err := siege.NewTarget(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make(map[int]float64)
+		for _, size := range sizes {
+			name := fmt.Sprintf("/f%d.bin", size)
+			if err := tgt.PutFile(name, make([]byte, size)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := tgt.Fetch(name); err != nil { // warm-up
+				log.Fatal(err)
+			}
+			var sum float64
+			for i := 0; i < *repeats; i++ {
+				res, err := tgt.Fetch(name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if res.Status != 200 || len(res.Body) != size {
+					log.Fatalf("size %d: bad response", size)
+				}
+				sum += float64(res.Latency.Microseconds()) / 1000
+			}
+			out[size] = sum / float64(*repeats)
+		}
+		return out
+	}
+
+	switch *mode {
+	case "both":
+		base := measure(cubicleos.ModeUnikraft)
+		full := measure(cubicleos.ModeFull)
+		fmt.Printf("%12s %14s %14s %8s\n", "size (B)", "baseline (ms)", "cubicleos (ms)", "ratio")
+		for _, size := range sizes {
+			fmt.Printf("%12d %14.2f %14.2f %8.2f\n", size, base[size], full[size], full[size]/base[size])
+		}
+	case "unikraft", "full":
+		m := cubicleos.ModeUnikraft
+		if *mode == "full" {
+			m = cubicleos.ModeFull
+		}
+		res := measure(m)
+		fmt.Printf("%12s %14s\n", "size (B)", "latency (ms)")
+		for _, size := range sizes {
+			fmt.Printf("%12d %14.2f\n", size, res[size])
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,68 @@
+// Facade-level tests: the public API assembled end to end, as a
+// downstream user of the package would drive it.
+package cubicleos_test
+
+import (
+	"testing"
+
+	"cubicleos"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	b := cubicleos.NewBuilder()
+	b.MustAdd(&cubicleos.Component{Name: "FOO", Kind: cubicleos.KindIsolated,
+		Exports: []cubicleos.ExportDecl{{Name: "foo_main",
+			Fn: func(e *cubicleos.Env, a []uint64) []uint64 { return nil }}}})
+	b.MustAdd(&cubicleos.Component{Name: "BAR", Kind: cubicleos.KindIsolated,
+		Exports: []cubicleos.ExportDecl{{Name: "bar", RegArgs: 2,
+			Fn: func(e *cubicleos.Env, a []uint64) []uint64 {
+				e.StoreByte(cubicleos.Addr(a[0]).Add(a[1]), 0xAA)
+				return []uint64{1}
+			}}}})
+	si, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cubicleos.NewMonitor(cubicleos.ModeFull, cubicleos.DefaultCosts())
+	cubs, err := cubicleos.NewLoader(m).LoadSystem(si, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := m.NewEnv(m.NewThread())
+	err = m.RunAs(env, cubs["FOO"].ID, func(e *cubicleos.Env) {
+		arr := e.HeapAlloc(10)
+		bar := m.MustResolve(e.Cubicle(), "BAR", "bar")
+		if fault := cubicleos.Catch(func() { bar.Call(e, uint64(arr), 5) }); fault == nil {
+			t.Fatal("unwindowed call did not fault")
+		}
+		wid := e.WindowInit()
+		e.WindowAdd(wid, arr, 10)
+		e.WindowOpen(wid, e.CubicleOf("BAR"))
+		bar.Call(e, uint64(arr), 5)
+		if e.LoadByte(arr.Add(5)) != 0xAA {
+			t.Fatal("windowed write lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Faults == 0 || m.Clock.Cycles() == 0 {
+		t.Error("no isolation events accounted")
+	}
+}
+
+func TestFacadeBootStack(t *testing.T) {
+	sys := cubicleos.MustBoot(cubicleos.Config{Mode: cubicleos.ModeFull, Net: true})
+	names := map[string]bool{}
+	for _, c := range sys.M.Cubicles() {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"PLAT", "TIME", "ALLOC", "LIBC", "RANDOM", "VFSCORE", "RAMFS", "NETDEV", "LWIP"} {
+		if !names[want] {
+			t.Errorf("standard stack missing %s", want)
+		}
+	}
+	if cubicleos.PageSize != 4096 {
+		t.Error("page size constant wrong")
+	}
+}

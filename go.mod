@@ -1,0 +1,3 @@
+module cubicleos
+
+go 1.22

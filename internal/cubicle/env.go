@@ -1,0 +1,233 @@
+package cubicle
+
+import (
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// Env is the execution environment handed to component code: every memory
+// access, allocation and window operation a component performs goes
+// through it, which is where the simulated MPK permission checks (and the
+// trap-and-map handler behind them) are applied.
+//
+// Env plays the role of the CPU executing untrusted component code: loads
+// and stores are checked against the thread's PKRU register exactly as the
+// memory-management unit would check them.
+type Env struct {
+	M *Monitor
+	T *Thread
+}
+
+// NewEnv pairs a monitor with a thread.
+func (m *Monitor) NewEnv(t *Thread) *Env { return &Env{M: m, T: t} }
+
+// RunAs switches the thread into cubicle id — the way an application's
+// public main is entered at boot — runs fn with that cubicle's
+// privileges, and returns any isolation fault fn raised as an error.
+func (m *Monitor) RunAs(e *Env, id ID, fn func(e *Env)) error {
+	e.T.pushFrame(id, true)
+	defer e.T.popFrame()
+	if m.Mode.MPKEnabled() {
+		m.wrpkru(e.T, m.pkruFor(id))
+	}
+	return Catch(func() { fn(e) })
+}
+
+// Cubicle returns the cubicle whose privileges the code is running with.
+func (e *Env) Cubicle() ID { return e.T.cur }
+
+// Caller returns the cubicle that performed the innermost cross-cubicle
+// call into the current one.
+func (e *Env) Caller() ID { return e.T.Caller() }
+
+// CubicleOf returns the cubicle hosting the named component. All cubicle
+// IDs are known at link time, so components legitimately embed them in
+// window-open calls (Figure 2: "open_window(BUF, RAMFS)").
+func (e *Env) CubicleOf(component string) ID {
+	c, ok := e.M.compOf[component]
+	if !ok {
+		panic(&APIError{Cubicle: e.T.cur, Op: "cubicle_of", Reason: "unknown component " + component})
+	}
+	return c.ID
+}
+
+// Work charges n cycles of modelled CPU work (computation that is
+// identical across all isolation modes, scaled by the deployment's
+// runtime-efficiency factor).
+func (e *Env) Work(n uint64) { e.M.Clock.ChargeWork(n) }
+
+// --- Checked memory access -------------------------------------------------
+
+// Read copies len(b) bytes at addr into b, after access checks.
+func (e *Env) Read(addr vm.Addr, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	e.M.checkAccess(e.T, mpk.AccessRead, addr, len(b))
+	if err := e.M.AS.ReadAt(addr, b); err != nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessRead, Cubicle: e.T.cur,
+			Owner: vm.NoOwner, Reason: err.Error()})
+	}
+}
+
+// Write copies b to memory at addr, after access checks.
+func (e *Env) Write(addr vm.Addr, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	e.M.checkAccess(e.T, mpk.AccessWrite, addr, len(b))
+	if err := e.M.AS.WriteAt(addr, b); err != nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessWrite, Cubicle: e.T.cur,
+			Owner: vm.NoOwner, Reason: err.Error()})
+	}
+}
+
+// ReadBytes returns a fresh copy of n bytes at addr.
+func (e *Env) ReadBytes(addr vm.Addr, n uint64) []byte {
+	b := make([]byte, n)
+	e.Read(addr, b)
+	return b
+}
+
+// ReadU64 reads a 64-bit little-endian word.
+func (e *Env) ReadU64(addr vm.Addr) uint64 {
+	e.M.checkAccess(e.T, mpk.AccessRead, addr, 8)
+	v, err := e.M.AS.ReadU64(addr)
+	if err != nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessRead, Cubicle: e.T.cur,
+			Owner: vm.NoOwner, Reason: err.Error()})
+	}
+	return v
+}
+
+// WriteU64 writes a 64-bit little-endian word.
+func (e *Env) WriteU64(addr vm.Addr, v uint64) {
+	e.M.checkAccess(e.T, mpk.AccessWrite, addr, 8)
+	if err := e.M.AS.WriteU64(addr, v); err != nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessWrite, Cubicle: e.T.cur,
+			Owner: vm.NoOwner, Reason: err.Error()})
+	}
+}
+
+// LoadByte reads one byte.
+func (e *Env) LoadByte(addr vm.Addr) byte {
+	var b [1]byte
+	e.Read(addr, b[:])
+	return b[0]
+}
+
+// StoreByte writes one byte.
+func (e *Env) StoreByte(addr vm.Addr, v byte) {
+	b := [1]byte{v}
+	e.Write(addr, b[:])
+}
+
+// chargeCopy charges the streaming cost of moving n bytes.
+func (e *Env) chargeCopy(n uint64) {
+	e.M.Clock.Charge(((n + 15) / 16) * e.M.Costs.CopyChunk16)
+	e.M.Stats.BulkBytesCopied += n
+}
+
+// Memcpy copies n bytes from src to dst with access checks on both sides
+// and streaming cost accounting. This is the LIBC memcpy of Figure 2 ❹:
+// when called from another cubicle it executes with that cubicle's
+// privileges, so the checks run against the caller's PKRU.
+func (e *Env) Memcpy(dst, src vm.Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	e.M.checkAccess(e.T, mpk.AccessRead, src, int(n))
+	e.M.checkAccess(e.T, mpk.AccessWrite, dst, int(n))
+	e.chargeCopy(n)
+	buf := make([]byte, n)
+	if err := e.M.AS.ReadAt(src, buf); err != nil {
+		panic(err)
+	}
+	if err := e.M.AS.WriteAt(dst, buf); err != nil {
+		panic(err)
+	}
+}
+
+// Memset fills n bytes at dst with c.
+func (e *Env) Memset(dst vm.Addr, c byte, n uint64) {
+	if n == 0 {
+		return
+	}
+	e.M.checkAccess(e.T, mpk.AccessWrite, dst, int(n))
+	e.chargeCopy(n)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = c
+	}
+	if err := e.M.AS.WriteAt(dst, buf); err != nil {
+		panic(err)
+	}
+}
+
+// --- Allocation -------------------------------------------------------------
+
+// HeapAlloc allocates n bytes from the current cubicle's private
+// sub-allocator; the pages backing it are owned by and tagged for the
+// current cubicle.
+func (e *Env) HeapAlloc(n uint64) vm.Addr {
+	return e.M.cubicle(e.T.cur).heap.alloc(n)
+}
+
+// HeapFree releases an allocation made by HeapAlloc in the same cubicle.
+func (e *Env) HeapFree(addr vm.Addr) {
+	e.M.cubicle(e.T.cur).heap.free_(addr)
+}
+
+// Alloca allocates n bytes on the current cubicle's stack; the space is
+// released when the current cross-cubicle call returns. Stack buffers are
+// what functions pass by pointer in the paper's running example (Figure 4:
+// "char BUF[10]; char pad[4086]" — padding to a page boundary to prevent
+// unintended sharing).
+func (e *Env) Alloca(n uint64) vm.Addr {
+	e.M.Clock.Charge(e.M.Costs.Alloca)
+	return e.T.alloca(n)
+}
+
+// AllocaPage allocates a page-aligned stack buffer of n bytes (padding the
+// allocation to whole pages), the alignment discipline §5.3 requires of
+// component developers for windowed stack data.
+func (e *Env) AllocaPage(n uint64) vm.Addr {
+	e.M.Clock.Charge(e.M.Costs.Alloca)
+	pages := vm.PagesFor(n)
+	// Carve enough to guarantee page alignment within the stack region.
+	raw := e.T.alloca(uint64(pages)*vm.PageSize + vm.PageSize - 16)
+	aligned := (uint64(raw) + vm.PageSize - 1) &^ (vm.PageSize - 1)
+	return vm.Addr(aligned)
+}
+
+// --- Window API (Table 1) ----------------------------------------------------
+
+// WindowInit initialises an empty window owned by the current cubicle
+// (cubicle_window_init).
+func (e *Env) WindowInit() WID { return e.M.windowInit(e.T.cur) }
+
+// WindowAdd associates the memory range [ptr, ptr+size) with window wid
+// (cubicle_window_add). The memory must be owned by the current cubicle.
+func (e *Env) WindowAdd(wid WID, ptr vm.Addr, size uint64) {
+	e.M.windowAdd(e.T.cur, wid, ptr, size)
+}
+
+// WindowRemove removes the range starting at ptr from window wid
+// (cubicle_window_remove).
+func (e *Env) WindowRemove(wid WID, ptr vm.Addr) { e.M.windowRemove(e.T.cur, wid, ptr) }
+
+// WindowOpen allows cubicle cid to access the contents of window wid
+// (cubicle_window_open).
+func (e *Env) WindowOpen(wid WID, cid ID) { e.M.windowOpen(e.T.cur, wid, cid) }
+
+// WindowClose disallows cubicle cid from accessing window wid
+// (cubicle_window_close). Pages are not retagged eagerly: causal tag
+// consistency (§5.6).
+func (e *Env) WindowClose(wid WID, cid ID) { e.M.windowClose(e.T.cur, wid, cid) }
+
+// WindowCloseAll disallows all accesses to wid from other cubicles
+// (cubicle_window_close_all).
+func (e *Env) WindowCloseAll(wid WID) { e.M.windowCloseAll(e.T.cur, wid) }
+
+// WindowDestroy destroys window wid (cubicle_window_destroy).
+func (e *Env) WindowDestroy(wid WID) { e.M.windowDestroy(e.T.cur, wid) }

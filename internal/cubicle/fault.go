@@ -1,0 +1,83 @@
+package cubicle
+
+import (
+	"fmt"
+
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// ProtectionFault is raised when a memory access violates the cubicle
+// isolation policy: the access was denied by the page-table permissions or
+// by MPK, and the monitor's trap-and-map handler found no open window
+// authorising it. In hardware this is a fatal page fault delivered to the
+// faulting component; in the simulator it is a panic with this value,
+// recovered and converted to an error at the system boundary.
+type ProtectionFault struct {
+	Addr     vm.Addr
+	Access   mpk.AccessKind
+	Cubicle  ID // cubicle whose privileges the faulting code ran with
+	Owner    ID // owner of the faulting page (vm.NoOwner if runtime)
+	PageType vm.PageType
+	Reason   string
+}
+
+func (f *ProtectionFault) Error() string {
+	return fmt.Sprintf("protection fault: cubicle %d %s at %#x (page owner %d, type %s): %s",
+		f.Cubicle, f.Access, uint64(f.Addr), f.Owner, f.PageType, f.Reason)
+}
+
+// CFIFault is raised when control-flow integrity is violated: a call or
+// return across cubicles that does not go through the intended trampoline
+// entry point (§5.5).
+type CFIFault struct {
+	Cubicle ID
+	Target  string
+	Reason  string
+}
+
+func (f *CFIFault) Error() string {
+	return fmt.Sprintf("CFI fault: cubicle %d calling %q: %s", f.Cubicle, f.Target, f.Reason)
+}
+
+// APIError reports misuse of the monitor API by a cubicle — for example
+// manipulating a window it does not own. These are denied requests, not
+// hardware faults, but component code has no sensible way to continue, so
+// they also unwind as panics recovered at the system boundary.
+type APIError struct {
+	Cubicle ID
+	Op      string
+	Reason  string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("monitor API error: cubicle %d %s: %s", e.Cubicle, e.Op, e.Reason)
+}
+
+// Trap converts a recovered panic value back into the fault error it
+// carries, re-panicking for any foreign panic. It is used by the system
+// boundary (and tests) to observe faults.
+func Trap(r any) error {
+	switch f := r.(type) {
+	case *ProtectionFault:
+		return f
+	case *CFIFault:
+		return f
+	case *APIError:
+		return f
+	default:
+		panic(r)
+	}
+}
+
+// Catch runs fn and returns the isolation fault it raised, or nil if it
+// completed. Foreign panics propagate.
+func Catch(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Trap(r)
+		}
+	}()
+	fn()
+	return nil
+}

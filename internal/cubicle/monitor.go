@@ -1,0 +1,371 @@
+package cubicle
+
+import (
+	"fmt"
+
+	"cubicleos/internal/cycles"
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// sharedKey is the MPK key carried by every shared cubicle's pages. It is
+// enabled in every thread's PKRU, which is what makes a shared cubicle's
+// static data "shared among all cubicles" (§3 ❹).
+const sharedKey = mpk.Key(15)
+
+// monitorKey tags the monitor's own pages and trampoline code thunks.
+const monitorKey = mpk.Key(0)
+
+// numIsolatedKeys is how many physical keys remain for isolated cubicles
+// once the monitor and shared keys are reserved.
+const numIsolatedKeys = int(mpk.NumKeys) - 2 // keys 1..14
+
+// Monitor is the trusted memory monitor of §4/§5.3: it bootstraps the
+// system, owns the page metadata, enforces cubicle isolation and window
+// permissions via the lazy trap-and-map scheme, and hosts the
+// cross-cubicle call trampolines. It is itself a trusted cubicle that
+// executes with access to all keys.
+type Monitor struct {
+	AS    *vm.AddrSpace
+	Clock *cycles.Clock
+	Costs cycles.Costs
+	Mode  Mode
+	Stats Stats
+
+	cubicles    []*Cubicle
+	byName      map[string]*Cubicle
+	compOf      map[string]*Cubicle // component name -> hosting cubicle
+	trampolines []*Trampoline
+	guardPages  map[uint64]guardInfo // page number -> guard/thunk metadata
+	threads     []*Thread
+	// pinned lists windows carrying a window-specific tag (§8 extension).
+	pinned []*Window
+
+	// Physical-key allocation. With at most 14 isolated cubicles the
+	// assignment is static; beyond that the monitor virtualises keys in
+	// the style the paper points to (libmpk, §8), recycling the least
+	// recently used key and retagging the evicted cubicle's pages.
+	keyHolder [mpk.NumKeys]ID // which cubicle holds each physical key (-1 free)
+	keyOf     map[ID]mpk.Key  // current physical key per isolated cubicle
+	keyClock  uint64          // LRU tick
+	keyUsed   [mpk.NumKeys]uint64
+}
+
+// NewMonitor creates a monitor for a system running in the given mode.
+func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
+	m := &Monitor{
+		AS:         vm.NewAddrSpace(),
+		Clock:      &cycles.Clock{},
+		Costs:      costs,
+		Mode:       mode,
+		Stats:      newStats(),
+		byName:     make(map[string]*Cubicle),
+		compOf:     make(map[string]*Cubicle),
+		guardPages: make(map[uint64]guardInfo),
+		keyOf:      make(map[ID]mpk.Key),
+	}
+	for i := range m.keyHolder {
+		m.keyHolder[i] = -1
+	}
+	mon := &Cubicle{ID: MonitorID, Name: "MONITOR", Kind: KindTrusted, Key: monitorKey,
+		exports: make(map[string]*Trampoline)}
+	mon.heap = newSubAllocator(m, MonitorID)
+	m.cubicles = []*Cubicle{mon}
+	m.byName["MONITOR"] = mon
+	m.keyHolder[monitorKey] = MonitorID
+	m.keyHolder[sharedKey] = -2 // reserved for shared cubicles
+	return m
+}
+
+// cubicle returns the cubicle with the given ID, panicking on a runtime
+// bug (IDs are link-time constants; an unknown ID cannot come from
+// untrusted code).
+func (m *Monitor) cubicle(id ID) *Cubicle {
+	if id < 0 || int(id) >= len(m.cubicles) {
+		panic(fmt.Sprintf("cubicle: unknown cubicle ID %d", id))
+	}
+	return m.cubicles[id]
+}
+
+// Cubicles returns all cubicles in the system, monitor first.
+func (m *Monitor) Cubicles() []*Cubicle {
+	out := make([]*Cubicle, len(m.cubicles))
+	copy(out, m.cubicles)
+	return out
+}
+
+// CubicleByName returns the named cubicle, or nil.
+func (m *Monitor) CubicleByName(name string) *Cubicle { return m.byName[name] }
+
+// addCubicle registers a new cubicle. Only the loader calls this.
+func (m *Monitor) addCubicle(name string, kind Kind) (*Cubicle, error) {
+	if _, dup := m.byName[name]; dup {
+		return nil, fmt.Errorf("cubicle: duplicate cubicle name %q", name)
+	}
+	if len(m.cubicles) >= MaxCubicles {
+		return nil, fmt.Errorf("cubicle: deployment exceeds %d cubicles", MaxCubicles)
+	}
+	c := &Cubicle{
+		ID:      ID(len(m.cubicles)),
+		Name:    name,
+		Kind:    kind,
+		exports: make(map[string]*Trampoline),
+	}
+	switch kind {
+	case KindShared, KindTrusted:
+		if kind == KindShared {
+			c.Key = sharedKey
+		} else {
+			c.Key = monitorKey
+		}
+	default:
+		c.Key = m.acquireKey(c.ID)
+	}
+	c.heap = newSubAllocator(m, c.ID)
+	m.cubicles = append(m.cubicles, c)
+	m.byName[name] = c
+	return c, nil
+}
+
+// acquireKey hands cubicle id a physical MPK key, evicting the least
+// recently used holder if all 14 isolated keys are taken (tag
+// virtualisation, §8). Eviction retags every page carrying the victim's
+// key to the monitor key so that the victim's next access simply traps and
+// remaps, preserving isolation throughout.
+func (m *Monitor) acquireKey(id ID) mpk.Key {
+	if k, ok := m.keyOf[id]; ok {
+		m.keyClock++
+		m.keyUsed[k] = m.keyClock
+		return k
+	}
+	// Free key?
+	for k := 1; k <= numIsolatedKeys; k++ {
+		if m.keyHolder[k] == -1 {
+			return m.assignKey(id, mpk.Key(k))
+		}
+	}
+	// Evict the LRU holder.
+	victim := mpk.Key(0)
+	var oldest uint64 = ^uint64(0)
+	for k := 1; k <= numIsolatedKeys; k++ {
+		if m.keyUsed[k] < oldest {
+			oldest = m.keyUsed[k]
+			victim = mpk.Key(k)
+		}
+	}
+	victimID := m.keyHolder[victim]
+	delete(m.keyOf, victimID)
+	m.Stats.KeyEvictions++
+	// Retag the victim's pages to the monitor key; each retag is a
+	// pkey_mprotect through the host kernel — the price of key recycling
+	// that libmpk measures and the paper's design mostly avoids.
+	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
+		if mpk.Key(p.Key) == victim {
+			p.Key = uint8(monitorKey)
+			m.Clock.Charge(m.Costs.PkeyMprotect)
+			m.Stats.Retags++
+		}
+	})
+	if c := m.cubicleIfValid(victimID); c != nil {
+		c.Key = 0xFF // no physical key until re-acquired
+	}
+	return m.assignKey(id, victim)
+}
+
+func (m *Monitor) cubicleIfValid(id ID) *Cubicle {
+	if id < 0 || int(id) >= len(m.cubicles) {
+		return nil
+	}
+	return m.cubicles[id]
+}
+
+func (m *Monitor) assignKey(id ID, k mpk.Key) mpk.Key {
+	m.keyHolder[k] = id
+	m.keyOf[id] = k
+	m.keyClock++
+	m.keyUsed[k] = m.keyClock
+	if c := m.cubicleIfValid(id); c != nil {
+		c.Key = k
+	}
+	return k
+}
+
+// keyFor returns the physical key of cubicle id, acquiring one if it was
+// evicted. Shared and trusted cubicles have fixed keys.
+func (m *Monitor) keyFor(id ID) mpk.Key {
+	c := m.cubicle(id)
+	switch c.Kind {
+	case KindShared:
+		return sharedKey
+	case KindTrusted:
+		return monitorKey
+	}
+	if c.Key == 0xFF {
+		return m.acquireKey(id)
+	}
+	m.keyClock++
+	m.keyUsed[c.Key] = m.keyClock
+	return c.Key
+}
+
+// pkruFor computes the PKRU register value for a thread executing in
+// cubicle id: its own key plus the shared key, everything else denied
+// (Figure 3). When MPK is disabled (ablation modes) every thread runs
+// with all keys allowed.
+func (m *Monitor) pkruFor(id ID) mpk.PKRU {
+	if !m.Mode.MPKEnabled() {
+		return mpk.AllAllowed
+	}
+	c := m.cubicle(id)
+	if c.Kind == KindTrusted {
+		return mpk.AllAllowed
+	}
+	p := mpk.AllDenied
+	p = p.Allow(m.keyFor(id))
+	p = p.Allow(sharedKey)
+	// Window-specific tags (§8 extension): keys of pinned windows the
+	// cubicle owns or is granted.
+	for _, k := range m.pinnedKeysFor(id) {
+		p = p.Allow(k)
+	}
+	return p
+}
+
+// checkAccess validates an n-byte access of the given kind at addr by
+// thread t, running the trap-and-map protocol of §5.3 / Figure 4 on any
+// page whose key the thread's PKRU denies. It panics with a
+// ProtectionFault if the access is not authorised.
+func (m *Monitor) checkAccess(t *Thread, kind mpk.AccessKind, addr vm.Addr, n int) {
+	if n <= 0 {
+		n = 1
+	}
+	if addr == 0 {
+		panic(&ProtectionFault{Addr: addr, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
+			Reason: "null pointer dereference"})
+	}
+	first, last := vm.PagesIn(addr, uint64(n))
+	for pn := first; pn <= last; pn++ {
+		pa := vm.PageAddr(pn)
+		p := m.AS.Page(pa)
+		if p == nil {
+			panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
+				Reason: "unmapped page"})
+		}
+		// Page-table permissions are checked regardless of MPK; the
+		// trap-and-map handler never changes page permissions, only keys.
+		if !pageTablePerm(kind, p.Perm) {
+			panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: ID(p.Owner),
+				PageType: p.Type, Reason: fmt.Sprintf("page-table permission %s denies %s", p.Perm, kind)})
+		}
+		if t.pkru.Check(kind, p.Perm, mpk.Key(p.Key)) {
+			continue // fast path: no trap
+		}
+		m.trapAndMap(t, kind, pa, p)
+	}
+}
+
+func pageTablePerm(kind mpk.AccessKind, perm vm.Perm) bool {
+	switch kind {
+	case mpk.AccessRead:
+		return perm.Has(vm.PermRead)
+	case mpk.AccessWrite:
+		return perm.Has(vm.PermWrite)
+	case mpk.AccessExec:
+		return perm.Has(vm.PermExec)
+	}
+	return false
+}
+
+// trapAndMap is the monitor's protection-fault handler (Figure 4):
+//
+//	❶ the faulting access raised a page fault captured by the monitor;
+//	❷ locate the page's owner and window-descriptor array via the O(1)
+//	   page metadata map;
+//	❸ linearly search the owner's window descriptors of the page's class;
+//	❹ index the window's cubicle bitmask with the faulting cubicle, O(1);
+//	❺ if allowed, retag the page's MPK key to the faulting cubicle.
+func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.Page) {
+	m.Stats.Faults++
+	m.Clock.Charge(m.Costs.TrapEntry + m.Costs.PageMetaLookup)
+
+	cur := t.cur
+	owner := ID(p.Owner)
+	deny := func(reason string) {
+		m.Stats.DeniedFaults++
+		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: cur, Owner: owner,
+			PageType: p.Type, Reason: reason})
+	}
+	if p.Owner == vm.NoOwner {
+		deny("page belongs to the trusted runtime")
+	}
+	allowed := false
+	switch {
+	case owner == cur:
+		// Implicit window 0: a cubicle always has access to the pages it
+		// owns (Figure 2), even when a previous window access left them
+		// tagged with another cubicle's key (causal tag consistency).
+		allowed = true
+	case !m.Mode.ACLEnabled():
+		// Ablation: windows are "open for any access" — the trap and the
+		// retag are paid, the ACL check is not.
+		allowed = true
+	default:
+		ownerCub := m.cubicle(owner)
+		cls := classOf(p.Type)
+		if cls != classNone {
+			for _, idx := range ownerCub.search[cls] {
+				w := ownerCub.windows[idx]
+				if w == nil {
+					continue
+				}
+				m.Stats.WindowSearchSteps++
+				m.Clock.Charge(m.Costs.WindowSearchEntry)
+				if w.covers(pa) && w.IsOpenFor(cur) {
+					allowed = true
+					break
+				}
+			}
+		}
+	}
+	if !allowed {
+		deny("no open window authorises the access")
+	}
+	// ❺ Retag the page to the accessing cubicle's key. Writable access
+	// is granted as a whole: windows are read/write grants in CubicleOS.
+	if err := mpk.PkeyMprotect(m.AS, pa, 1, m.keyFor(cur)); err != nil {
+		panic(fmt.Sprintf("cubicle: retag failed: %v", err))
+	}
+	m.Clock.Charge(m.Costs.PkeyMprotect)
+	m.Stats.Retags++
+}
+
+// wrpkru models one execution of the wrpkru instruction on thread t.
+func (m *Monitor) wrpkru(t *Thread, v mpk.PKRU) {
+	t.pkru = v
+	if m.Mode.MPKEnabled() {
+		m.Clock.Charge(m.Costs.WRPKRU)
+		m.Stats.WRPKRUs++
+	}
+}
+
+// MapOwned maps npages pages owned by cubicle id with the given type and
+// permissions, tagged with the cubicle's current key. It is the monitor's
+// page-granting primitive used by the loader and the sub-allocators;
+// pages are strictly assigned an owner and type at allocation time (§5.3).
+func (m *Monitor) MapOwned(id ID, npages int, typ vm.PageType, perm vm.Perm) vm.Addr {
+	key := m.keyFor(id)
+	return m.AS.Map(npages, int(id), typ, perm, uint8(key))
+}
+
+// SetPagePerm is deliberately absent from the untrusted API: CubicleOS
+// does not allow cubicles to change the execution permissions of any page
+// (§4). The monitor-internal variant exists for the loader only.
+func (m *Monitor) setPagePermInternal(addr vm.Addr, npages int, perm vm.Perm) {
+	for i := 0; i < npages; i++ {
+		p := m.AS.Page(addr.Add(uint64(i) * vm.PageSize))
+		if p == nil {
+			panic("cubicle: setPagePermInternal on unmapped page")
+		}
+		p.Perm = perm
+	}
+}

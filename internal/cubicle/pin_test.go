@@ -1,0 +1,152 @@
+package cubicle
+
+import (
+	"testing"
+
+	"cubicleos/internal/vm"
+)
+
+func TestPinnedWindowEliminatesFaults(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	buf := ts.heapIn(t, "FOO", vm.PageSize)
+	ts.enter(t, "FOO", func(e *Env) {
+		barID := e.CubicleOf("BAR")
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, barID)
+		e.WindowPin(wid)
+		h := ts.m.MustResolve(e.Cubicle(), "BAR", "bar")
+		faults := ts.m.Stats.Faults
+		for i := 0; i < 10; i++ {
+			h.Call(e, uint64(buf), uint64(i))  // BAR writes
+			_ = e.LoadByte(buf.Add(uint64(i))) // FOO reads back
+		}
+		if ts.m.Stats.Faults != faults {
+			t.Errorf("pinned window still faulted %d times", ts.m.Stats.Faults-faults)
+		}
+	})
+}
+
+func TestPinnedWindowRevokesEagerly(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	buf := ts.heapIn(t, "FOO", vm.PageSize)
+	ts.enter(t, "FOO", func(e *Env) {
+		barID := e.CubicleOf("BAR")
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, barID)
+		e.WindowPin(wid)
+		h := ts.m.MustResolve(e.Cubicle(), "BAR", "bar")
+		h.Call(e, uint64(buf), 0)
+		// Closing a pinned window revokes without the owner having to
+		// touch the page first (unlike causal trap-and-map).
+		e.WindowClose(wid, barID)
+		err := mustFault(t, func() { h.Call(e, uint64(buf), 1) })
+		if _, ok := err.(*ProtectionFault); !ok {
+			t.Fatalf("got %T, want *ProtectionFault", err)
+		}
+	})
+}
+
+func TestPinnedWindowAddRetags(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	buf1 := ts.heapIn(t, "FOO", vm.PageSize)
+	buf2 := ts.heapIn(t, "FOO", vm.PageSize)
+	ts.enter(t, "FOO", func(e *Env) {
+		barID := e.CubicleOf("BAR")
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf1, vm.PageSize)
+		e.WindowOpen(wid, barID)
+		e.WindowPin(wid)
+		e.WindowAdd(wid, buf2, vm.PageSize) // added after pinning
+		h := ts.m.MustResolve(e.Cubicle(), "BAR", "bar")
+		faults := ts.m.Stats.Faults
+		h.Call(e, uint64(buf2), 3)
+		if ts.m.Stats.Faults != faults {
+			t.Error("range added to pinned window still faults")
+		}
+	})
+}
+
+func TestUnpinRestoresTrapAndMap(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	buf := ts.heapIn(t, "FOO", vm.PageSize)
+	ts.enter(t, "FOO", func(e *Env) {
+		barID := e.CubicleOf("BAR")
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, barID)
+		e.WindowPin(wid)
+		e.WindowUnpin(wid)
+		h := ts.m.MustResolve(e.Cubicle(), "BAR", "bar")
+		faults := ts.m.Stats.Faults
+		h.Call(e, uint64(buf), 0)
+		if ts.m.Stats.Faults == faults {
+			t.Error("unpinned window did not fall back to trap-and-map")
+		}
+		// And the pin key must be reusable.
+		wid2 := e.WindowInit()
+		buf2 := e.HeapAlloc(vm.PageSize)
+		e.WindowAdd(wid2, buf2, vm.PageSize)
+		e.WindowPin(wid2)
+		e.WindowDestroy(wid2) // destroy unpins too
+	})
+}
+
+func TestPinnedWindowThirdPartyStillDenied(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	buf := ts.heapIn(t, "FOO", vm.PageSize)
+	ts.enter(t, "FOO", func(e *Env) {
+		barID := e.CubicleOf("BAR")
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, barID)
+		e.WindowPin(wid)
+	})
+	// BAZ is not a grantee: its PKRU must not include the pin key.
+	ts.enter(t, "BAZ", func(e *Env) {
+		if err := Catch(func() { e.LoadByte(buf) }); err == nil {
+			t.Fatal("third cubicle read a pinned window")
+		}
+	})
+}
+
+func TestPinKeyExhaustion(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	// 4 isolated cubicles (FOO/BAR/BAZ + app-less LIBC is shared) hold
+	// keys; pin windows until the pool runs dry.
+	ts.enter(t, "FOO", func(e *Env) {
+		var lastErr error
+		for i := 0; i < 20; i++ {
+			buf := e.HeapAlloc(vm.PageSize)
+			wid := e.WindowInit()
+			e.WindowAdd(wid, buf, vm.PageSize)
+			if err := Catch(func() { e.WindowPin(wid) }); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if lastErr == nil {
+			t.Fatal("pin-key pool never ran out (16-key hardware limit not modelled)")
+		}
+		if _, ok := lastErr.(*APIError); !ok {
+			t.Fatalf("got %T, want *APIError", lastErr)
+		}
+	})
+}
+
+func TestPinOnlyByOwner(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	buf := ts.heapIn(t, "FOO", vm.PageSize)
+	var wid WID
+	ts.enter(t, "FOO", func(e *Env) {
+		wid = e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+	})
+	ts.enter(t, "BAR", func(e *Env) {
+		err := mustFault(t, func() { e.WindowPin(wid) })
+		if _, ok := err.(*APIError); !ok {
+			t.Fatalf("got %T, want *APIError", err)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package cubicle
+
+import "sort"
+
+// Edge identifies a directed cross-cubicle call edge, used to reproduce
+// the call-count graphs of Figures 5 and 8.
+type Edge struct {
+	From, To ID
+}
+
+// Stats collects the architectural event counts that drive the cost model
+// and the paper's figures.
+type Stats struct {
+	// Calls counts cross-cubicle calls per directed edge (only calls that
+	// actually cross cubicle boundaries; calls within a cubicle or into
+	// shared cubicles are counted separately).
+	Calls map[Edge]uint64
+	// CallsTotal is the total number of cross-cubicle calls.
+	CallsTotal uint64
+	// SharedCalls counts calls into shared cubicles (never involve the
+	// TCB, §3 ❹).
+	SharedCalls uint64
+	// Faults counts protection traps taken into the monitor.
+	Faults uint64
+	// Retags counts pages retagged by the trap-and-map handler.
+	Retags uint64
+	// WRPKRUs counts executed wrpkru instructions.
+	WRPKRUs uint64
+	// WindowOps counts window-management API calls.
+	WindowOps uint64
+	// WindowSearchSteps counts descriptor entries visited by the linear
+	// window search.
+	WindowSearchSteps uint64
+	// StackBytesCopied counts in-stack argument bytes copied across
+	// per-cubicle stacks by trampolines.
+	StackBytesCopied uint64
+	// BulkBytesCopied counts bytes moved by checked memcpy operations.
+	BulkBytesCopied uint64
+	// DeniedFaults counts protection faults that were not authorised by
+	// any window (i.e. real isolation violations).
+	DeniedFaults uint64
+	// KeyEvictions counts MPK keys recycled by tag virtualisation.
+	KeyEvictions uint64
+}
+
+// newStats returns an initialised Stats.
+func newStats() Stats {
+	return Stats{Calls: make(map[Edge]uint64)}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	*s = newStats()
+}
+
+// EdgeCount is one row of a call-count report.
+type EdgeCount struct {
+	From, To ID
+	Count    uint64
+}
+
+// SortedEdges returns the call edges sorted by descending count (ties by
+// edge), for stable Figure 5/8 reports.
+func (s *Stats) SortedEdges() []EdgeCount {
+	out := make([]EdgeCount, 0, len(s.Calls))
+	for e, n := range s.Calls {
+		out = append(out, EdgeCount{From: e.From, To: e.To, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package cubicle
+
+import (
+	"fmt"
+
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// StackPages is the size of one per-cubicle stack in pages.
+const StackPages = 16
+
+// stack is a thread's stack inside one cubicle: trampolines switch
+// between per-cubicle stacks on every cross-cubicle call (§5.5).
+type stack struct {
+	base vm.Addr // lowest address of the region
+	size uint64
+	sp   vm.Addr // current stack pointer (grows down)
+}
+
+// frame records state saved by a call so that the return path can restore
+// it. entrySP is the stack pointer of the stack the callee executes on at
+// call entry: restoring it at return releases everything the callee
+// alloca'd, giving stack variables function-call lifetime.
+type frame struct {
+	caller    ID
+	exec      ID // cubicle whose stack/privileges the callee runs with
+	entrySP   vm.Addr
+	savedPKRU mpk.PKRU
+	crossing  bool // true if the call crossed cubicles via a trampoline
+}
+
+// Thread is one execution context. Unikraft multiplexes user-level threads
+// onto a single host thread (§8), and the simulator follows that model:
+// threads are cooperative and never run concurrently, but each carries its
+// own PKRU value and per-cubicle stacks, as MPK permissions are per-thread.
+type Thread struct {
+	m      *Monitor
+	cur    ID // cubicle whose privileges the thread currently runs with
+	pkru   mpk.PKRU
+	stacks map[ID]*stack
+	frames []frame
+}
+
+// NewThread creates a thread that starts executing in the monitor cubicle
+// (boot context).
+func (m *Monitor) NewThread() *Thread {
+	t := &Thread{
+		m:      m,
+		cur:    MonitorID,
+		pkru:   mpk.AllAllowed,
+		stacks: make(map[ID]*stack),
+	}
+	t.pkru = m.pkruFor(MonitorID)
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// Current returns the cubicle whose privileges the thread is running with.
+func (t *Thread) Current() ID { return t.cur }
+
+// Caller returns the cubicle that performed the innermost cross-cubicle
+// call, or MonitorID at the outermost level. Shared-cubicle and
+// same-cubicle calls are transparent: they do not change the caller.
+func (t *Thread) Caller() ID {
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		if t.frames[i].crossing {
+			return t.frames[i].caller
+		}
+	}
+	return MonitorID
+}
+
+// Depth returns the current call depth (frames pushed).
+func (t *Thread) Depth() int { return len(t.frames) }
+
+// stackFor returns the thread's stack in cubicle id, allocating it on
+// first use (the loader "allocates the necessary per-cubicle stacks for
+// the current thread", §5.4).
+func (t *Thread) stackFor(id ID) *stack {
+	if s, ok := t.stacks[id]; ok {
+		return s
+	}
+	base := t.m.MapOwned(id, StackPages, vm.PageStack, vm.PermRead|vm.PermWrite)
+	s := &stack{base: base, size: StackPages * vm.PageSize}
+	s.sp = base.Add(s.size)
+	t.stacks[id] = s
+	return s
+}
+
+// alloca carves n bytes (16-byte aligned) from the current cubicle's
+// stack and returns the address. Frames are popped wholesale when the
+// enclosing call returns.
+func (t *Thread) alloca(n uint64) vm.Addr {
+	s := t.stackFor(t.cur)
+	n = (n + 15) &^ 15
+	if uint64(s.sp-s.base) < n {
+		panic(&APIError{Cubicle: t.cur, Op: "alloca",
+			Reason: fmt.Sprintf("stack overflow allocating %d bytes", n)})
+	}
+	s.sp -= vm.Addr(n)
+	return s.sp
+}
+
+// pushFrame records call state and, for cross-cubicle calls, switches the
+// thread into the callee cubicle (per-cubicle stack included). Calls into
+// shared cubicles and within a cubicle keep the caller's cubicle, stack
+// and privileges (crossing=false), matching §3 ❹.
+func (t *Thread) pushFrame(callee ID, crossing bool) {
+	caller := t.cur
+	if crossing {
+		t.cur = callee
+	}
+	s := t.stackFor(t.cur)
+	t.frames = append(t.frames, frame{
+		caller:    caller,
+		exec:      t.cur,
+		entrySP:   s.sp,
+		savedPKRU: t.pkru,
+		crossing:  crossing,
+	})
+}
+
+// popFrame restores the state saved by the matching pushFrame: the
+// callee's stack pointer (releasing its stack variables), the caller's
+// cubicle for crossing calls, and the saved PKRU value.
+func (t *Thread) popFrame() {
+	if len(t.frames) == 0 {
+		panic("cubicle: frame underflow")
+	}
+	f := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	if s, ok := t.stacks[f.exec]; ok {
+		s.sp = f.entrySP
+	}
+	if f.crossing {
+		t.cur = f.caller
+	}
+	t.pkru = f.savedPKRU
+}

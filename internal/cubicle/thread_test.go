@@ -1,0 +1,93 @@
+package cubicle
+
+import (
+	"testing"
+
+	"cubicleos/internal/vm"
+)
+
+// TestPerThreadPKRU: MPK access rights are per-thread — two threads
+// executing in different cubicles simultaneously hold different PKRU
+// values, and each sees only its own cubicle's memory.
+func TestPerThreadPKRU(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	fooBuf := ts.heapIn(t, "FOO", 16)
+	barBuf := ts.heapIn(t, "BAR", 16)
+
+	t1 := ts.m.NewThread()
+	t2 := ts.m.NewThread()
+	e1 := ts.m.NewEnv(t1)
+	e2 := ts.m.NewEnv(t2)
+
+	err1 := ts.m.RunAs(e1, ts.cubs["FOO"].ID, func(e *Env) {
+		e.StoreByte(fooBuf, 1) // own memory: fine
+		// Interleave: while t1 is inside FOO, t2 enters BAR.
+		err2 := ts.m.RunAs(e2, ts.cubs["BAR"].ID, func(e2i *Env) {
+			e2i.StoreByte(barBuf, 2) // own memory: fine
+			// t2 (in BAR) cannot see FOO's buffer...
+			if fault := Catch(func() { e2i.LoadByte(fooBuf) }); fault == nil {
+				t.Error("thread 2 in BAR read FOO memory")
+			}
+			// ...while t1 (in FOO) still can, at the same moment.
+			if got := e.LoadByte(fooBuf); got != 1 {
+				t.Errorf("thread 1 lost access to its own cubicle: %d", got)
+			}
+		})
+		if err2 != nil {
+			t.Error(err2)
+		}
+		// And t1 cannot see BAR's buffer.
+		if fault := Catch(func() { e.LoadByte(barBuf) }); fault == nil {
+			t.Error("thread 1 in FOO read BAR memory")
+		}
+	})
+	if err1 != nil {
+		t.Fatal(err1)
+	}
+}
+
+// TestPerThreadStacks: each thread gets its own per-cubicle stacks.
+func TestPerThreadStacks(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	t1 := ts.m.NewThread()
+	t2 := ts.m.NewThread()
+	e1 := ts.m.NewEnv(t1)
+	e2 := ts.m.NewEnv(t2)
+	var a1, a2 vm.Addr
+	if err := ts.m.RunAs(e1, ts.cubs["FOO"].ID, func(e *Env) { a1 = e.Alloca(64) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.m.RunAs(e2, ts.cubs["FOO"].ID, func(e *Env) { a2 = e.Alloca(64) }); err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Error("two threads share one stack")
+	}
+	p1, p2 := ts.m.AS.Page(a1), ts.m.AS.Page(a2)
+	if p1.Type != vm.PageStack || p2.Type != vm.PageStack {
+		t.Error("stack allocations not on stack pages")
+	}
+}
+
+// TestThreadDepthAndCaller exercises the frame bookkeeping.
+func TestThreadDepthAndCaller(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	if ts.env.T.Depth() != 0 {
+		t.Fatalf("initial depth %d", ts.env.T.Depth())
+	}
+	ts.enter(t, "FOO", func(e *Env) {
+		if e.T.Depth() != 1 {
+			t.Errorf("depth in FOO = %d", e.T.Depth())
+		}
+		probe := func(inner *Env, args []uint64) []uint64 { return nil }
+		_ = probe
+		h := ts.m.MustResolve(e.Cubicle(), "BAR", "bar_alloc")
+		h.Call(e, 8)
+		if e.T.Depth() != 1 {
+			t.Errorf("depth after call returned = %d", e.T.Depth())
+		}
+	})
+	if ts.env.T.Depth() != 0 {
+		t.Errorf("final depth %d", ts.env.T.Depth())
+	}
+}

@@ -1,0 +1,218 @@
+package cubicle
+
+import (
+	"fmt"
+
+	"cubicleos/internal/isa"
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// Fn is the uniform binary interface of component entry points: argument
+// and result words are 64-bit values in which pointers are simulated
+// virtual addresses. The first RegArgs words travel in registers; any
+// additional StackBytes of argument data travel on the stack and are
+// copied across per-cubicle stacks by the trampoline (§5.5).
+type Fn func(e *Env, args []uint64) []uint64
+
+// Trampoline is a cross-cubicle call thunk generated and signed by the
+// trusted builder (§5.2/§5.5). It switches memory access permissions
+// between the caller's and callee's MPK keys with wrpkru, switches
+// per-cubicle stacks, and copies in-stack arguments across them.
+type Trampoline struct {
+	id         uint32
+	callee     ID
+	component  string
+	sym        string
+	fn         Fn
+	regArgs    int
+	stackBytes int
+	sig        [32]byte // builder signature verified by the loader
+
+	// thunkAddr is the trampoline code thunk's page in the monitor's
+	// cubicle; guards maps caller cubicles to their guard pages (§5.5).
+	thunkAddr vm.Addr
+	guards    map[ID]vm.Addr
+}
+
+// Symbol returns the trampoline's "component.symbol" name.
+func (tr *Trampoline) Symbol() string { return tr.component + "." + tr.sym }
+
+// Handle is a resolved cross-cubicle call target: the dynamic-symbol
+// binding the loader installs so that calls "go through the appropriate
+// trampolines" (§5.4). A handle is bound to the cubicle it was resolved
+// for; using it from any other cubicle is a control-flow-integrity
+// violation (it would mean executing another cubicle's guard page).
+type Handle struct {
+	m      *Monitor
+	tr     *Trampoline
+	caller ID
+}
+
+// Valid reports whether the handle is bound.
+func (h Handle) Valid() bool { return h.tr != nil }
+
+// Symbol returns the symbol the handle is bound to.
+func (h Handle) Symbol() string {
+	if h.tr == nil {
+		return "<nil>"
+	}
+	return h.tr.Symbol()
+}
+
+// guardInfo lets the monitor recognise control transfers into guard and
+// thunk pages for CFI checks.
+type guardInfo struct {
+	tramp   *Trampoline
+	caller  ID // cubicle the guard page belongs to
+	isThunk bool
+}
+
+// Resolve binds caller to the exported symbol sym of component comp,
+// installing the guard page for this caller if it does not exist yet.
+// Resolution fails if the symbol is not a public entry point — this is
+// the CFI property that "untrusted components only interact via their
+// intended interfaces" (§3).
+func (m *Monitor) Resolve(caller ID, comp, sym string) (Handle, error) {
+	cub, ok := m.compOf[comp]
+	if !ok {
+		return Handle{}, fmt.Errorf("cubicle: unknown component %q", comp)
+	}
+	tr, ok := cub.exports[sym]
+	if !ok {
+		return Handle{}, fmt.Errorf("cubicle: %q is not a public entry point of component %q", sym, comp)
+	}
+	m.installGuard(tr, caller)
+	return Handle{m: m, tr: tr, caller: caller}, nil
+}
+
+// MustResolve is Resolve for boot-time wiring, where failure is a
+// deployment bug.
+func (m *Monitor) MustResolve(caller ID, comp, sym string) Handle {
+	h, err := m.Resolve(caller, comp, sym)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// installGuard materialises the guard page for (trampoline, caller) in the
+// caller's cubicle: execute-only, containing wrpkru + jmp + nop slide
+// (§5.5 hardware support).
+func (m *Monitor) installGuard(tr *Trampoline, caller ID) {
+	if tr.callee == caller {
+		return // same-cubicle call needs no guard
+	}
+	if m.cubicle(tr.callee).Kind == KindShared {
+		return // shared cubicles are entered directly, no TCB involved
+	}
+	if _, ok := tr.guards[caller]; ok {
+		return
+	}
+	addr := m.MapOwned(caller, 1, vm.PageCode, vm.PermExec)
+	code := isa.BuildGuardPage(tr.id)
+	p := m.AS.Page(addr)
+	copy(p.Data[:], code)
+	tr.guards[caller] = addr
+	m.guardPages[addr.PageNum()] = guardInfo{tramp: tr, caller: caller}
+}
+
+// GuardAddr returns the guard page address installed for caller, or 0.
+func (tr *Trampoline) GuardAddr(caller ID) vm.Addr { return tr.guards[caller] }
+
+// Call invokes the handle's target with the given argument words,
+// performing the full cross-cubicle call sequence of §5.5 under the
+// system's isolation mode. It returns the callee's result words.
+func (h Handle) Call(e *Env, args ...uint64) []uint64 {
+	if h.tr == nil {
+		panic(&CFIFault{Cubicle: e.T.cur, Target: "<nil>", Reason: "call through unresolved handle"})
+	}
+	m, t, tr := h.m, e.T, h.tr
+	callee := m.cubicle(tr.callee)
+
+	// Same-cubicle call: a plain function call, no TCB involvement.
+	if tr.callee == t.cur {
+		t.pushFrame(tr.callee, false)
+		defer t.popFrame()
+		return tr.fn(e, args)
+	}
+
+	// Shared cubicle: executes with the privileges, stack and heap of the
+	// calling cubicle; never involves the runtime TCB (§3 ❹).
+	if callee.Kind == KindShared {
+		m.Stats.SharedCalls++
+		t.pushFrame(tr.callee, false)
+		defer t.popFrame()
+		return tr.fn(e, args)
+	}
+
+	// Cross-cubicle call. The handle must be used from the cubicle it was
+	// resolved for: a handle leaking to another cubicle models a jump
+	// into a guard page that lives in someone else's cubicle, which MPK
+	// exec permissions forbid.
+	if h.caller != t.cur {
+		panic(&CFIFault{Cubicle: t.cur, Target: tr.Symbol(),
+			Reason: fmt.Sprintf("handle was resolved for cubicle %d", h.caller)})
+	}
+	m.Stats.CallsTotal++
+	m.Stats.Calls[Edge{From: t.cur, To: tr.callee}]++
+
+	if m.Mode.TrampolinesEnabled() {
+		m.Clock.Charge(m.Costs.TrampolineBase)
+		if tr.stackBytes > 0 {
+			m.Clock.Charge(uint64(tr.stackBytes) * m.Costs.StackArgByte)
+			m.Stats.StackBytesCopied += uint64(tr.stackBytes)
+		}
+	}
+	t.pushFrame(tr.callee, true)
+	defer t.popFrame()
+	if tr.stackBytes > 0 {
+		// The trampoline reserves space for in-stack arguments on the
+		// callee stack (the copy itself is charged above).
+		t.alloca(uint64(tr.stackBytes))
+	}
+	if m.Mode.MPKEnabled() {
+		m.wrpkru(t, m.pkruFor(tr.callee))
+	}
+
+	rets := tr.fn(e, args)
+
+	// Return path: switch permissions and stacks back (§5.5 "function
+	// returns across cubicles are handled in a similar way").
+	if m.Mode.TrampolinesEnabled() {
+		m.Clock.Charge(m.Costs.TrampolineBase)
+	}
+	if m.Mode.MPKEnabled() {
+		m.wrpkru(t, m.pkruFor(h.caller))
+	}
+	return rets
+}
+
+// ExecuteAt models an attempted control transfer to an arbitrary address,
+// used to demonstrate the CFI guarantees: execution must be permitted by
+// the page table and MPK (including the paper's exec-follows-access
+// modification), guard pages may only be entered at offset 0, and
+// trampoline thunks in the monitor's cubicle are never directly
+// executable by cubicles.
+func (m *Monitor) ExecuteAt(t *Thread, addr vm.Addr) {
+	p := m.AS.Page(addr)
+	if p == nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessExec, Cubicle: t.cur,
+			Owner: vm.NoOwner, Reason: "unmapped page"})
+	}
+	if gi, ok := m.guardPages[addr.PageNum()]; ok {
+		if gi.isThunk {
+			panic(&CFIFault{Cubicle: t.cur, Target: gi.tramp.Symbol(),
+				Reason: "direct execution of a trampoline code thunk"})
+		}
+		if !isa.GuardEntryOK(addr.PageOff()) {
+			panic(&CFIFault{Cubicle: t.cur, Target: gi.tramp.Symbol(),
+				Reason: fmt.Sprintf("guard page entered at offset %#x", addr.PageOff())})
+		}
+		if gi.caller != t.cur {
+			panic(&CFIFault{Cubicle: t.cur, Target: gi.tramp.Symbol(),
+				Reason: fmt.Sprintf("guard page belongs to cubicle %d", gi.caller)})
+		}
+	}
+	m.checkAccess(t, mpk.AccessExec, addr, 1)
+}

@@ -1,0 +1,242 @@
+package cubicle
+
+import (
+	"fmt"
+
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// WID identifies a window within its owning cubicle. Windows are assigned
+// to the calling cubicle and can only be managed by it (§4).
+type WID int
+
+// Range is one memory range associated with a window.
+type Range struct {
+	Addr vm.Addr
+	Size uint64
+}
+
+// Contains reports whether the range covers addr. Windows work at page
+// granularity (§5.3): a range covers every page it touches, so the check
+// is against the page span, not the byte span — the paper notes that a
+// component developer must align structures to prevent unintended sharing.
+func (r Range) Contains(addr vm.Addr) bool {
+	first, last := vm.PagesIn(r.Addr, r.Size)
+	pn := addr.PageNum()
+	return pn >= first && pn <= last
+}
+
+// Window is a user-managed, discretionary access-control list for memory
+// (§5.3): a set of memory ranges in the owning cubicle plus a bitmask of
+// the cubicles for which the window is currently open. The bitmask size is
+// fixed at deployment time since all cubicle IDs are known at link time.
+type Window struct {
+	ID     WID
+	Owner  ID
+	Class  windowClass // set by the first Add; ranges share a class
+	Ranges []Range
+	Open   uint64 // bitmask: bit i set = open for cubicle i
+	// pinned is the window-specific MPK key of the §8 extension, or
+	// noPin for the default trap-and-map behaviour.
+	pinned mpk.Key
+}
+
+// IsOpenFor reports whether the window is open for cubicle cid.
+func (w *Window) IsOpenFor(cid ID) bool {
+	return cid >= 0 && cid < MaxCubicles && w.Open&(1<<uint(cid)) != 0
+}
+
+// covers reports whether any range of the window covers addr.
+func (w *Window) covers(addr vm.Addr) bool {
+	for _, r := range w.Ranges {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Window) String() string {
+	return fmt.Sprintf("window %d (owner %d, %d ranges, open %#x)", w.ID, w.Owner, len(w.Ranges), w.Open)
+}
+
+// chargeWindowOp charges the cost of one window-management API call.
+// Window bookkeeping only costs anything when ACLs are enforced; in the
+// no-ACL ablation the calls are retained in component code but compile to
+// no-ops, which is how Figure 6 separates the "windows" overhead from the
+// "MPK" overhead.
+func (m *Monitor) chargeWindowOp() {
+	if m.Mode.ACLEnabled() {
+		m.Clock.Charge(m.Costs.WindowOp)
+		m.Stats.WindowOps++
+	}
+}
+
+// windowInit implements cubicle_window_init for cubicle c.
+func (m *Monitor) windowInit(c ID) WID {
+	m.chargeWindowOp()
+	cub := m.cubicle(c)
+	// Reuse a destroyed slot if one exists; otherwise the cubicle asks
+	// the monitor to extend the descriptor array (§5.3).
+	for i, w := range cub.windows {
+		if w == nil {
+			cub.windows[i] = &Window{ID: WID(i), Owner: c, Class: classNone, pinned: noPin}
+			return WID(i)
+		}
+	}
+	wid := WID(len(cub.windows))
+	cub.windows = append(cub.windows, &Window{ID: wid, Owner: c, Class: classNone, pinned: noPin})
+	return wid
+}
+
+// window fetches window wid of cubicle c, failing the calling component if
+// the window does not exist or is not owned by c.
+func (m *Monitor) window(c ID, wid WID, op string) *Window {
+	cub := m.cubicle(c)
+	if wid < 0 || int(wid) >= len(cub.windows) || cub.windows[wid] == nil {
+		panic(&APIError{Cubicle: c, Op: op, Reason: fmt.Sprintf("no such window %d", wid)})
+	}
+	w := cub.windows[wid]
+	if w.Owner != c {
+		panic(&APIError{Cubicle: c, Op: op, Reason: fmt.Sprintf("window %d owned by cubicle %d", wid, w.Owner)})
+	}
+	return w
+}
+
+// windowAdd implements cubicle_window_add: associate [ptr, ptr+size) with
+// window wid. The memory must be owned by the calling cubicle — a cubicle
+// cannot open a window onto data shared with it by another cubicle (the
+// nested-call rule of §5.6).
+func (m *Monitor) windowAdd(c ID, wid WID, ptr vm.Addr, size uint64) {
+	m.chargeWindowOp()
+	w := m.window(c, wid, "window_add")
+	if size == 0 {
+		panic(&APIError{Cubicle: c, Op: "window_add", Reason: "empty range"})
+	}
+	first, last := vm.PagesIn(ptr, size)
+	var cls windowClass
+	for pn := first; pn <= last; pn++ {
+		p := m.AS.Page(vm.PageAddr(pn))
+		if p == nil {
+			panic(&APIError{Cubicle: c, Op: "window_add", Reason: fmt.Sprintf("unmapped page %#x", pn<<vm.PageShift)})
+		}
+		if p.Owner != int(c) {
+			panic(&APIError{Cubicle: c, Op: "window_add",
+				Reason: fmt.Sprintf("page %#x owned by cubicle %d, not by caller", pn<<vm.PageShift, p.Owner)})
+		}
+		pc := classOf(p.Type)
+		if pc == classNone {
+			panic(&APIError{Cubicle: c, Op: "window_add", Reason: "code pages cannot be windowed"})
+		}
+		if pn == first {
+			cls = pc
+		} else if pc != cls {
+			panic(&APIError{Cubicle: c, Op: "window_add", Reason: "range spans pages of different types"})
+		}
+	}
+	cub := m.cubicle(c)
+	if w.Class == classNone {
+		w.Class = cls
+		cub.search[cls] = append(cub.search[cls], int(w.ID))
+	} else if w.Class != cls {
+		panic(&APIError{Cubicle: c, Op: "window_add",
+			Reason: fmt.Sprintf("window holds %v ranges; cannot mix with %v", w.Class, cls)})
+	}
+	w.Ranges = append(w.Ranges, Range{Addr: ptr, Size: size})
+	if w.pinned != noPin {
+		// Ranges added to a pinned window take its dedicated key at once.
+		first, last := vm.PagesIn(ptr, size)
+		for pn := first; pn <= last; pn++ {
+			m.AS.Page(vm.PageAddr(pn)).Key = uint8(w.pinned)
+			m.Clock.Charge(m.Costs.PkeyMprotect)
+			m.Stats.Retags++
+		}
+	}
+}
+
+// windowRemove implements cubicle_window_remove: drop the range previously
+// associated with wid that starts at ptr.
+func (m *Monitor) windowRemove(c ID, wid WID, ptr vm.Addr) {
+	m.chargeWindowOp()
+	w := m.window(c, wid, "window_remove")
+	for i, r := range w.Ranges {
+		if r.Addr == ptr {
+			w.Ranges = append(w.Ranges[:i], w.Ranges[i+1:]...)
+			return
+		}
+	}
+	panic(&APIError{Cubicle: c, Op: "window_remove", Reason: fmt.Sprintf("no range at %#x", uint64(ptr))})
+}
+
+// windowOpen implements cubicle_window_open: allow cubicle cid to access
+// the window's contents.
+func (m *Monitor) windowOpen(c ID, wid WID, cid ID) {
+	m.chargeWindowOp()
+	w := m.window(c, wid, "window_open")
+	if cid < 0 || cid >= MaxCubicles || int(cid) >= len(m.cubicles) {
+		panic(&APIError{Cubicle: c, Op: "window_open", Reason: fmt.Sprintf("no such cubicle %d", cid)})
+	}
+	w.Open |= 1 << uint(cid)
+	if w.pinned != noPin {
+		m.refreshThreadPKRUs()
+	}
+}
+
+// windowClose implements cubicle_window_close. Closing does not retag any
+// pages: the monitor maintains causal tag consistency (§5.6), lazily
+// reassigning tags only when a page is next accessed.
+func (m *Monitor) windowClose(c ID, wid WID, cid ID) {
+	m.chargeWindowOp()
+	w := m.window(c, wid, "window_close")
+	if cid >= 0 && cid < MaxCubicles {
+		w.Open &^= 1 << uint(cid)
+	}
+	if w.pinned != noPin {
+		// Pinned windows revoke eagerly: the grantee's PKRU loses the
+		// window key immediately (no causal laziness to fall back on).
+		m.refreshThreadPKRUs()
+	}
+}
+
+// windowCloseAll implements cubicle_window_close_all.
+func (m *Monitor) windowCloseAll(c ID, wid WID) {
+	m.chargeWindowOp()
+	w := m.window(c, wid, "window_close_all")
+	w.Open = 0
+	if w.pinned != noPin {
+		m.refreshThreadPKRUs()
+	}
+}
+
+// windowDestroy implements cubicle_window_destroy.
+func (m *Monitor) windowDestroy(c ID, wid WID) {
+	m.chargeWindowOp()
+	w := m.window(c, wid, "window_destroy")
+	if w.pinned != noPin {
+		m.unpinWindow(c, wid)
+	}
+	cub := m.cubicle(c)
+	if w.Class != classNone {
+		lst := cub.search[w.Class]
+		for i, idx := range lst {
+			if idx == int(w.ID) {
+				cub.search[w.Class] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+	cub.windows[wid] = nil
+}
+
+// WindowCount returns the number of live windows owned by cubicle c;
+// used by tests and the inspector.
+func (m *Monitor) WindowCount(c ID) int {
+	n := 0
+	for _, w := range m.cubicle(c).windows {
+		if w != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+// Package cycles provides the virtual cycle clock and the cost model used
+// by the CubicleOS simulator.
+//
+// The reproduction cannot run on real Intel MPK hardware (the Go runtime
+// owns the process address space), so every architectural event — a wrpkru
+// execution, a page retag through the host kernel, a protection trap, an
+// IPC message — is charged a cycle cost on a virtual clock instead of being
+// timed on silicon. The per-event costs come from the paper and the
+// literature it cites (libmpk, ERIM): wrpkru ≈ 20 cycles, pkey_mprotect
+// ≈ 1,100 cycles on Skylake-class hardware. Virtual cycles convert to
+// seconds at the paper's 2.20 GHz (Intel Xeon Silver 4210).
+package cycles
+
+import "time"
+
+// FrequencyHz is the clock frequency of the paper's evaluation machine,
+// an Intel Xeon Silver 4210 at 2.20 GHz.
+const FrequencyHz = 2_200_000_000
+
+// Clock accumulates virtual cycles. The simulator is single-threaded per
+// System, so Clock needs no synchronisation.
+type Clock struct {
+	cycles uint64
+	// workNum/workDen scale modelled-compute charges (ChargeWork) to
+	// represent implementation efficiency differences between runtimes
+	// (e.g. Unikraft 0.4 vs native Linux). Architectural-event charges
+	// (Charge) are never scaled — traps and wrpkru cost what the
+	// hardware costs regardless of who runs on top.
+	workNum, workDen uint64
+}
+
+// Charge adds n cycles to the clock (architectural events; unscaled).
+func (c *Clock) Charge(n uint64) { c.cycles += n }
+
+// ChargeWork adds n cycles of modelled compute, scaled by the work-scale
+// factor.
+func (c *Clock) ChargeWork(n uint64) {
+	if c.workDen != 0 {
+		n = n * c.workNum / c.workDen
+	}
+	c.cycles += n
+}
+
+// SetWorkScale sets the modelled-compute scale factor (1.0 = native).
+func (c *Clock) SetWorkScale(f float64) {
+	c.workNum = uint64(f * 1000)
+	c.workDen = 1000
+}
+
+// Cycles returns the number of cycles charged so far.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Reset sets the clock back to zero.
+func (c *Clock) Reset() { c.cycles = 0 }
+
+// Duration converts the accumulated cycles to wall-clock time at
+// FrequencyHz.
+func (c *Clock) Duration() time.Duration {
+	return Duration(c.cycles)
+}
+
+// Duration converts a cycle count to wall-clock time at FrequencyHz.
+func Duration(cycles uint64) time.Duration {
+	secs := float64(cycles) / float64(FrequencyHz)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Costs is the cost-model table: virtual cycles charged per architectural
+// event. The zero value is unusable; start from DefaultCosts.
+type Costs struct {
+	// WRPKRU is the cost of one wrpkru instruction (user-level PKRU
+	// write). The paper cites ~20 cycles (libmpk, USENIX ATC'19).
+	WRPKRU uint64
+	// PkeyMprotect is the cost of retagging a page's protection key via
+	// the host kernel (pkey_mprotect). The paper cites >1,100 cycles.
+	PkeyMprotect uint64
+	// TrapEntry is the cost of delivering a protection fault to the
+	// monitor's trap handler and returning: CubicleOS runs on a host
+	// Linux kernel, so a fault is a SIGSEGV round trip (~3 us: kernel
+	// fault path, signal frame setup, handler, sigreturn).
+	TrapEntry uint64
+	// PageMetaLookup is the O(1) lookup of the page metadata map that
+	// identifies the owning cubicle and window-descriptor array (§5.3).
+	PageMetaLookup uint64
+	// WindowSearchEntry is the per-entry cost of the linear search over
+	// a cubicle's window-descriptor array (§5.3 step ❸).
+	WindowSearchEntry uint64
+	// WindowOp is the cost of one window-management API call
+	// (init/add/remove/open/close): a cross-cubicle call into the
+	// trusted monitor plus descriptor bookkeeping.
+	WindowOp uint64
+	// TrampolineBase is the fixed cost of a cross-cubicle call trampoline
+	// excluding the two wrpkru executions: guard-page entry, stack
+	// switch, register spill/restore, and the wrpkru pipeline
+	// serialisation and cache/TLB pollution it drags in (§5.5). Paper:
+	// trampolines alone add ~2% on cache-friendly SQLite queries.
+	TrampolineBase uint64
+	// StackArgByte is the per-byte cost of copying in-stack arguments
+	// across per-cubicle stacks inside a trampoline.
+	StackArgByte uint64
+	// CopyByte is the per-byte cost of a memcpy-style bulk copy
+	// (roughly 16 B/cycle streaming on Skylake, expressed as cycles
+	// per byte scaled by 16 in charge sites; kept ≥1 granularity by
+	// charging per 16-byte chunk).
+	CopyChunk16 uint64
+	// SyscallLinux is the kernel entry/exit cost of one host-Linux
+	// system call (the paper's Linux baseline).
+	SyscallLinux uint64
+	// Alloca is the cost of a stack-buffer allocation in component code.
+	Alloca uint64
+}
+
+// DefaultCosts returns the cost table used for all experiments. The values
+// are taken from the paper's citations where available and otherwise set to
+// Skylake-class figures; EXPERIMENTS.md records the calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		WRPKRU:            20,
+		PkeyMprotect:      1100,
+		TrapEntry:         7500,
+		PageMetaLookup:    30,
+		WindowSearchEntry: 8,
+		WindowOp:          600,
+		TrampolineBase:    260,
+		StackArgByte:      1,
+		CopyChunk16:       1,
+		SyscallLinux:      700,
+		Alloca:            4,
+	}
+}

@@ -1,0 +1,92 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	var c Clock
+	c.Charge(100)
+	c.Charge(250)
+	if c.Cycles() != 350 {
+		t.Errorf("Cycles = %d", c.Cycles())
+	}
+	c.Reset()
+	if c.Cycles() != 0 {
+		t.Error("Reset did not zero the clock")
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	// 2.2e9 cycles at 2.2 GHz is exactly one second.
+	if d := Duration(FrequencyHz); d != time.Second {
+		t.Errorf("Duration(1s of cycles) = %v", d)
+	}
+	if d := Duration(2_200_000); d != time.Millisecond {
+		t.Errorf("Duration(1ms of cycles) = %v", d)
+	}
+	var c Clock
+	c.Charge(2_200)
+	if d := c.Duration(); d != time.Microsecond {
+		t.Errorf("Clock.Duration = %v", d)
+	}
+}
+
+func TestWorkScale(t *testing.T) {
+	var c Clock
+	c.ChargeWork(1000) // unscaled by default
+	if c.Cycles() != 1000 {
+		t.Errorf("unscaled ChargeWork = %d", c.Cycles())
+	}
+	c.Reset()
+	c.SetWorkScale(2.6)
+	c.ChargeWork(1000)
+	if c.Cycles() != 2600 {
+		t.Errorf("scaled ChargeWork = %d", c.Cycles())
+	}
+	// Architectural charges never scale.
+	c.Charge(100)
+	if c.Cycles() != 2700 {
+		t.Errorf("Charge scaled: %d", c.Cycles())
+	}
+}
+
+// TestChargeLinear: charging in pieces equals charging at once.
+func TestChargeLinear(t *testing.T) {
+	f := func(parts []uint16) bool {
+		var a, b Clock
+		var sum uint64
+		for _, p := range parts {
+			a.Charge(uint64(p))
+			sum += uint64(p)
+		}
+		b.Charge(sum)
+		return a.Cycles() == b.Cycles()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := DefaultCosts()
+	// Invariants from the literature the paper cites: wrpkru is cheap,
+	// kernel retags cost >1,100 cycles, traps dominate everything.
+	if c.WRPKRU != 20 {
+		t.Errorf("WRPKRU = %d, the paper cites ~20 cycles", c.WRPKRU)
+	}
+	if c.PkeyMprotect < 1100 {
+		t.Errorf("PkeyMprotect = %d, the paper cites >1,100 cycles", c.PkeyMprotect)
+	}
+	if c.TrapEntry <= c.PkeyMprotect {
+		t.Error("a SIGSEGV round trip must cost more than a pkey_mprotect")
+	}
+	if c.TrampolineBase >= c.TrapEntry {
+		t.Error("a trampoline must be far cheaper than a trap (the design's whole point)")
+	}
+	if c.WindowOp >= c.TrapEntry {
+		t.Error("window management must be cheaper than taking a fault")
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCalibrationReport prints the headline numbers of every figure so the
+// cost model can be calibrated against the paper. Run with -v.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short")
+	}
+	const size = 50
+
+	rows, err := Fig6(size)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	s := Summarise(rows)
+	t.Logf("Fig6 group A slowdown %.2f (paper 1.8): tramp %.2f mpk %.2f acl %.2f", s.GroupASlowdown, s.ATramp, s.AMPK, s.AACL)
+	t.Logf("Fig6 group B slowdown %.2f (paper 8.0): tramp %.2f mpk %.2f acl %.2f", s.GroupBSlowdown, s.BTramp, s.BMPK, s.BACL)
+	for _, r := range rows {
+		grp := "B"
+		if r.GroupA {
+			grp = "A"
+		}
+		t.Logf("  q%-4d %s uk=%-10d full=%-10d ratio=%.2f", r.ID, grp, r.Unikraft, r.Full, r.Ratio())
+	}
+
+	a, err := Fig10a(size)
+	if err != nil {
+		t.Fatalf("Fig10a: %v", err)
+	}
+	for _, r := range a {
+		t.Logf("Fig10a %-12s %.2f", r.System, r.Slowdown)
+	}
+	b, err := Fig10b(size)
+	if err != nil {
+		t.Fatalf("Fig10b: %v", err)
+	}
+	for _, r := range b {
+		t.Logf("Fig10b %-12s %.2f", r.Kernel, r.Slowdown)
+	}
+
+	f7, err := Fig7()
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	for _, r := range f7 {
+		t.Logf("Fig7 %8d B: base %.2f ms, cubicle %.2f ms, ratio %.2f", r.Size, r.BaselineMs, r.CubicleOSMs, r.Ratio())
+	}
+}

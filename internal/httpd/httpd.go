@@ -1,0 +1,343 @@
+// Package httpd is the NGINX stand-in of the paper's I/O-intensive
+// evaluation (§6.3): an event-driven HTTP/1.0 static-file server running
+// entirely on the library OS stack. Its deployment reproduces the eight
+// isolated cubicles of Figure 5 — NGINX, LWIP, NETDEV, VFSCORE, RAMFS,
+// PLAT, ALLOC and TIME — with newlibc and the random device shared.
+//
+// Per request the server crosses into LWIP for socket I/O, VFSCORE/RAMFS
+// for the file, TIME for the log timestamp and PLAT for the access log;
+// in the NGINX deployment every buffer comes from ALLOC, which is what
+// makes ALLOC the hottest cubicle in Figure 5.
+package httpd
+
+import (
+	"fmt"
+	"strings"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/lwip"
+	"cubicleos/internal/plat"
+	"cubicleos/internal/ualloc"
+	"cubicleos/internal/uktime"
+	"cubicleos/internal/vfscore"
+	"cubicleos/internal/vm"
+)
+
+// Name of the component in deployments.
+const Name = "NGINX"
+
+// Buffer sizes.
+const (
+	reqBufSize = 4096
+	ioBufSize  = 32 << 10
+	logBufSize = 512
+)
+
+// parseWork models request-line parsing and header handling.
+const parseWork = 900
+
+// connState is the per-connection state machine.
+type connState int
+
+const (
+	stReadRequest connState = iota
+	stServe
+	stDone
+)
+
+// conn is one HTTP connection.
+type conn struct {
+	fd       uint64
+	state    connState
+	req      []byte // request bytes accumulated so far (bookkeeping copy)
+	reqBuf   vm.Addr
+	ioBuf    vm.Addr
+	fileFD   uint64
+	size     uint64
+	sent     uint64 // body bytes handed to LWIP
+	pending  uint64 // bytes in ioBuf not yet accepted by LWIP
+	pendOff  uint64
+	hdrDone  bool
+	headOnly bool // HEAD request: headers only
+	path     string
+	status   int
+}
+
+// Server is the NGINX component state.
+type Server struct {
+	lwip  *lwip.Client
+	vfs   *vfscore.Client
+	time  *uktime.Client
+	plat  *plat.Client
+	alloc ualloc.Allocator
+
+	lwipID, vfsID, ramfsID, platID cubicle.ID
+
+	port   uint16
+	lfd    uint64
+	conns  map[uint64]*conn
+	logBuf vm.Addr
+
+	// Requests counts completed requests.
+	Requests uint64
+	inited   bool
+}
+
+// New creates the server; deployment wiring must call SetDeps.
+func New(port uint16) *Server {
+	return &Server{port: port, conns: make(map[uint64]*conn)}
+}
+
+// SetDeps wires the server's clients and allocator strategy, plus the
+// cubicle IDs it opens windows for.
+func (s *Server) SetDeps(lw *lwip.Client, vfs *vfscore.Client, tm *uktime.Client,
+	pl *plat.Client, alloc ualloc.Allocator, lwipID, vfsID, ramfsID, platID cubicle.ID) {
+	s.lwip, s.vfs, s.time, s.plat, s.alloc = lw, vfs, tm, pl, alloc
+	s.lwipID, s.vfsID, s.ramfsID, s.platID = lwipID, vfsID, ramfsID, platID
+}
+
+// initServer opens the listening socket and the shared log buffer.
+func (s *Server) initServer(e *cubicle.Env) uint64 {
+	if s.inited {
+		return 0
+	}
+	s.vfs.InitBuffers(e, s.ramfsID)
+	s.logBuf = s.alloc.Malloc(e, logBufSize)
+	s.alloc.Share(e, s.logBuf, logBufSize, s.platID)
+	s.lfd = s.lwip.Socket(e)
+	if errno := s.lwip.Bind(e, s.lfd, s.port); errno != lwip.EOK {
+		return errno
+	}
+	if errno := s.lwip.Listen(e, s.lfd, 64); errno != lwip.EOK {
+		return errno
+	}
+	s.inited = true
+	return 0
+}
+
+// newConn sets up per-connection buffers and their windows.
+func (s *Server) newConn(e *cubicle.Env, fd uint64) *conn {
+	c := &conn{fd: fd, status: 200}
+	c.reqBuf = s.alloc.Malloc(e, reqBufSize)
+	s.alloc.Share(e, c.reqBuf, reqBufSize, s.lwipID)
+	c.ioBuf = s.alloc.Malloc(e, ioBufSize)
+	s.alloc.Share(e, c.ioBuf, ioBufSize, s.lwipID)
+	s.alloc.Share(e, c.ioBuf, ioBufSize, s.vfsID)
+	s.alloc.Share(e, c.ioBuf, ioBufSize, s.ramfsID)
+	return c
+}
+
+// closeConn tears down a connection and releases its buffers.
+func (s *Server) closeConn(e *cubicle.Env, c *conn) {
+	if c.fileFD != 0 {
+		s.vfs.Close(e, c.fileFD)
+		c.fileFD = 0
+	}
+	s.lwip.Close(e, c.fd)
+	s.alloc.Free(e, c.reqBuf)
+	s.alloc.Free(e, c.ioBuf)
+	delete(s.conns, c.fd)
+}
+
+// step drives the server: polls the stack, accepts connections, advances
+// every connection's state machine. Returns an activity count.
+func (s *Server) step(e *cubicle.Env) uint64 {
+	activity := s.lwip.Poll(e)
+	for {
+		fd, errno := s.lwip.Accept(e, s.lfd)
+		if errno != lwip.EOK {
+			break
+		}
+		s.conns[fd] = s.newConn(e, fd)
+		activity++
+	}
+	for _, c := range s.conns {
+		activity += s.advance(e, c)
+	}
+	return activity
+}
+
+// advance progresses one connection.
+func (s *Server) advance(e *cubicle.Env, c *conn) uint64 {
+	switch c.state {
+	case stReadRequest:
+		n, errno := s.lwip.Recv(e, c.fd, c.reqBuf, reqBufSize)
+		if errno == lwip.EAGAIN {
+			return 0
+		}
+		if errno != lwip.EOK {
+			s.closeConn(e, c)
+			return 1
+		}
+		if n == 0 { // client closed before a full request
+			if len(c.req) == 0 {
+				s.closeConn(e, c)
+				return 1
+			}
+			return 0
+		}
+		c.req = append(c.req, e.ReadBytes(c.reqBuf, n)...)
+		if idx := strings.Index(string(c.req), "\r\n\r\n"); idx >= 0 {
+			s.parseRequest(e, c)
+			return 1
+		}
+		return 1
+	case stServe:
+		return s.serve(e, c)
+	}
+	return 0
+}
+
+// parseRequest handles the request line and opens the file.
+func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
+	e.Work(parseWork)
+	line, _, _ := strings.Cut(string(c.req), "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[0] != "GET" && fields[0] != "HEAD") {
+		c.status = 400
+		s.startResponse(e, c, "400 Bad Request", []byte("bad request\n"))
+		return
+	}
+	c.headOnly = fields[0] == "HEAD"
+	c.path = fields[1]
+	fd, errno := s.vfs.Open(e, c.path, vfscore.ORdonly)
+	if errno != vfscore.EOK {
+		c.status = 404
+		s.startResponse(e, c, "404 Not Found", []byte("not found\n"))
+		return
+	}
+	size, errno := s.vfs.FStat(e, fd)
+	if errno != vfscore.EOK {
+		s.vfs.Close(e, fd)
+		c.status = 500
+		s.startResponse(e, c, "500 Internal Server Error", []byte("error\n"))
+		return
+	}
+	c.fileFD = fd
+	c.size = size
+	hdr := fmt.Sprintf("HTTP/1.0 200 OK\r\nServer: cubicle-nginx\r\nContent-Length: %d\r\n\r\n", size)
+	e.Write(c.ioBuf, []byte(hdr))
+	c.pending = uint64(len(hdr))
+	c.pendOff = 0
+	c.hdrDone = false
+	if c.headOnly {
+		// HEAD: announce the size but send no body.
+		s.vfs.Close(e, fd)
+		c.fileFD = 0
+		c.size = 0
+	}
+	c.state = stServe
+}
+
+// startResponse stages a small error response.
+func (s *Server) startResponse(e *cubicle.Env, c *conn, status string, body []byte) {
+	hdr := fmt.Sprintf("HTTP/1.0 %s\r\nServer: cubicle-nginx\r\nContent-Length: %d\r\n\r\n", status, len(body))
+	e.Write(c.ioBuf, append([]byte(hdr), body...))
+	c.pending = uint64(len(hdr) + len(body))
+	c.pendOff = 0
+	c.size = 0
+	c.sent = 0
+	c.state = stServe
+}
+
+// serve pushes pending bytes and file chunks into LWIP until the response
+// is complete or the stack applies backpressure.
+func (s *Server) serve(e *cubicle.Env, c *conn) uint64 {
+	activity := uint64(0)
+	for {
+		if c.pending > 0 {
+			n, errno := s.lwip.Send(e, c.fd, c.ioBuf.Add(c.pendOff), c.pending)
+			if errno == lwip.EAGAIN {
+				return activity
+			}
+			if errno != lwip.EOK {
+				s.closeConn(e, c)
+				return activity + 1
+			}
+			c.pending -= n
+			c.pendOff += n
+			activity++
+			if c.pending > 0 {
+				return activity // backpressure: partial accept
+			}
+			continue
+		}
+		if c.fileFD == 0 || c.sent >= c.size {
+			s.finish(e, c)
+			return activity + 1
+		}
+		chunk := uint64(ioBufSize)
+		if chunk > c.size-c.sent {
+			chunk = c.size - c.sent
+		}
+		n, errno := s.vfs.PRead(e, c.fileFD, c.ioBuf, chunk, c.sent)
+		if errno != vfscore.EOK || n == 0 {
+			s.closeConn(e, c)
+			return activity + 1
+		}
+		c.sent += n
+		c.pending = n
+		c.pendOff = 0
+		activity++
+	}
+}
+
+// finish logs the request and closes the connection.
+func (s *Server) finish(e *cubicle.Env, c *conn) {
+	ts := s.time.WallNs(e)
+	line := fmt.Sprintf("%d GET %s %d %d\n", ts/1_000_000_000, c.path, c.status, c.size)
+	if uint64(len(line)) > logBufSize {
+		line = line[:logBufSize]
+	}
+	e.Write(s.logBuf, []byte(line))
+	s.plat.ConsoleWrite(e, s.logBuf, uint64(len(line)))
+	s.Requests++
+	s.closeConn(e, c)
+}
+
+// Provision writes a static file into the file system through the normal
+// VFS path — the harness equivalent of populating the server's RAMFS root
+// before a benchmark run. Must run with the NGINX cubicle's privileges.
+func (s *Server) Provision(e *cubicle.Env, path string, data []byte) uint64 {
+	if !s.inited {
+		if errno := s.initServer(e); errno != 0 {
+			return errno
+		}
+	}
+	fd, errno := s.vfs.Open(e, path, vfscore.OCreat|vfscore.OWronly|vfscore.OTrunc)
+	if errno != vfscore.EOK {
+		return errno
+	}
+	defer s.vfs.Close(e, fd)
+	buf := s.alloc.Malloc(e, ioBufSize)
+	s.alloc.Share(e, buf, ioBufSize, s.vfsID)
+	s.alloc.Share(e, buf, ioBufSize, s.ramfsID)
+	defer s.alloc.Free(e, buf)
+	for off := 0; off < len(data); off += ioBufSize {
+		end := off + ioBufSize
+		if end > len(data) {
+			end = len(data)
+		}
+		e.Write(buf, data[off:end])
+		if n, errno := s.vfs.PWrite(e, fd, buf, uint64(end-off), uint64(off)); errno != vfscore.EOK || n != uint64(end-off) {
+			return errno
+		}
+	}
+	return 0
+}
+
+// Component returns the NGINX component for the builder.
+func (s *Server) Component() *cubicle.Component {
+	return &cubicle.Component{
+		Name: Name,
+		Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{
+			{Name: "nginx_init", Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				return []uint64{s.initServer(e)}
+			}},
+			{Name: "nginx_step", Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				return []uint64{s.step(e)}
+			}},
+		},
+	}
+}

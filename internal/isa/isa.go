@@ -1,0 +1,251 @@
+// Package isa models the object-code side of CubicleOS: component images
+// with code and data sections, export symbol tables (the equivalent of
+// Unikraft's exportsyms.uk), and the load-time binary scan of §5.4 that
+// refuses to load code containing instructions which could undermine the
+// isolation mechanisms — system calls and wrpkru.
+//
+// Component logic itself executes as Go functions in the simulator, but
+// every component still carries synthetic code bytes so that the loader's
+// integrity scan, the execute-only page policy, and the guard-page layout
+// of §5.5 operate on real byte streams, including forbidden sequences that
+// span page boundaries.
+package isa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Forbidden x86-64 instruction encodings the loader scans for (§5.4).
+var (
+	// OpWRPKRU is the encoding of the wrpkru instruction (0F 01 EF).
+	OpWRPKRU = []byte{0x0F, 0x01, 0xEF}
+	// OpSYSCALL is the encoding of the syscall instruction (0F 05).
+	OpSYSCALL = []byte{0x0F, 0x05}
+	// OpINT80 is the legacy int $0x80 system-call encoding (CD 80).
+	OpINT80 = []byte{0xCD, 0x80}
+	// OpNOP is a one-byte no-op used to pad guard pages so that entering
+	// them anywhere but the first instruction faults into padding.
+	OpNOP = byte(0x90)
+	// OpJMP marks the relative jump placed in a guard page.
+	OpJMP = byte(0xE9)
+	// OpRET terminates synthetic function bodies.
+	OpRET = byte(0xC3)
+)
+
+// forbidden lists all instruction encodings the loader rejects.
+var forbidden = [][]byte{OpWRPKRU, OpSYSCALL, OpINT80}
+
+// ScanResult reports a forbidden instruction found in a code stream.
+type ScanResult struct {
+	Offset int    // byte offset of the first byte of the instruction
+	Name   string // mnemonic of the forbidden instruction
+}
+
+func (r ScanResult) String() string {
+	return fmt.Sprintf("forbidden instruction %s at offset %#x", r.Name, r.Offset)
+}
+
+// nameOf returns the mnemonic for a forbidden encoding.
+func nameOf(seq []byte) string {
+	switch {
+	case len(seq) == 3 && seq[0] == 0x0F && seq[1] == 0x01 && seq[2] == 0xEF:
+		return "wrpkru"
+	case len(seq) == 2 && seq[0] == 0x0F && seq[1] == 0x05:
+		return "syscall"
+	case len(seq) == 2 && seq[0] == 0xCD && seq[1] == 0x80:
+		return "int 0x80"
+	}
+	return "unknown"
+}
+
+// Scan searches code for forbidden instruction encodings and returns every
+// match. The scan is a plain byte-sequence search, exactly as the loader
+// of the paper does it ("scans code pages for binary sequences containing
+// system call or wrpkru instructions"), so sequences spanning page
+// boundaries are found as long as the whole section is scanned at once.
+func Scan(code []byte) []ScanResult {
+	var out []ScanResult
+	for i := 0; i < len(code); i++ {
+		for _, seq := range forbidden {
+			if i+len(seq) <= len(code) && match(code[i:], seq) {
+				out = append(out, ScanResult{Offset: i, Name: nameOf(seq)})
+			}
+		}
+	}
+	return out
+}
+
+func match(b, seq []byte) bool {
+	for i, c := range seq {
+		if b[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Symbol is an entry in a component's export table: a named function at an
+// offset within the image's code section.
+type Symbol struct {
+	Name string
+	Off  uint64 // offset within the code section
+	Size uint64 // size of the function body in bytes
+}
+
+// SectionKind distinguishes image sections.
+type SectionKind uint8
+
+// Section kinds found in a component image.
+const (
+	SecCode SectionKind = iota // execute-only after loading
+	SecRodata
+	SecData
+)
+
+func (k SectionKind) String() string {
+	switch k {
+	case SecCode:
+		return ".text"
+	case SecRodata:
+		return ".rodata"
+	case SecData:
+		return ".data"
+	}
+	return fmt.Sprintf("SectionKind(%d)", uint8(k))
+}
+
+// Section is one loadable section of a component image.
+type Section struct {
+	Kind SectionKind
+	Data []byte
+}
+
+// Image is a loadable component image: sections plus the export symbol
+// table. It corresponds to one Unikraft component compiled as a dynamic
+// library by the CubicleOS builder (§5.2).
+type Image struct {
+	Name     string
+	Sections []Section
+	Exports  []Symbol
+}
+
+// CodeSection returns the image's code section, or nil if it has none.
+func (im *Image) CodeSection() *Section {
+	for i := range im.Sections {
+		if im.Sections[i].Kind == SecCode {
+			return &im.Sections[i]
+		}
+	}
+	return nil
+}
+
+// FindExport returns the export with the given name, or nil.
+func (im *Image) FindExport(name string) *Symbol {
+	for i := range im.Exports {
+		if im.Exports[i].Name == name {
+			return &im.Exports[i]
+		}
+	}
+	return nil
+}
+
+// SynthOptions controls synthetic image generation.
+type SynthOptions struct {
+	// FuncSize is the size in bytes of each generated function body
+	// (minimum 16). Zero selects a default of 96.
+	FuncSize int
+	// DataSize is the size of the generated .data section. Zero selects
+	// one page worth of data.
+	DataSize int
+	// InjectForbidden, when non-empty, splices the given instruction
+	// encoding into the middle of the code section; used by tests and the
+	// isolation-demo example to exercise the loader's scan.
+	InjectForbidden []byte
+	// InjectAt places the injected sequence at this code offset; -1 (or
+	// an out-of-range value) centres it.
+	InjectAt int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Synthesize builds a synthetic component image exporting the given
+// function names. Function bodies are filler bytes guaranteed not to
+// contain forbidden encodings (every emitted byte has the high nibble
+// masked away from the 0x0F/0xCD escape values) terminated by a RET.
+func Synthesize(name string, exports []string, opt SynthOptions) *Image {
+	fs := opt.FuncSize
+	if fs < 16 {
+		fs = 96
+	}
+	ds := opt.DataSize
+	if ds <= 0 {
+		ds = 4096
+	}
+	rng := rand.New(rand.NewSource(opt.Seed ^ int64(len(name))*7919))
+	code := make([]byte, 0, fs*len(exports))
+	syms := make([]Symbol, 0, len(exports))
+	for _, fn := range exports {
+		off := uint64(len(code))
+		body := make([]byte, fs)
+		for i := range body {
+			b := byte(rng.Intn(256))
+			// Avoid the escape bytes that begin forbidden encodings so
+			// the filler can never contain one by accident.
+			if b == 0x0F || b == 0xCD {
+				b = OpNOP
+			}
+			body[i] = b
+		}
+		body[fs-1] = OpRET
+		code = append(code, body...)
+		syms = append(syms, Symbol{Name: fn, Off: off, Size: uint64(fs)})
+	}
+	if len(opt.InjectForbidden) > 0 {
+		at := opt.InjectAt
+		if at < 0 || at+len(opt.InjectForbidden) > len(code) {
+			at = len(code) / 2
+		}
+		copy(code[at:], opt.InjectForbidden)
+	}
+	data := make([]byte, ds)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	return &Image{
+		Name: name,
+		Sections: []Section{
+			{Kind: SecCode, Data: code},
+			{Kind: SecData, Data: data},
+		},
+		Exports: syms,
+	}
+}
+
+// GuardPageSize is the size of a cross-cubicle call guard page (§5.5).
+const GuardPageSize = 4096
+
+// BuildGuardPage lays out a trampoline guard page: a wrpkru instruction
+// enabling execution of the trampoline in the monitor's cubicle, a jump to
+// the trampoline, then no-ops so that starting execution anywhere but the
+// first instruction faults (§5.5). The wrpkru here is legitimate: guard
+// pages are generated by the trusted loader, not scanned component code.
+func BuildGuardPage(trampolineID uint32) []byte {
+	page := make([]byte, GuardPageSize)
+	n := copy(page, OpWRPKRU)
+	page[n] = OpJMP
+	n++
+	for i := 0; i < 4; i++ {
+		page[n] = byte(trampolineID >> (8 * i))
+		n++
+	}
+	for ; n < GuardPageSize; n++ {
+		page[n] = OpNOP
+	}
+	return page
+}
+
+// GuardEntryOK reports whether a control transfer into a guard page at the
+// given offset is the intended entry point (offset 0). Any other offset
+// lands in the nop slide or mid-instruction and must fault.
+func GuardEntryOK(off uint64) bool { return off == 0 }

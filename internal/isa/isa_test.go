@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanFindsWRPKRU(t *testing.T) {
+	code := append(append([]byte{0x90, 0x90}, OpWRPKRU...), 0xC3)
+	hits := Scan(code)
+	if len(hits) != 1 || hits[0].Offset != 2 || hits[0].Name != "wrpkru" {
+		t.Fatalf("Scan = %v", hits)
+	}
+}
+
+func TestScanFindsSyscallVariants(t *testing.T) {
+	code := append([]byte{}, OpSYSCALL...)
+	code = append(code, 0x90)
+	code = append(code, OpINT80...)
+	hits := Scan(code)
+	if len(hits) != 2 {
+		t.Fatalf("Scan found %d hits, want 2: %v", len(hits), hits)
+	}
+	if hits[0].Name != "syscall" || hits[1].Name != "int 0x80" {
+		t.Errorf("Scan names = %q, %q", hits[0].Name, hits[1].Name)
+	}
+}
+
+// TestScanAcrossPageBoundary plants a wrpkru so that its bytes span a
+// 4096-byte page boundary; the loader scans whole sections so it must
+// still be found.
+func TestScanAcrossPageBoundary(t *testing.T) {
+	code := make([]byte, 2*4096)
+	copy(code[4095:], OpWRPKRU) // bytes at 4095, 4096, 4097
+	hits := Scan(code)
+	if len(hits) != 1 || hits[0].Offset != 4095 {
+		t.Fatalf("Scan across page boundary = %v", hits)
+	}
+}
+
+func TestScanCleanCode(t *testing.T) {
+	code := bytes.Repeat([]byte{0x90, 0x48, 0x89, 0xE5}, 1024)
+	if hits := Scan(code); len(hits) != 0 {
+		t.Fatalf("clean code flagged: %v", hits)
+	}
+}
+
+func TestScanEmptyAndShort(t *testing.T) {
+	if hits := Scan(nil); hits != nil {
+		t.Error("Scan(nil) returned hits")
+	}
+	if hits := Scan([]byte{0x0F}); hits != nil {
+		t.Error("Scan of truncated escape byte returned hits")
+	}
+}
+
+// TestScanNeverMisses: property — splicing a forbidden sequence at any
+// offset of any clean byte stream is always detected.
+func TestScanNeverMisses(t *testing.T) {
+	f := func(raw []byte, off uint16, which uint8) bool {
+		code := make([]byte, len(raw)+8)
+		for i, b := range raw {
+			if b == 0x0F || b == 0xCD {
+				b = 0x90
+			}
+			code[i] = b
+		}
+		seq := [][]byte{OpWRPKRU, OpSYSCALL, OpINT80}[which%3]
+		at := int(off) % (len(code) - len(seq) + 1)
+		copy(code[at:], seq)
+		for _, h := range Scan(code) {
+			if h.Offset == at {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthesizeExports(t *testing.T) {
+	im := Synthesize("vfs", []string{"vfs_open", "vfs_write"}, SynthOptions{})
+	if im.Name != "vfs" {
+		t.Errorf("image name %q", im.Name)
+	}
+	if im.FindExport("vfs_open") == nil || im.FindExport("vfs_write") == nil {
+		t.Fatal("exports missing")
+	}
+	if im.FindExport("vfs_close") != nil {
+		t.Error("undeclared export present")
+	}
+	code := im.CodeSection()
+	if code == nil || len(code.Data) == 0 {
+		t.Fatal("no code section")
+	}
+	for _, ex := range im.Exports {
+		if code.Data[ex.Off+ex.Size-1] != OpRET {
+			t.Errorf("function %s does not end in RET", ex.Name)
+		}
+	}
+}
+
+func TestSynthesizedCodeIsClean(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		im := Synthesize("c", []string{"a", "b", "c"}, SynthOptions{Seed: seed, FuncSize: 256})
+		if hits := Scan(im.CodeSection().Data); len(hits) != 0 {
+			t.Fatalf("seed %d: synthesized code contains forbidden sequence %v", seed, hits)
+		}
+	}
+}
+
+func TestSynthesizeInjectForbidden(t *testing.T) {
+	im := Synthesize("evil", []string{"f"}, SynthOptions{InjectForbidden: OpWRPKRU, InjectAt: -1})
+	hits := Scan(im.CodeSection().Data)
+	if len(hits) == 0 {
+		t.Fatal("injected wrpkru not found by scan")
+	}
+	if hits[0].Name != "wrpkru" {
+		t.Errorf("hit name %q", hits[0].Name)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize("x", []string{"f", "g"}, SynthOptions{Seed: 42})
+	b := Synthesize("x", []string{"f", "g"}, SynthOptions{Seed: 42})
+	if !bytes.Equal(a.CodeSection().Data, b.CodeSection().Data) {
+		t.Error("same seed produced different code")
+	}
+}
+
+func TestBuildGuardPage(t *testing.T) {
+	page := BuildGuardPage(0xDEADBEEF)
+	if len(page) != GuardPageSize {
+		t.Fatalf("guard page size %d", len(page))
+	}
+	if !bytes.HasPrefix(page, OpWRPKRU) {
+		t.Error("guard page does not start with wrpkru")
+	}
+	if page[3] != OpJMP {
+		t.Error("guard page missing jump after wrpkru")
+	}
+	id := uint32(page[4]) | uint32(page[5])<<8 | uint32(page[6])<<16 | uint32(page[7])<<24
+	if id != 0xDEADBEEF {
+		t.Errorf("guard page jump target %#x", id)
+	}
+	for i := 8; i < GuardPageSize; i++ {
+		if page[i] != OpNOP {
+			t.Fatalf("guard page byte %d is %#x, want NOP", i, page[i])
+		}
+	}
+}
+
+func TestGuardEntryOK(t *testing.T) {
+	if !GuardEntryOK(0) {
+		t.Error("entry at offset 0 rejected")
+	}
+	for _, off := range []uint64{1, 2, 3, 8, 4095} {
+		if GuardEntryOK(off) {
+			t.Errorf("entry at offset %d accepted", off)
+		}
+	}
+}
+
+func TestSectionKindString(t *testing.T) {
+	if SecCode.String() != ".text" || SecRodata.String() != ".rodata" || SecData.String() != ".data" {
+		t.Error("SectionKind.String mismatch")
+	}
+}

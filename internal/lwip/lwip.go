@@ -1,0 +1,585 @@
+// Package lwip is the LWIP component: the TCP/IP stack of the NGINX
+// deployment (Figure 5). It implements a compact but real TCP over the
+// NETDEV virtual device — handshake, segmentation at the MSS, cumulative
+// acknowledgements, flow control against the peer's advertised window,
+// and a bounded send buffer whose size produces the latency slope change
+// for large transfers that the paper observes in Figure 7 ("the change in
+// slope for files larger than 1 MB is due to the buffer size inside
+// LWIP").
+package lwip
+
+import (
+	"encoding/binary"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/netdev"
+	"cubicleos/internal/ualloc"
+	"cubicleos/internal/vm"
+)
+
+// Name of the component in deployments.
+const Name = "LWIP"
+
+// Frame header layout (simplified TCP/IP: ports, seq/ack, flags, window,
+// length). The real stack's 54-byte Ethernet+IP+TCP header cost is
+// modelled in stackWork.
+const (
+	HdrSize = 19
+	MSS     = 1448
+)
+
+// TCP flags.
+const (
+	FlagSYN = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// Errnos returned by the socket API.
+const (
+	EOK    = 0
+	EAGAIN = 11
+	EBADF  = 9
+	EINVAL = 22
+)
+
+// Default buffer sizes. SendBufCap bounds unsent+unacknowledged data per
+// socket; transfers larger than it require the application to interleave
+// sends with stack polls, which is the Figure 7 slope change.
+const (
+	DefaultSendBuf = 1 << 20 // 1 MiB
+	DefaultRecvBuf = 64 << 10
+)
+
+// stackWork models per-frame TCP/IP processing: header parse/build,
+// checksum over the segment, demux, timers.
+const stackWork = 3400
+
+// Socket states.
+const (
+	stClosed = iota
+	stListen
+	stEstab
+	stCloseWait
+	stFinSent
+)
+
+// Header is a parsed frame header.
+type Header struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Wnd              uint32
+	Len              uint16
+}
+
+// EncodeHeader writes h into b (at least HdrSize bytes).
+func EncodeHeader(b []byte, h Header) {
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:], h.Seq)
+	binary.BigEndian.PutUint32(b[8:], h.Ack)
+	b[12] = h.Flags
+	binary.BigEndian.PutUint32(b[13:], h.Wnd)
+	binary.BigEndian.PutUint16(b[17:], h.Len)
+}
+
+// DecodeHeader parses a frame header.
+func DecodeHeader(b []byte) Header {
+	return Header{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Seq:     binary.BigEndian.Uint32(b[4:]),
+		Ack:     binary.BigEndian.Uint32(b[8:]),
+		Flags:   b[12],
+		Wnd:     binary.BigEndian.Uint32(b[13:]),
+		Len:     binary.BigEndian.Uint16(b[17:]),
+	}
+}
+
+// ring is a byte ring buffer in simulated memory.
+type ring struct {
+	buf   vm.Addr
+	cap   uint64
+	start uint64
+	len   uint64
+}
+
+// write copies n bytes from src (simulated memory) into the ring.
+func (r *ring) write(e *cubicle.Env, src vm.Addr, n uint64) {
+	off := (r.start + r.len) % r.cap
+	first := r.cap - off
+	if first > n {
+		first = n
+	}
+	e.Memcpy(r.buf.Add(off), src, first)
+	if n > first {
+		e.Memcpy(r.buf, src.Add(first), n-first)
+	}
+	r.len += n
+}
+
+// read copies up to n bytes from the ring into dst; returns bytes moved.
+func (r *ring) read(e *cubicle.Env, dst vm.Addr, n uint64) uint64 {
+	if n > r.len {
+		n = r.len
+	}
+	if n == 0 {
+		return 0
+	}
+	first := r.cap - r.start
+	if first > n {
+		first = n
+	}
+	e.Memcpy(dst, r.buf.Add(r.start), first)
+	if n > first {
+		e.Memcpy(dst.Add(first), r.buf, n-first)
+	}
+	r.start = (r.start + n) % r.cap
+	r.len -= n
+	return n
+}
+
+// peek copies up to n bytes from the ring head without consuming.
+func (r *ring) peek(e *cubicle.Env, dst vm.Addr, n uint64) uint64 {
+	if n > r.len {
+		n = r.len
+	}
+	if n == 0 {
+		return 0
+	}
+	first := r.cap - r.start
+	if first > n {
+		first = n
+	}
+	e.Memcpy(dst, r.buf.Add(r.start), first)
+	if n > first {
+		e.Memcpy(dst.Add(first), r.buf, n-first)
+	}
+	return n
+}
+
+// consume drops n bytes from the ring head.
+func (r *ring) consume(n uint64) {
+	r.start = (r.start + n) % r.cap
+	r.len -= n
+}
+
+func (r *ring) space() uint64 { return r.cap - r.len }
+
+// sock is one TCP socket.
+type sock struct {
+	fd         uint64
+	state      int
+	localPort  uint16
+	remotePort uint16
+	rx, tx     ring
+	sndNxt     uint32 // next sequence number to send
+	sndUna     uint32 // oldest unacknowledged
+	rcvNxt     uint32
+	peerWnd    uint32
+	needAck    bool
+	acceptQ    []uint64
+	backlog    int
+	finRcvd    bool
+	finQueued  bool
+}
+
+func (s *sock) inflight() uint32 { return s.sndNxt - s.sndUna }
+
+type connKey struct {
+	local, remote uint16
+}
+
+// Module is the LWIP component state.
+type Module struct {
+	socks     map[uint64]*sock
+	nextFD    uint64
+	listeners map[uint16]*sock
+	conns     map[connKey]*sock
+
+	nd    *netdev.Client
+	alloc ualloc.Allocator
+
+	netdevID cubicle.ID
+	stage    vm.Addr // frame staging buffer, shared with NETDEV
+
+	// SendBufCap / RecvBufCap size new sockets' rings.
+	SendBufCap uint64
+	RecvBufCap uint64
+
+	// SegmentsTx / SegmentsRx count TCP segments for the reports.
+	SegmentsTx, SegmentsRx uint64
+}
+
+// New creates the stack; deployment wiring must call SetDeps.
+func New() *Module {
+	return &Module{
+		socks:      make(map[uint64]*sock),
+		nextFD:     1,
+		listeners:  make(map[uint16]*sock),
+		conns:      make(map[connKey]*sock),
+		SendBufCap: DefaultSendBuf,
+		RecvBufCap: DefaultRecvBuf,
+	}
+}
+
+// SetDeps wires the NETDEV client and allocator strategy, plus the NETDEV
+// cubicle ID for frame-buffer window sharing.
+func (l *Module) SetDeps(nd *netdev.Client, alloc ualloc.Allocator, netdevID cubicle.ID) {
+	l.nd = nd
+	l.alloc = alloc
+	l.netdevID = netdevID
+}
+
+// ensureInit sets up the staging frame buffer on first use: allocated
+// from the configured allocator and shared with NETDEV so the device's
+// DMA can reach it.
+func (l *Module) ensureInit(e *cubicle.Env) {
+	if l.stage != 0 {
+		return
+	}
+	l.stage = l.alloc.Malloc(e, 2*vm.PageSize)
+	l.alloc.Share(e, l.stage, 2*vm.PageSize, l.netdevID)
+}
+
+func (l *Module) newSock(e *cubicle.Env) *sock {
+	s := &sock{fd: l.nextFD, state: stClosed, peerWnd: 64 << 10}
+	l.nextFD++
+	s.rx = ring{buf: l.alloc.Malloc(e, l.RecvBufCap), cap: l.RecvBufCap}
+	s.tx = ring{buf: l.alloc.Malloc(e, l.SendBufCap), cap: l.SendBufCap}
+	l.socks[s.fd] = s
+	return s
+}
+
+// sendFrame builds a frame in the staging buffer and hands it to NETDEV.
+// payloadRing, when non-nil, supplies the payload bytes from the socket's
+// send ring (without consuming them — the caller consumes after the frame
+// is out, modelling the DMA completing before buffer reuse).
+func (l *Module) sendFrame(e *cubicle.Env, s *sock, flags uint8, payload uint64) {
+	e.Work(stackWork)
+	h := Header{
+		SrcPort: s.localPort, DstPort: s.remotePort,
+		Seq: s.sndNxt, Ack: s.rcvNxt, Flags: flags,
+		Wnd: uint32(s.rx.space()), Len: uint16(payload),
+	}
+	var hdr [HdrSize]byte
+	EncodeHeader(hdr[:], h)
+	e.Write(l.stage, hdr[:])
+	if payload > 0 {
+		s.tx.peek(e, l.stage.Add(HdrSize), payload)
+	}
+	l.nd.Tx(e, l.stage, HdrSize+payload)
+	l.SegmentsTx++
+}
+
+// poll drives the stack: drains received frames, delivers data, sends
+// pending segments and acknowledgements. Returns the number of frames
+// processed plus segments sent (activity indicator).
+func (l *Module) poll(e *cubicle.Env) uint64 {
+	l.ensureInit(e)
+	activity := uint64(0)
+	// Receive path.
+	for {
+		n, _ := l.nd.Rx(e, l.stage, 2*vm.PageSize)
+		if n == 0 {
+			break
+		}
+		activity++
+		l.SegmentsRx++
+		e.Work(stackWork)
+		hdr := DecodeHeader(e.ReadBytes(l.stage, HdrSize))
+		l.handleFrame(e, hdr)
+	}
+	// Transmit path.
+	for _, s := range l.socks {
+		activity += l.pump(e, s)
+	}
+	return activity
+}
+
+// handleFrame dispatches one received frame.
+func (l *Module) handleFrame(e *cubicle.Env, h Header) {
+	key := connKey{local: h.DstPort, remote: h.SrcPort}
+	s, ok := l.conns[key]
+	if !ok {
+		// New connection? Must be a SYN to a listener.
+		ls, lok := l.listeners[h.DstPort]
+		if !lok || h.Flags&FlagSYN == 0 {
+			return // drop (no RST generation needed on the lossless wire)
+		}
+		if len(ls.acceptQ) >= ls.backlog {
+			return
+		}
+		c := l.newSock(e)
+		c.state = stEstab
+		c.localPort = h.DstPort
+		c.remotePort = h.SrcPort
+		c.rcvNxt = h.Seq + 1
+		c.peerWnd = h.Wnd
+		l.conns[key] = c
+		ls.acceptQ = append(ls.acceptQ, c.fd)
+		// SYN-ACK consumes one sequence number.
+		l.sendFrame(e, c, FlagSYN|FlagACK, 0)
+		c.sndNxt++
+		c.sndUna = c.sndNxt - 1
+		return
+	}
+	if h.Flags&FlagACK != 0 {
+		// Cumulative ACK: free acknowledged send-buffer space.
+		if int32(h.Ack-s.sndUna) > 0 {
+			s.sndUna = h.Ack
+		}
+		s.peerWnd = h.Wnd
+	}
+	if h.Len > 0 {
+		if h.Seq == s.rcvNxt && uint64(h.Len) <= s.rx.space() {
+			s.rx.write(e, l.stage.Add(HdrSize), uint64(h.Len))
+			s.rcvNxt += uint32(h.Len)
+			s.needAck = true
+		} else {
+			// Out-of-window data is dropped; the peer retransmits.
+			s.needAck = true
+		}
+	}
+	if h.Flags&FlagFIN != 0 && h.Seq == s.rcvNxt {
+		s.rcvNxt++
+		s.finRcvd = true
+		s.needAck = true
+		if s.state == stEstab {
+			s.state = stCloseWait
+		}
+	}
+	if h.Flags&FlagRST != 0 {
+		s.state = stClosed
+	}
+}
+
+// pump sends as much pending data as the peer window allows, plus any FIN
+// or pure ACK due. Returns segments sent.
+func (l *Module) pump(e *cubicle.Env, s *sock) uint64 {
+	if s.state != stEstab && s.state != stCloseWait && s.state != stFinSent {
+		return 0
+	}
+	sent := uint64(0)
+	for s.tx.len > 0 {
+		wnd := uint64(0)
+		if uint64(s.inflight()) < uint64(s.peerWnd) {
+			wnd = uint64(s.peerWnd) - uint64(s.inflight())
+		}
+		seg := s.tx.len
+		if seg > MSS {
+			seg = MSS
+		}
+		if seg > wnd {
+			seg = wnd
+		}
+		if seg == 0 {
+			break
+		}
+		l.sendFrame(e, s, FlagACK, seg)
+		s.tx.consume(seg)
+		s.sndNxt += uint32(seg)
+		s.needAck = false
+		sent++
+	}
+	if s.finQueued && s.tx.len == 0 && s.state != stFinSent {
+		l.sendFrame(e, s, FlagFIN|FlagACK, 0)
+		s.sndNxt++
+		s.state = stFinSent
+		s.needAck = false
+		sent++
+	}
+	if s.needAck {
+		l.sendFrame(e, s, FlagACK, 0)
+		s.needAck = false
+		sent++
+	}
+	return sent
+}
+
+func (l *Module) get(fd uint64) (*sock, uint64) {
+	s, ok := l.socks[fd]
+	if !ok {
+		return nil, EBADF
+	}
+	return s, EOK
+}
+
+// Component returns the LWIP component for the builder.
+func (l *Module) Component() *cubicle.Component {
+	return &cubicle.Component{
+		Name: Name,
+		Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{
+			{Name: "lwip_socket", Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				l.ensureInit(e)
+				e.Work(stackWork)
+				return []uint64{l.newSock(e).fd, EOK}
+			}},
+			{Name: "lwip_bind", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(100)
+				s, errno := l.get(a[0])
+				if errno != EOK {
+					return []uint64{0, errno}
+				}
+				if _, taken := l.listeners[uint16(a[1])]; taken {
+					return []uint64{0, EINVAL}
+				}
+				s.localPort = uint16(a[1])
+				return []uint64{0, EOK}
+			}},
+			{Name: "lwip_listen", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(100)
+				s, errno := l.get(a[0])
+				if errno != EOK {
+					return []uint64{0, errno}
+				}
+				if s.localPort == 0 {
+					return []uint64{0, EINVAL}
+				}
+				s.state = stListen
+				s.backlog = int(a[1])
+				if s.backlog <= 0 {
+					s.backlog = 8
+				}
+				l.listeners[s.localPort] = s
+				return []uint64{0, EOK}
+			}},
+			{Name: "lwip_accept", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(150)
+				s, errno := l.get(a[0])
+				if errno != EOK {
+					return []uint64{0, errno}
+				}
+				if s.state != stListen {
+					return []uint64{0, EINVAL}
+				}
+				if len(s.acceptQ) == 0 {
+					return []uint64{0, EAGAIN}
+				}
+				fd := s.acceptQ[0]
+				s.acceptQ = s.acceptQ[1:]
+				return []uint64{fd, EOK}
+			}},
+			{Name: "lwip_recv", RegArgs: 3, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(200)
+				s, errno := l.get(a[0])
+				if errno != EOK {
+					return []uint64{0, errno}
+				}
+				if s.rx.len == 0 {
+					if s.finRcvd {
+						return []uint64{0, EOK} // EOF
+					}
+					return []uint64{0, EAGAIN}
+				}
+				n := s.rx.read(e, vm.Addr(a[1]), a[2])
+				s.needAck = true // window update
+				return []uint64{n, EOK}
+			}},
+			{Name: "lwip_send", RegArgs: 3, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(200)
+				s, errno := l.get(a[0])
+				if errno != EOK {
+					return []uint64{0, errno}
+				}
+				if s.state != stEstab && s.state != stCloseWait {
+					return []uint64{0, EINVAL}
+				}
+				// The send buffer bounds unsent + unacknowledged bytes.
+				used := s.tx.len + uint64(s.inflight())
+				if used >= l.SendBufCap {
+					return []uint64{0, EAGAIN}
+				}
+				n := a[2]
+				if n > l.SendBufCap-used {
+					n = l.SendBufCap - used
+				}
+				if n > s.tx.space() {
+					n = s.tx.space()
+				}
+				if n == 0 {
+					return []uint64{0, EAGAIN}
+				}
+				s.tx.write(e, vm.Addr(a[1]), n)
+				return []uint64{n, EOK}
+			}},
+			{Name: "lwip_close", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(150)
+				s, errno := l.get(a[0])
+				if errno != EOK {
+					return []uint64{0, errno}
+				}
+				if s.state == stListen {
+					delete(l.listeners, s.localPort)
+					s.state = stClosed
+					return []uint64{0, EOK}
+				}
+				s.finQueued = true
+				return []uint64{0, EOK}
+			}},
+			{Name: "lwip_poll", Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				return []uint64{l.poll(e), EOK}
+			}},
+		},
+	}
+}
+
+// Client is typed access to LWIP from another cubicle.
+type Client struct {
+	socket, bind, listen, accept cubicle.Handle
+	recv, send, close_, poll     cubicle.Handle
+}
+
+// NewClient resolves LWIP for a caller cubicle.
+func NewClient(m *cubicle.Monitor, caller cubicle.ID) *Client {
+	return &Client{
+		socket: m.MustResolve(caller, Name, "lwip_socket"),
+		bind:   m.MustResolve(caller, Name, "lwip_bind"),
+		listen: m.MustResolve(caller, Name, "lwip_listen"),
+		accept: m.MustResolve(caller, Name, "lwip_accept"),
+		recv:   m.MustResolve(caller, Name, "lwip_recv"),
+		send:   m.MustResolve(caller, Name, "lwip_send"),
+		close_: m.MustResolve(caller, Name, "lwip_close"),
+		poll:   m.MustResolve(caller, Name, "lwip_poll"),
+	}
+}
+
+// Socket creates a socket.
+func (c *Client) Socket(e *cubicle.Env) uint64 { return c.socket.Call(e)[0] }
+
+// Bind binds fd to a local port.
+func (c *Client) Bind(e *cubicle.Env, fd uint64, port uint16) uint64 {
+	return c.bind.Call(e, fd, uint64(port))[1]
+}
+
+// Listen marks fd as a listener.
+func (c *Client) Listen(e *cubicle.Env, fd uint64, backlog int) uint64 {
+	return c.listen.Call(e, fd, uint64(backlog))[1]
+}
+
+// Accept pops a pending connection; errno EAGAIN when none.
+func (c *Client) Accept(e *cubicle.Env, fd uint64) (uint64, uint64) {
+	r := c.accept.Call(e, fd)
+	return r[0], r[1]
+}
+
+// Recv reads up to n bytes into buf.
+func (c *Client) Recv(e *cubicle.Env, fd uint64, buf vm.Addr, n uint64) (uint64, uint64) {
+	r := c.recv.Call(e, fd, uint64(buf), n)
+	return r[0], r[1]
+}
+
+// Send queues up to n bytes from buf; returns bytes accepted.
+func (c *Client) Send(e *cubicle.Env, fd uint64, buf vm.Addr, n uint64) (uint64, uint64) {
+	r := c.send.Call(e, fd, uint64(buf), n)
+	return r[0], r[1]
+}
+
+// Close closes fd (queues FIN for connections).
+func (c *Client) Close(e *cubicle.Env, fd uint64) uint64 { return c.close_.Call(e, fd)[1] }
+
+// Poll drives the stack; returns the activity count.
+func (c *Client) Poll(e *cubicle.Env) uint64 { return c.poll.Call(e)[0] }

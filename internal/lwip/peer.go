@@ -1,0 +1,165 @@
+package lwip
+
+import (
+	"bytes"
+
+	"cubicleos/internal/netdev"
+)
+
+// Peer is the host-side TCP endpoint: the network client that load
+// generators (siege, test harnesses) use to talk to the library OS over
+// the NETDEV wire. It lives entirely outside the simulated machine —
+// exactly like the external clients of the paper's evaluation — so its
+// processing costs nothing on the virtual clock.
+type Peer struct {
+	w        *netdev.Wire
+	conns    map[uint16]*PeerConn // keyed by the peer-side port
+	nextPort uint16
+	// Window is the receive window the peer advertises to the server.
+	Window uint32
+}
+
+// NewPeer attaches a host peer to the wire.
+func NewPeer(w *netdev.Wire) *Peer {
+	return &Peer{w: w, conns: make(map[uint16]*PeerConn), nextPort: 40000, Window: 1 << 20}
+}
+
+// PeerConn is one host-side TCP connection.
+type PeerConn struct {
+	p                    *Peer
+	localPort            uint16 // peer side
+	remotePort           uint16 // server side
+	sndNxt               uint32
+	rcvNxt               uint32
+	lastAcked            uint32
+	srvWnd               uint32
+	recv                 bytes.Buffer
+	Established, FinRcvd bool
+	// pending holds outbound application data not yet sent to the wire
+	// (respecting the server's advertised receive window).
+	pending []byte
+	unacked uint32
+}
+
+// Connect sends a SYN to the given server port and returns the connection
+// (not yet established until Pump processes the SYN-ACK).
+func (p *Peer) Connect(serverPort uint16) *PeerConn {
+	c := &PeerConn{p: p, localPort: p.nextPort, remotePort: serverPort, srvWnd: 64 << 10}
+	p.nextPort++
+	p.conns[c.localPort] = c
+	p.send(c, FlagSYN, nil)
+	c.sndNxt++
+	return c
+}
+
+// send emits one frame from the peer to the server.
+func (p *Peer) send(c *PeerConn, flags uint8, payload []byte) {
+	frame := make([]byte, HdrSize+len(payload))
+	EncodeHeader(frame, Header{
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: c.sndNxt, Ack: c.rcvNxt, Flags: flags,
+		Wnd: p.Window, Len: uint16(len(payload)),
+	})
+	copy(frame[HdrSize:], payload)
+	p.w.HostSend(frame)
+}
+
+// Pump processes every frame the server has put on the wire; returns the
+// number of frames handled.
+func (p *Peer) Pump() int {
+	n := 0
+	for {
+		f := p.w.HostRecv()
+		if f == nil {
+			// Drained: send any deferred window-update acknowledgements.
+			for _, c := range p.conns {
+				if c.rcvNxt != c.lastAcked {
+					p.send(c, FlagACK, nil)
+					c.lastAcked = c.rcvNxt
+				}
+			}
+			return n
+		}
+		n++
+		if len(f) < HdrSize {
+			continue
+		}
+		h := DecodeHeader(f)
+		c, ok := p.conns[h.DstPort]
+		if !ok {
+			continue
+		}
+		c.srvWnd = h.Wnd
+		if h.Flags&FlagACK != 0 {
+			if int32(h.Ack-(c.sndNxt-c.unacked)) > 0 {
+				acked := h.Ack - (c.sndNxt - c.unacked)
+				if acked > c.unacked {
+					acked = c.unacked
+				}
+				c.unacked -= acked
+			}
+		}
+		if h.Flags&FlagSYN != 0 {
+			c.rcvNxt = h.Seq + 1
+			c.Established = true
+			p.send(c, FlagACK, nil)
+			continue
+		}
+		if h.Len > 0 && h.Seq == c.rcvNxt {
+			c.recv.Write(f[HdrSize : HdrSize+int(h.Len)])
+			c.rcvNxt += uint32(h.Len)
+		}
+		if h.Flags&FlagFIN != 0 && h.Seq == c.rcvNxt {
+			c.rcvNxt++
+			c.FinRcvd = true
+		}
+		// Delayed acknowledgements: ack immediately on FIN or after four
+		// full segments; otherwise acknowledge once the pump drains
+		// (below), as real TCP receivers do.
+		if c.FinRcvd || c.rcvNxt-c.lastAcked >= 4*MSS {
+			p.send(c, FlagACK, nil)
+			c.lastAcked = c.rcvNxt
+		}
+		// Window may have opened: push pending data.
+		c.flush()
+	}
+}
+
+// Send queues application data toward the server; data beyond the
+// server's advertised window is held back until ACKs open it.
+func (c *PeerConn) Send(data []byte) {
+	c.pending = append(c.pending, data...)
+	c.flush()
+}
+
+func (c *PeerConn) flush() {
+	for len(c.pending) > 0 {
+		wnd := int(c.srvWnd) - int(c.unacked)
+		if wnd <= 0 {
+			return
+		}
+		n := len(c.pending)
+		if n > MSS {
+			n = MSS
+		}
+		if n > wnd {
+			n = wnd
+		}
+		c.p.send(c, FlagACK, c.pending[:n])
+		c.sndNxt += uint32(n)
+		c.unacked += uint32(n)
+		c.pending = c.pending[n:]
+	}
+}
+
+// Close sends a FIN.
+func (c *PeerConn) Close() {
+	c.p.send(c, FlagFIN|FlagACK, nil)
+	c.sndNxt++
+}
+
+// Received returns everything received so far.
+func (c *PeerConn) Received() []byte { return c.recv.Bytes() }
+
+// ReceivedLen returns the number of bytes received so far.
+func (c *PeerConn) ReceivedLen() int { return c.recv.Len() }

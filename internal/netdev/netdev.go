@@ -1,0 +1,161 @@
+// Package netdev is the NETDEV component: the virtual network device
+// driver of the NGINX deployment (Figure 5). The device moves Ethernet
+// frames between component-visible simulated memory and the "wire" — a
+// host-side frame queue representing the physical medium, which the load
+// generator (siege) attaches to from outside the library OS, exactly like
+// the external attacker-controlled input of the threat model.
+package netdev
+
+import (
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/vm"
+)
+
+// Name of the component in deployments.
+const Name = "NETDEV"
+
+// MTU is the maximum frame size on the wire (Ethernet payload).
+const MTU = 1514
+
+// driverWork models the per-frame driver path (descriptor ring handling,
+// doorbell, interrupt coalescing share).
+const driverWork = 1400
+
+// Wire is the physical medium: frame queues between the device and the
+// host-side peer. It is trusted-harness state (hardware), not cubicle
+// memory.
+type Wire struct {
+	toHost   [][]byte
+	toDevice [][]byte
+	// FramesOut / FramesIn count frames for the experiment reports.
+	FramesOut, FramesIn uint64
+	// BytesOut / BytesIn count payload bytes.
+	BytesOut, BytesIn uint64
+}
+
+// HostSend injects a frame from the host side (load generator).
+func (w *Wire) HostSend(frame []byte) {
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	w.toDevice = append(w.toDevice, f)
+	w.FramesIn++
+	w.BytesIn += uint64(len(frame))
+}
+
+// HostRecv pops a frame destined for the host side, or nil.
+func (w *Wire) HostRecv() []byte {
+	if len(w.toHost) == 0 {
+		return nil
+	}
+	f := w.toHost[0]
+	w.toHost = w.toHost[1:]
+	return f
+}
+
+// HostPending returns the number of frames waiting for the host.
+func (w *Wire) HostPending() int { return len(w.toHost) }
+
+// Module is the NETDEV component state.
+type Module struct {
+	wire    *Wire
+	staging vm.Addr // device-owned DMA bounce buffer (one MTU frame)
+}
+
+// New creates the device attached to a fresh wire.
+func New() *Module { return &Module{wire: &Wire{}} }
+
+// Wire returns the device's wire for host-side attachment.
+func (d *Module) Wire() *Wire { return d.wire }
+
+// ensureStaging allocates the device's DMA bounce buffer on first use
+// (device-owned pages).
+func (d *Module) ensureStaging(e *cubicle.Env) {
+	if d.staging == 0 {
+		d.staging = e.HeapAlloc(2 * vm.PageSize)
+	}
+}
+
+// tx transmits a frame from caller memory: DMA-copies it through the
+// device bounce buffer onto the wire. The caller must have opened a
+// window over the frame buffer for NETDEV.
+func (d *Module) tx(e *cubicle.Env, ptr, n uint64) []uint64 {
+	e.Work(driverWork)
+	if n == 0 || n > MTU {
+		return []uint64{0, 22} // EINVAL
+	}
+	d.ensureStaging(e)
+	e.Memcpy(d.staging, vm.Addr(ptr), n)
+	frame := make([]byte, n)
+	e.Read(d.staging, frame)
+	d.wire.toHost = append(d.wire.toHost, frame)
+	d.wire.FramesOut++
+	d.wire.BytesOut += n
+	return []uint64{n, 0}
+}
+
+// rx receives the next pending frame into caller memory; returns 0 bytes
+// when no frame is pending.
+func (d *Module) rx(e *cubicle.Env, ptr, maxLen uint64) []uint64 {
+	e.Work(driverWork)
+	if len(d.wire.toDevice) == 0 {
+		return []uint64{0, 0}
+	}
+	frame := d.wire.toDevice[0]
+	if uint64(len(frame)) > maxLen {
+		return []uint64{0, 22}
+	}
+	d.wire.toDevice = d.wire.toDevice[1:]
+	d.ensureStaging(e)
+	e.Write(d.staging, frame)
+	e.Memcpy(vm.Addr(ptr), d.staging, uint64(len(frame)))
+	return []uint64{uint64(len(frame)), 0}
+}
+
+// Component returns the NETDEV component for the builder.
+func (d *Module) Component() *cubicle.Component {
+	return &cubicle.Component{
+		Name: Name,
+		Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{
+			{Name: "netdev_tx", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				return d.tx(e, a[0], a[1])
+			}},
+			{Name: "netdev_rx", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				return d.rx(e, a[0], a[1])
+			}},
+			{Name: "netdev_rx_ready", Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(60)
+				return []uint64{uint64(len(d.wire.toDevice)), 0}
+			}},
+		},
+	}
+}
+
+// Client is typed access to NETDEV from another cubicle.
+type Client struct {
+	tx, rx, ready cubicle.Handle
+}
+
+// NewClient resolves NETDEV for a caller cubicle.
+func NewClient(m *cubicle.Monitor, caller cubicle.ID) *Client {
+	return &Client{
+		tx:    m.MustResolve(caller, Name, "netdev_tx"),
+		rx:    m.MustResolve(caller, Name, "netdev_rx"),
+		ready: m.MustResolve(caller, Name, "netdev_rx_ready"),
+	}
+}
+
+// Tx transmits n bytes at ptr; returns bytes sent and errno.
+func (c *Client) Tx(e *cubicle.Env, ptr vm.Addr, n uint64) (uint64, uint64) {
+	r := c.tx.Call(e, uint64(ptr), n)
+	return r[0], r[1]
+}
+
+// Rx receives a frame into ptr; returns frame length (0 = none) and errno.
+func (c *Client) Rx(e *cubicle.Env, ptr vm.Addr, maxLen uint64) (uint64, uint64) {
+	r := c.rx.Call(e, uint64(ptr), maxLen)
+	return r[0], r[1]
+}
+
+// RxReady returns the number of pending receive frames.
+func (c *Client) RxReady(e *cubicle.Env) uint64 { return c.ready.Call(e)[0] }

@@ -1,0 +1,119 @@
+package netdev_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/netdev"
+	"cubicleos/internal/vm"
+)
+
+func bootNet(t *testing.T) (*boot.System, *netdev.Client) {
+	t.Helper()
+	s := boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Net: true,
+		Extra: []*cubicle.Component{{
+			Name: "APP", Kind: cubicle.KindIsolated,
+			Exports: []cubicle.ExportDecl{{Name: "main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+		}}})
+	return s, netdev.NewClient(s.M, s.Cubs["APP"].ID)
+}
+
+func TestTxRxRoundTrip(t *testing.T) {
+	s, c := bootNet(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		buf := e.HeapAlloc(2 * vm.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, 2*vm.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(netdev.Name))
+
+		frame := []byte("ethernet frame payload")
+		e.Write(buf, frame)
+		n, errno := c.Tx(e, buf, uint64(len(frame)))
+		if errno != 0 || n != uint64(len(frame)) {
+			t.Fatalf("tx: n=%d errno=%d", n, errno)
+		}
+		got := s.Netdev.Wire().HostRecv()
+		if !bytes.Equal(got, frame) {
+			t.Fatalf("wire got %q", got)
+		}
+
+		// Host side injects a frame; the device delivers it.
+		s.Netdev.Wire().HostSend([]byte("reply-frame"))
+		if c.RxReady(e) != 1 {
+			t.Fatal("rx_ready != 1")
+		}
+		n, errno = c.Rx(e, buf, 2*vm.PageSize)
+		if errno != 0 || n != 11 {
+			t.Fatalf("rx: n=%d errno=%d", n, errno)
+		}
+		if string(e.ReadBytes(buf, n)) != "reply-frame" {
+			t.Fatal("rx payload mismatch")
+		}
+		// Empty queue: Rx returns zero length.
+		if n, _ := c.Rx(e, buf, 2*vm.PageSize); n != 0 {
+			t.Fatal("rx on empty queue returned data")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxValidation(t *testing.T) {
+	s, c := bootNet(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		buf := e.HeapAlloc(2 * vm.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, 2*vm.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(netdev.Name))
+		if _, errno := c.Tx(e, buf, 0); errno == 0 {
+			t.Error("zero-length frame accepted")
+		}
+		if _, errno := c.Tx(e, buf, netdev.MTU+1); errno == 0 {
+			t.Error("over-MTU frame accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxWithoutWindowFaults(t *testing.T) {
+	s, c := bootNet(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		buf := e.HeapAlloc(vm.PageSize) // not windowed
+		e.Write(buf, []byte("x"))
+		if fault := cubicle.Catch(func() { c.Tx(e, buf, 1) }); fault == nil {
+			t.Fatal("device DMA'd from an unwindowed buffer")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireCounters(t *testing.T) {
+	s, c := bootNet(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		buf := e.HeapAlloc(vm.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(netdev.Name))
+		e.Write(buf, []byte("abcd"))
+		for i := 0; i < 3; i++ {
+			c.Tx(e, buf, 4)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Netdev.Wire()
+	if w.FramesOut != 3 || w.BytesOut != 12 {
+		t.Errorf("wire out counters: %d frames, %d bytes", w.FramesOut, w.BytesOut)
+	}
+	if w.HostPending() != 3 {
+		t.Errorf("host pending = %d", w.HostPending())
+	}
+}

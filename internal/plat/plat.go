@@ -1,0 +1,85 @@
+// Package plat is the PLAT component: the platform glue of the Unikraft
+// deployments (Figures 5 and 8) — console output, boot bookkeeping, and
+// the halt hook. On real Unikraft this is the KVM/linuxu platform layer;
+// here it fronts the simulator's host.
+package plat
+
+import (
+	"bytes"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/vm"
+)
+
+// Name of the component in deployments.
+const Name = "PLAT"
+
+// consoleWork models the per-call cost of the console output path.
+const consoleWork = 150
+
+// Module is the PLAT component state.
+type Module struct {
+	console bytes.Buffer
+	halted  bool
+	bootMsg string
+}
+
+// New creates the platform module.
+func New() *Module { return &Module{} }
+
+// ConsoleOutput returns everything written to the console so far.
+func (p *Module) ConsoleOutput() string { return p.console.String() }
+
+// Halted reports whether plat_halt was called.
+func (p *Module) Halted() bool { return p.halted }
+
+// Component returns the PLAT component for the builder.
+func (p *Module) Component() *cubicle.Component {
+	return &cubicle.Component{
+		Name: Name,
+		Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{
+			{Name: "console_write", RegArgs: 2, Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				e.Work(consoleWork)
+				data := e.ReadBytes(vm.Addr(args[0]), args[1])
+				p.console.Write(data)
+				return []uint64{args[1]}
+			}},
+			{Name: "plat_halt", Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				p.halted = true
+				return nil
+			}},
+			{Name: "plat_boot_probe", Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				// Boot-time platform probe (one call per boot, visible in
+				// the Figure 8 call counts as the BOOT edge).
+				e.Work(500)
+				return []uint64{1}
+			}},
+		},
+	}
+}
+
+// Client is typed access to PLAT from another cubicle.
+type Client struct {
+	write, halt, probe cubicle.Handle
+}
+
+// NewClient resolves PLAT's entry points for a caller cubicle.
+func NewClient(m *cubicle.Monitor, caller cubicle.ID) *Client {
+	return &Client{
+		write: m.MustResolve(caller, Name, "console_write"),
+		halt:  m.MustResolve(caller, Name, "plat_halt"),
+		probe: m.MustResolve(caller, Name, "plat_boot_probe"),
+	}
+}
+
+// ConsoleWrite writes n bytes at addr to the console.
+func (c *Client) ConsoleWrite(e *cubicle.Env, addr vm.Addr, n uint64) {
+	c.write.Call(e, uint64(addr), n)
+}
+
+// Halt stops the platform.
+func (c *Client) Halt(e *cubicle.Env) { c.halt.Call(e) }
+
+// BootProbe performs the boot-time platform probe.
+func (c *Client) BootProbe(e *cubicle.Env) { c.probe.Call(e) }

@@ -1,0 +1,71 @@
+package plat_test
+
+import (
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/plat"
+)
+
+func bootApp(t *testing.T) *boot.System {
+	t.Helper()
+	return boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "APP", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+}
+
+func TestConsoleWrite(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := plat.NewClient(s.M, s.Cubs["APP"].ID)
+		msg := e.HeapAlloc(64)
+		e.Write(msg, []byte("hello from cubicle\n"))
+		// The console path reads the app's buffer from PLAT's cubicle:
+		// the buffer needs a window.
+		wid := e.WindowInit()
+		e.WindowAdd(wid, msg, 64)
+		e.WindowOpen(wid, e.CubicleOf(plat.Name))
+		c.ConsoleWrite(e, msg, 19)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Plat.ConsoleOutput(); got != "hello from cubicle\n" {
+		t.Errorf("console output %q", got)
+	}
+}
+
+func TestConsoleWithoutWindowFaults(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := plat.NewClient(s.M, s.Cubs["APP"].ID)
+		msg := e.HeapAlloc(64)
+		e.Write(msg, []byte("x"))
+		if fault := cubicle.Catch(func() { c.ConsoleWrite(e, msg, 1) }); fault == nil {
+			t.Error("PLAT read the buffer without a window")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaltAndProbe(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := plat.NewClient(s.M, s.Cubs["APP"].ID)
+		c.BootProbe(e)
+		if s.Plat.Halted() {
+			t.Error("halted before halt")
+		}
+		c.Halt(e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Plat.Halted() {
+		t.Error("halt did not latch")
+	}
+}

@@ -1,0 +1,409 @@
+// Package ramfs is the RAMFS component: Unikraft's in-memory file-system
+// backend, the cubicle whose separation from VFSCORE is the paper's
+// headline partitioning experiment (Figures 9 and 10). File data lives in
+// simulated memory pages obtained through the configured allocator
+// (RAMFS's own sub-allocator in the SQLite deployment, ALLOC in the NGINX
+// deployment); data moves between caller buffers and file pages through
+// the shared LIBC memcpy, executing with RAMFS's privileges (Figure 2 ❹).
+package ramfs
+
+import (
+	"sort"
+	"strings"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/ualloc"
+	"cubicleos/internal/ulibc"
+	"cubicleos/internal/vfscore"
+	"cubicleos/internal/vm"
+)
+
+// Name of the component in deployments.
+const Name = "RAMFS"
+
+// DefaultOpWork models the ramfs path length per operation.
+const DefaultOpWork = 100
+
+// inode is one file or directory.
+type inode struct {
+	ino      uint64
+	dir      bool
+	size     uint64
+	pages    []vm.Addr // one entry per PageSize chunk
+	children map[string]uint64
+}
+
+// Module is the RAMFS component state.
+type Module struct {
+	inodes map[uint64]*inode
+	next   uint64
+	alloc  ualloc.Allocator
+	libc   *ulibc.Client
+	opWork uint64
+	// OpCount counts backend operations.
+	OpCount uint64
+}
+
+// New creates an empty RAMFS with a root directory. The allocator and
+// LIBC client are injected at deployment wiring time (SetDeps).
+func New() *Module {
+	fs := &Module{inodes: make(map[uint64]*inode), next: 2, opWork: DefaultOpWork}
+	fs.inodes[1] = &inode{ino: 1, dir: true, children: make(map[string]uint64)}
+	return fs
+}
+
+// SetDeps wires the allocator strategy and LIBC client.
+func (fs *Module) SetDeps(alloc ualloc.Allocator, libc *ulibc.Client) {
+	fs.alloc = alloc
+	fs.libc = libc
+}
+
+// SetOpWork overrides the per-operation path cost.
+func (fs *Module) SetOpWork(c uint64) { fs.opWork = c }
+
+// split normalises a path into components.
+func split(path string) []string {
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" && p != "." {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// walk resolves path to (parent inode, leaf name, leaf inode or nil).
+func (fs *Module) walk(path string) (*inode, string, *inode, uint64) {
+	cur := fs.inodes[1]
+	parts := split(path)
+	if len(parts) == 0 {
+		return nil, "", cur, vfscore.EOK
+	}
+	for i, name := range parts {
+		if !cur.dir {
+			return nil, "", nil, vfscore.ENOTDIR
+		}
+		child, ok := cur.children[name]
+		if i == len(parts)-1 {
+			if !ok {
+				return cur, name, nil, vfscore.ENOENT
+			}
+			return cur, name, fs.inodes[child], vfscore.EOK
+		}
+		if !ok {
+			return nil, "", nil, vfscore.ENOENT
+		}
+		cur = fs.inodes[child]
+	}
+	return nil, "", nil, vfscore.ENOENT
+}
+
+func (fs *Module) readPath(e *cubicle.Env, ptr, n uint64) string {
+	return string(e.ReadBytes(vm.Addr(ptr), n))
+}
+
+func errRet(errno uint64) []uint64 { return []uint64{0, errno} }
+func okRet(val uint64) []uint64    { return []uint64{val, vfscore.EOK} }
+
+func (fs *Module) lookup(e *cubicle.Env, ptr, n uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	_, _, node, errno := fs.walk(fs.readPath(e, ptr, n))
+	if errno != vfscore.EOK || node == nil {
+		return errRet(uint64(errno))
+	}
+	return okRet(node.ino)
+}
+
+func (fs *Module) create(e *cubicle.Env, ptr, n uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	parent, name, node, errno := fs.walk(fs.readPath(e, ptr, n))
+	if node != nil {
+		return errRet(vfscore.EEXIST)
+	}
+	if errno != vfscore.ENOENT || parent == nil {
+		return errRet(uint64(errno))
+	}
+	ino := fs.next
+	fs.next++
+	fs.inodes[ino] = &inode{ino: ino}
+	parent.children[name] = ino
+	return okRet(ino)
+}
+
+func (fs *Module) mkdir(e *cubicle.Env, ptr, n uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	parent, name, node, errno := fs.walk(fs.readPath(e, ptr, n))
+	if node != nil {
+		return errRet(vfscore.EEXIST)
+	}
+	if errno != vfscore.ENOENT || parent == nil {
+		return errRet(uint64(errno))
+	}
+	ino := fs.next
+	fs.next++
+	fs.inodes[ino] = &inode{ino: ino, dir: true, children: make(map[string]uint64)}
+	parent.children[name] = ino
+	return okRet(ino)
+}
+
+func (fs *Module) unlink(e *cubicle.Env, ptr, n uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	parent, name, node, errno := fs.walk(fs.readPath(e, ptr, n))
+	if errno != vfscore.EOK || node == nil {
+		return errRet(uint64(errno))
+	}
+	if node.dir && len(node.children) > 0 {
+		return errRet(vfscore.EINVAL)
+	}
+	fs.releasePages(e, node)
+	delete(parent.children, name)
+	delete(fs.inodes, node.ino)
+	return okRet(0)
+}
+
+func (fs *Module) releasePages(e *cubicle.Env, node *inode) {
+	for _, p := range node.pages {
+		fs.alloc.Free(e, p)
+	}
+	node.pages = nil
+	node.size = 0
+}
+
+// ensurePages grows the page list to cover size bytes.
+func (fs *Module) ensurePages(e *cubicle.Env, node *inode, size uint64) {
+	need := int((size + vm.PageSize - 1) / vm.PageSize)
+	for len(node.pages) < need {
+		node.pages = append(node.pages, fs.alloc.Malloc(e, vm.PageSize))
+	}
+}
+
+// zeroRange clears [from, to) within the file's allocated pages so that
+// holes created by truncation or sparse writes read back as zeroes
+// (fresh pages from the allocator may be recycled and carry old data).
+func (fs *Module) zeroRange(e *cubicle.Env, node *inode, from, to uint64) {
+	for off := from; off < to; {
+		pi := off / vm.PageSize
+		po := off % vm.PageSize
+		chunk := vm.PageSize - po
+		if chunk > to-off {
+			chunk = to - off
+		}
+		if pi < uint64(len(node.pages)) {
+			fs.libc.Memset(e, node.pages[pi].Add(po), 0, chunk)
+		}
+		off += chunk
+	}
+}
+
+func (fs *Module) node(ino uint64) (*inode, uint64) {
+	n, ok := fs.inodes[ino]
+	if !ok {
+		return nil, vfscore.ENOENT
+	}
+	return n, vfscore.EOK
+}
+
+func (fs *Module) read(e *cubicle.Env, ino, off, buf, n uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	node, errno := fs.node(ino)
+	if errno != vfscore.EOK {
+		return errRet(errno)
+	}
+	if node.dir {
+		return errRet(vfscore.EISDIR)
+	}
+	if off >= node.size {
+		return okRet(0)
+	}
+	if off+n > node.size {
+		n = node.size - off
+	}
+	done := uint64(0)
+	for done < n {
+		pi := (off + done) / vm.PageSize
+		po := (off + done) % vm.PageSize
+		chunk := vm.PageSize - po
+		if chunk > n-done {
+			chunk = n - done
+		}
+		// Copy file page -> caller buffer via shared LIBC, running with
+		// RAMFS's privileges: the caller buffer access trap-and-maps
+		// against the caller's open window.
+		fs.libc.Memcpy(e, vm.Addr(buf+done), node.pages[pi].Add(po), chunk)
+		done += chunk
+	}
+	return okRet(n)
+}
+
+func (fs *Module) write(e *cubicle.Env, ino, off, buf, n uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	node, errno := fs.node(ino)
+	if errno != vfscore.EOK {
+		return errRet(errno)
+	}
+	if node.dir {
+		return errRet(vfscore.EISDIR)
+	}
+	fs.ensurePages(e, node, off+n)
+	if off > node.size {
+		// Sparse write: the gap between the old end and the write offset
+		// must read back as zeroes.
+		fs.zeroRange(e, node, node.size, off)
+	}
+	done := uint64(0)
+	for done < n {
+		pi := (off + done) / vm.PageSize
+		po := (off + done) % vm.PageSize
+		chunk := vm.PageSize - po
+		if chunk > n-done {
+			chunk = n - done
+		}
+		fs.libc.Memcpy(e, node.pages[pi].Add(po), vm.Addr(buf+done), chunk)
+		done += chunk
+	}
+	if off+n > node.size {
+		node.size = off + n
+	}
+	return okRet(n)
+}
+
+func (fs *Module) getSize(e *cubicle.Env, ino uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	node, errno := fs.node(ino)
+	if errno != vfscore.EOK {
+		return errRet(errno)
+	}
+	return okRet(node.size)
+}
+
+func (fs *Module) setSize(e *cubicle.Env, ino, size uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	node, errno := fs.node(ino)
+	if errno != vfscore.EOK {
+		return errRet(errno)
+	}
+	if node.dir {
+		return errRet(vfscore.EISDIR)
+	}
+	if size == 0 {
+		fs.releasePages(e, node)
+		return okRet(0)
+	}
+	fs.ensurePages(e, node, size)
+	if size < node.size {
+		keep := int((size + vm.PageSize - 1) / vm.PageSize)
+		for _, p := range node.pages[keep:] {
+			fs.alloc.Free(e, p)
+		}
+		node.pages = node.pages[:keep]
+		// Zero the truncated tail of the last kept page so a later
+		// extension reads back zeroes, as POSIX requires.
+		if po := size % vm.PageSize; po != 0 && keep > 0 {
+			fs.libc.Memset(e, node.pages[keep-1].Add(po), 0, vm.PageSize-po)
+		}
+	} else if size > node.size {
+		fs.zeroRange(e, node, node.size, size)
+	}
+	node.size = size
+	return okRet(0)
+}
+
+func (fs *Module) readdir(e *cubicle.Env, ino, idx, buf, bufLen uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	node, errno := fs.node(ino)
+	if errno != vfscore.EOK {
+		return errRet(errno)
+	}
+	if !node.dir {
+		return errRet(vfscore.ENOTDIR)
+	}
+	names := make([]string, 0, len(node.children))
+	for name := range node.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if idx >= uint64(len(names)) {
+		return errRet(vfscore.ENOENT)
+	}
+	name := names[idx]
+	if uint64(len(name)) > bufLen {
+		return errRet(vfscore.EINVAL)
+	}
+	e.Write(vm.Addr(buf), []byte(name))
+	return okRet(uint64(len(name)))
+}
+
+func (fs *Module) rename(e *cubicle.Env, p1, l1, p2, l2 uint64) []uint64 {
+	e.Work(fs.opWork)
+	fs.OpCount++
+	fromParent, fromName, node, errno := fs.walk(fs.readPath(e, p1, l1))
+	if errno != vfscore.EOK || node == nil {
+		return errRet(uint64(errno))
+	}
+	toParent, toName, existing, errno2 := fs.walk(fs.readPath(e, p2, l2))
+	if errno2 == vfscore.EOK && existing != nil {
+		// POSIX rename replaces the target.
+		fs.releasePages(e, existing)
+		delete(fs.inodes, existing.ino)
+	} else if errno2 != vfscore.ENOENT || toParent == nil {
+		return errRet(uint64(errno2))
+	}
+	delete(fromParent.children, fromName)
+	toParent.children[toName] = node.ino
+	return okRet(0)
+}
+
+// Component returns the RAMFS component for the builder. Its exports form
+// the backend callback table that VFSCORE invokes.
+func (fs *Module) Component() *cubicle.Component {
+	return &cubicle.Component{
+		Name: Name,
+		Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{
+			{Name: "ramfs_lookup", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.lookup(e, a[0], a[1]) }},
+			{Name: "ramfs_create", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.create(e, a[0], a[1]) }},
+			{Name: "ramfs_read", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.read(e, a[0], a[1], a[2], a[3]) }},
+			{Name: "ramfs_write", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.write(e, a[0], a[1], a[2], a[3]) }},
+			{Name: "ramfs_getsize", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.getSize(e, a[0]) }},
+			{Name: "ramfs_setsize", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.setSize(e, a[0], a[1]) }},
+			{Name: "ramfs_unlink", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.unlink(e, a[0], a[1]) }},
+			{Name: "ramfs_mkdir", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.mkdir(e, a[0], a[1]) }},
+			{Name: "ramfs_readdir", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.readdir(e, a[0], a[1], a[2], a[3]) }},
+			{Name: "ramfs_fsync", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				e.Work(fs.opWork)
+				fs.OpCount++
+				return okRet(0)
+			}},
+			{Name: "ramfs_rename", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.rename(e, a[0], a[1], a[2], a[3]) }},
+		},
+	}
+}
+
+// BackendTable resolves RAMFS's exports into a VFSCORE backend callback
+// table on behalf of the VFSCORE cubicle — the load-time interposition of
+// §5.2.
+func BackendTable(m *cubicle.Monitor, vfsCubicle cubicle.ID) vfscore.Backend {
+	return vfscore.Backend{
+		Lookup:  m.MustResolve(vfsCubicle, Name, "ramfs_lookup"),
+		Create:  m.MustResolve(vfsCubicle, Name, "ramfs_create"),
+		Read:    m.MustResolve(vfsCubicle, Name, "ramfs_read"),
+		Write:   m.MustResolve(vfsCubicle, Name, "ramfs_write"),
+		GetSize: m.MustResolve(vfsCubicle, Name, "ramfs_getsize"),
+		SetSize: m.MustResolve(vfsCubicle, Name, "ramfs_setsize"),
+		Unlink:  m.MustResolve(vfsCubicle, Name, "ramfs_unlink"),
+		Mkdir:   m.MustResolve(vfsCubicle, Name, "ramfs_mkdir"),
+		Readdir: m.MustResolve(vfsCubicle, Name, "ramfs_readdir"),
+		Fsync:   m.MustResolve(vfsCubicle, Name, "ramfs_fsync"),
+		Rename:  m.MustResolve(vfsCubicle, Name, "ramfs_rename"),
+	}
+}

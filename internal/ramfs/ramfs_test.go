@@ -1,0 +1,156 @@
+package ramfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/ramfs"
+	"cubicleos/internal/vfscore"
+	"cubicleos/internal/vm"
+)
+
+func harness(t *testing.T, fn func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr)) {
+	t.Helper()
+	s := boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "APP", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		vfs := vfscore.NewClient(s.M, s.Cubs["APP"].ID)
+		vfs.InitBuffers(e, e.CubicleOf(ramfs.Name))
+		buf := e.HeapAlloc(4 * vm.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, 4*vm.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(vfscore.Name))
+		e.WindowOpen(wid, e.CubicleOf(ramfs.Name))
+		fn(e, vfs, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedDirectories(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		for _, d := range []string{"/a", "/a/b", "/a/b/c"} {
+			if errno := vfs.Mkdir(e, d); errno != vfscore.EOK {
+				t.Fatalf("mkdir %s: %d", d, errno)
+			}
+		}
+		fd, errno := vfs.Open(e, "/a/b/c/deep.txt", vfscore.OCreat|vfscore.ORdwr)
+		if errno != vfscore.EOK {
+			t.Fatalf("open deep: %d", errno)
+		}
+		e.Write(buf, []byte("deep"))
+		vfs.Write(e, fd, buf, 4)
+		vfs.Close(e, fd)
+		if size, errno := vfs.Stat(e, "/a/b/c/deep.txt"); errno != vfscore.EOK || size != 4 {
+			t.Fatalf("stat deep: size=%d errno=%d", size, errno)
+		}
+		// A file is not a directory.
+		if _, errno := vfs.Open(e, "/a/b/c/deep.txt/x", vfscore.OCreat); errno != vfscore.ENOTDIR {
+			t.Fatalf("create under file: %d", errno)
+		}
+		// Unlinking a non-empty directory fails.
+		if errno := vfs.Unlink(e, "/a/b"); errno != vfscore.EINVAL {
+			t.Fatalf("unlink non-empty dir: %d", errno)
+		}
+	})
+}
+
+func TestTruncateZeroFillsOnExtend(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		fd, _ := vfs.Open(e, "/t", vfscore.OCreat|vfscore.ORdwr)
+		e.Write(buf, bytes.Repeat([]byte{0xAB}, 100))
+		vfs.Write(e, fd, buf, 100)
+		// Shrink, then extend past the old size.
+		vfs.FTruncate(e, fd, 10)
+		vfs.FTruncate(e, fd, 50)
+		e.Memset(buf, 0xFF, 50)
+		n, _ := vfs.PRead(e, fd, buf, 50, 0)
+		if n != 50 {
+			t.Fatalf("read %d", n)
+		}
+		data := e.ReadBytes(buf, 50)
+		for i := 0; i < 10; i++ {
+			if data[i] != 0xAB {
+				t.Fatalf("kept prefix corrupted at %d: %#x", i, data[i])
+			}
+		}
+		for i := 10; i < 50; i++ {
+			if data[i] != 0 {
+				t.Fatalf("extended region not zero at %d: %#x", i, data[i])
+			}
+		}
+	})
+}
+
+func TestSparseWriteReadsZeroGap(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		fd, _ := vfs.Open(e, "/s", vfscore.OCreat|vfscore.ORdwr)
+		e.Write(buf, []byte("END"))
+		// Write at a large offset: the gap reads back as zeroes.
+		vfs.PWrite(e, fd, buf, 3, 9000)
+		if size, _ := vfs.FStat(e, fd); size != 9003 {
+			t.Fatalf("size %d", size)
+		}
+		n, _ := vfs.PRead(e, fd, buf, 100, 4500)
+		if n != 100 {
+			t.Fatalf("gap read %d", n)
+		}
+		for _, b := range e.ReadBytes(buf, 100) {
+			if b != 0 {
+				t.Fatal("gap not zero-filled")
+			}
+		}
+	})
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		for i, name := range []string{"/old", "/new"} {
+			fd, _ := vfs.Open(e, name, vfscore.OCreat|vfscore.ORdwr)
+			e.Write(buf, []byte{byte('A' + i)})
+			vfs.Write(e, fd, buf, 1)
+			vfs.Close(e, fd)
+		}
+		if errno := vfs.Rename(e, "/old", "/new"); errno != vfscore.EOK {
+			t.Fatalf("rename over target: %d", errno)
+		}
+		fd, _ := vfs.Open(e, "/new", vfscore.ORdonly)
+		n, _ := vfs.Read(e, fd, buf, 8)
+		if n != 1 || e.LoadByte(buf) != 'A' {
+			t.Fatalf("target content: n=%d b=%c", n, e.LoadByte(buf))
+		}
+		if _, errno := vfs.Stat(e, "/old"); errno != vfscore.ENOENT {
+			t.Fatal("source still exists")
+		}
+		// Renaming a missing source fails.
+		if errno := vfs.Rename(e, "/ghost", "/x"); errno != vfscore.ENOENT {
+			t.Fatalf("rename missing: %d", errno)
+		}
+	})
+}
+
+func TestLargeFileMultiPage(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		fd, _ := vfs.Open(e, "/big", vfscore.OCreat|vfscore.ORdwr)
+		want := make([]byte, 3*vm.PageSize+77)
+		for i := range want {
+			want[i] = byte(i * 13)
+		}
+		e.Write(buf, want)
+		if n, errno := vfs.Write(e, fd, buf, uint64(len(want))); errno != vfscore.EOK || n != uint64(len(want)) {
+			t.Fatalf("write: n=%d errno=%d", n, errno)
+		}
+		e.Memset(buf, 0, uint64(len(want)))
+		if n, _ := vfs.PRead(e, fd, buf, uint64(len(want)), 0); n != uint64(len(want)) {
+			t.Fatalf("read back %d", n)
+		}
+		if !bytes.Equal(e.ReadBytes(buf, uint64(len(want))), want) {
+			t.Fatal("multi-page content mismatch")
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package siege is the load generator of the paper's NGINX evaluation
+// (§6.3): it attaches a host-side TCP peer to the NETDEV wire, issues
+// GET requests for static files, and measures per-request download
+// latency on the virtual clock. Like the real siege utility it runs
+// outside the system under test.
+package siege
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/cycles"
+	"cubicleos/internal/httpd"
+	"cubicleos/internal/lwip"
+	"cubicleos/internal/plat"
+	"cubicleos/internal/ramfs"
+	"cubicleos/internal/ualloc"
+	"cubicleos/internal/uktime"
+	"cubicleos/internal/vfscore"
+	"time"
+)
+
+// DefaultRequestFloor is the fixed client+network+connection cost per
+// request in cycles (~5 ms at 2.2 GHz): the share of the paper's 5–6 ms
+// small-file latency that belongs to siege, the kernel network path and
+// the physical link rather than to the library OS under test. It is
+// identical for the baseline and CubicleOS runs.
+const DefaultRequestFloor = 11_000_000
+
+// Target is a booted NGINX deployment plus an attached load generator.
+type Target struct {
+	Sys  *boot.System
+	Srv  *httpd.Server
+	Peer *lwip.Peer
+
+	initH, stepH cubicle.Handle
+	// RequestFloor is added to every request's measured cycles.
+	RequestFloor uint64
+}
+
+// NewTarget boots the Figure 5 deployment: eight isolated cubicles
+// (NGINX, LWIP, NETDEV, VFSCORE, RAMFS, PLAT, ALLOC, TIME) with LIBC and
+// RANDOM shared, every buffer allocated through ALLOC, in the given
+// isolation mode.
+func NewTarget(mode cubicle.Mode) (*Target, error) {
+	srv := httpd.New(80)
+	sys, err := boot.NewFS(boot.Config{
+		Mode:          mode,
+		Net:           true,
+		RamfsViaAlloc: true,
+		LwipViaAlloc:  true,
+		Extra:         []*cubicle.Component{srv.Component()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Both the baseline and CubicleOS runs execute Unikraft-based
+	// component code (boot.UnikraftWorkScale models its efficiency gap
+	// versus native kernels).
+	sys.M.Clock.SetWorkScale(boot.UnikraftWorkScale)
+	m := sys.M
+	ngx := sys.Cubs[httpd.Name].ID
+	srv.SetDeps(
+		lwip.NewClient(m, ngx),
+		vfscore.NewClient(m, ngx),
+		uktime.NewClient(m, ngx),
+		plat.NewClient(m, ngx),
+		&ualloc.Remote{C: ualloc.NewClient(m, ngx)},
+		sys.Cubs[lwip.Name].ID,
+		sys.Cubs[vfscore.Name].ID,
+		sys.Cubs[ramfs.Name].ID,
+		sys.Cubs[plat.Name].ID,
+	)
+	t := &Target{
+		Sys:          sys,
+		Srv:          srv,
+		Peer:         lwip.NewPeer(sys.Netdev.Wire()),
+		initH:        m.MustResolve(cubicle.MonitorID, httpd.Name, "nginx_init"),
+		stepH:        m.MustResolve(cubicle.MonitorID, httpd.Name, "nginx_step"),
+		RequestFloor: DefaultRequestFloor,
+	}
+	if errno := t.initH.Call(sys.Env)[0]; errno != 0 {
+		return nil, fmt.Errorf("siege: nginx_init failed with errno %d", errno)
+	}
+	return t, nil
+}
+
+// MustNewTarget is NewTarget for tests and benchmarks.
+func MustNewTarget(mode cubicle.Mode) *Target {
+	t, err := NewTarget(mode)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PutFile provisions a static file on the server.
+func (t *Target) PutFile(path string, data []byte) error {
+	var errno uint64
+	err := t.Sys.RunAs(httpd.Name, func(e *cubicle.Env) {
+		errno = t.Srv.Provision(e, path, data)
+	})
+	if err != nil {
+		return err
+	}
+	if errno != 0 {
+		return fmt.Errorf("siege: provision %s: errno %d", path, errno)
+	}
+	return nil
+}
+
+// Result is one completed request.
+type Result struct {
+	Status int
+	Body   []byte
+	// Cycles is the virtual cycles the system spent on the request
+	// (excluding the client/network floor).
+	Cycles uint64
+	// Latency is the modelled end-to-end download latency: system cycles
+	// plus the request floor, at 2.20 GHz.
+	Latency time.Duration
+}
+
+// Fetch issues GET path and drives the system until the response is
+// complete (server closes after each response, HTTP/1.0 style).
+func (t *Target) Fetch(path string) (*Result, error) {
+	start := t.Sys.M.Clock.Cycles()
+	conn := t.Peer.Connect(80)
+	req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", path)
+	sentReq := false
+	for i := 0; i < 5_000_000; i++ {
+		t.stepH.Call(t.Sys.Env)
+		t.Peer.Pump()
+		if conn.Established && !sentReq {
+			conn.Send([]byte(req))
+			sentReq = true
+		}
+		if conn.FinRcvd {
+			break
+		}
+	}
+	if !conn.FinRcvd {
+		return nil, fmt.Errorf("siege: request for %s did not complete", path)
+	}
+	raw := string(conn.Received())
+	head, body, ok := strings.Cut(raw, "\r\n\r\n")
+	if !ok {
+		return nil, fmt.Errorf("siege: malformed response %q", truncate(raw, 80))
+	}
+	fields := strings.Fields(strings.SplitN(head, "\r\n", 2)[0])
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("siege: malformed status line %q", truncate(head, 80))
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("siege: bad status %q", fields[1])
+	}
+	used := t.Sys.M.Clock.Cycles() - start
+	return &Result{
+		Status:  status,
+		Body:    []byte(body),
+		Cycles:  used,
+		Latency: cycles.Duration(used + t.RequestFloor),
+	}, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Edges returns the cross-cubicle call-count table of the run so far —
+// the data behind Figure 5.
+func (t *Target) Edges() []cubicle.EdgeCount { return t.Sys.M.Stats.SortedEdges() }
+
+// FetchConcurrent issues all requests at once over separate connections
+// (siege's -c concurrency) and drives the system until every response
+// completes. Results are returned in request order; each latency covers
+// the span from the batch start to that response's completion.
+func (t *Target) FetchConcurrent(paths []string) ([]*Result, error) {
+	start := t.Sys.M.Clock.Cycles()
+	type pending struct {
+		conn   *lwip.PeerConn
+		path   string
+		sent   bool
+		done   bool
+		cycles uint64
+	}
+	reqs := make([]*pending, len(paths))
+	for i, p := range paths {
+		reqs[i] = &pending{conn: t.Peer.Connect(80), path: p}
+	}
+	remaining := len(reqs)
+	for iter := 0; iter < 5_000_000 && remaining > 0; iter++ {
+		t.stepH.Call(t.Sys.Env)
+		t.Peer.Pump()
+		for _, r := range reqs {
+			if r.conn.Established && !r.sent {
+				r.conn.Send([]byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\n\r\n", r.path)))
+				r.sent = true
+			}
+			if r.conn.FinRcvd && !r.done {
+				r.done = true
+				r.cycles = t.Sys.M.Clock.Cycles() - start
+				remaining--
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("siege: %d of %d concurrent requests did not complete", remaining, len(paths))
+	}
+	out := make([]*Result, len(reqs))
+	for i, r := range reqs {
+		raw := string(r.conn.Received())
+		head, body, ok := strings.Cut(raw, "\r\n\r\n")
+		if !ok {
+			return nil, fmt.Errorf("siege: malformed response for %s", r.path)
+		}
+		fields := strings.Fields(strings.SplitN(head, "\r\n", 2)[0])
+		status, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("siege: bad status for %s", r.path)
+		}
+		out[i] = &Result{
+			Status:  status,
+			Body:    []byte(body),
+			Cycles:  r.cycles,
+			Latency: cycles.Duration(r.cycles + t.RequestFloor),
+		}
+	}
+	return out, nil
+}

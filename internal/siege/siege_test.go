@@ -1,0 +1,71 @@
+package siege_test
+
+import (
+	"testing"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/siege"
+)
+
+func TestFetchAccountsFloor(t *testing.T) {
+	tgt := siege.MustNewTarget(cubicle.ModeUnikraft)
+	if err := tgt.PutFile("/x", make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tgt.Fetch("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency = system cycles + the fixed client/network floor at 2.2 GHz.
+	floorMs := float64(tgt.RequestFloor) / 2.2e6
+	if got := float64(res.Latency.Microseconds()) / 1000; got < floorMs {
+		t.Errorf("latency %.2f ms below the %.2f ms floor", got, floorMs)
+	}
+}
+
+func TestFetchMissingIs404(t *testing.T) {
+	tgt := siege.MustNewTarget(cubicle.ModeFull)
+	if err := tgt.PutFile("/present", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tgt.Fetch("/absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 404 {
+		t.Fatalf("status %d", res.Status)
+	}
+}
+
+func TestEdgesReporting(t *testing.T) {
+	tgt := siege.MustNewTarget(cubicle.ModeFull)
+	if err := tgt.PutFile("/e", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tgt.Fetch("/e"); err != nil {
+		t.Fatal(err)
+	}
+	edges := tgt.Edges()
+	if len(edges) == 0 {
+		t.Fatal("no call edges recorded")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Count > edges[i-1].Count {
+			t.Fatal("edges not sorted by count")
+		}
+	}
+}
+
+func TestFetchConcurrentSingle(t *testing.T) {
+	tgt := siege.MustNewTarget(cubicle.ModeFull)
+	if err := tgt.PutFile("/c", make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tgt.FetchConcurrent([]string{"/c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Status != 200 || len(rs[0].Body) != 2048 {
+		t.Fatalf("concurrent single: %+v", rs[0])
+	}
+}

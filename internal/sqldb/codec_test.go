@@ -1,0 +1,179 @@
+package sqldb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genValue produces an arbitrary Value from fuzz bytes.
+func genValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(rng.Int63() - rng.Int63())
+	case 2:
+		return Real(math.Float64frombits(rng.Uint64() &^ (0x7FF << 52))) // avoid NaN/Inf
+	case 3:
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(128))
+		}
+		return Text(string(b))
+	default:
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		rng.Read(b)
+		return Blob(b)
+	}
+}
+
+// TestRecordRoundTrip: encode/decode is the identity on arbitrary rows.
+func TestRecordRoundTrip(t *testing.T) {
+	f := func(seed int64, ncols uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(ncols % 12)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = genValue(rng)
+		}
+		got, err := DecodeRecord(EncodeRecord(vals))
+		if err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range vals {
+			if Compare(vals[i], got[i]) != 0 || vals[i].Kind != got[i].Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeRecordRejectsGarbage: random bytes either decode cleanly or
+// error — never panic.
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeRecord(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeKeyOrderPreserving: the index key encoding's lexicographic
+// order must match Compare order on single values.
+func TestEncodeKeyOrderPreserving(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := genValue(rand.New(rand.NewSource(seedA)))
+		b := genValue(rand.New(rand.NewSource(seedB)))
+		cmpV := Compare(a, b)
+		cmpK := bytes.Compare(EncodeKey([]Value{a}), EncodeKey([]Value{b}))
+		if cmpV == 0 {
+			// Int/Real of equal numeric value may encode identically;
+			// equal Compare must never produce inverted keys.
+			return true
+		}
+		return (cmpV < 0) == (cmpK < 0) && cmpK != 0 || (cmpV < 0) == (cmpK <= 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeKeyTupleOrder: tuple ordering is component-wise.
+func TestEncodeKeyTupleOrder(t *testing.T) {
+	low := EncodeKey([]Value{Int(5), Text("a")})
+	high := EncodeKey([]Value{Int(5), Text("b")})
+	if bytes.Compare(low, high) >= 0 {
+		t.Error("tuple second component does not order")
+	}
+	lower := EncodeKey([]Value{Int(4), Text("zzz")})
+	if bytes.Compare(lower, low) >= 0 {
+		t.Error("tuple first component does not dominate")
+	}
+}
+
+// TestEncodeKeyTextWithNULs: embedded zero bytes must not break ordering
+// (the escape scheme).
+func TestEncodeKeyTextWithNULs(t *testing.T) {
+	a := EncodeKey([]Value{Text("a")})
+	b := EncodeKey([]Value{Text("a\x00")})
+	c := EncodeKey([]Value{Text("a\x00b")})
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0) {
+		t.Error("NUL-embedded strings out of order")
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	// SQLite storage-class ordering: NULL < numbers < text < blob.
+	order := []Value{Null(), Int(-5), Real(3.5), Int(10), Text("abc"), Blob([]byte{1})}
+	for i := 0; i < len(order)-1; i++ {
+		if Compare(order[i], order[i+1]) >= 0 {
+			t.Errorf("order[%d] (%v) not < order[%d] (%v)", i, order[i], i+1, order[i+1])
+		}
+	}
+	// Int/Real compare numerically.
+	if Compare(Int(2), Real(2.0)) != 0 {
+		t.Error("2 != 2.0")
+	}
+	if Compare(Real(1.5), Int(2)) != -1 {
+		t.Error("1.5 !< 2")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "ABC", true}, // case-insensitive
+		{"a%", "abcdef", true},
+		{"%def", "abcdef", true},
+		{"%cd%", "abcdef", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"%", "", true},
+		{"_", "", false},
+		{"a%b%c", "aXXbYYc", true},
+		{"a%b%c", "acb", false},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pat, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.pat, c.s, got)
+		}
+	}
+}
+
+// TestValueHelpers covers the scalar coercions.
+func TestValueHelpers(t *testing.T) {
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if Int(0).Truthy() || !Int(2).Truthy() || !Real(0.5).Truthy() || Text("0").Truthy() || !Text("3").Truthy() {
+		t.Error("Truthy wrong")
+	}
+	if Text("2.5").Num() != 2.5 || Int(7).Num() != 7 {
+		t.Error("Num wrong")
+	}
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool wrong")
+	}
+	if Int(42).String() != "42" || Text("x").String() != "x" || Null().String() != "NULL" {
+		t.Error("String wrong")
+	}
+}

@@ -1,0 +1,584 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols         []string
+	Rows         [][]Value
+	RowsAffected int64
+	LastRowid    int64
+}
+
+// execErr unwinds execution errors inside the evaluator.
+type execErr struct{ err error }
+
+func fail(format string, args ...any) {
+	panic(execErr{fmt.Errorf("sqldb: "+format, args...)})
+}
+
+// tblCtx is one table binding in the current row context.
+type tblCtx struct {
+	alias string
+	tbl   *Table
+	vals  []Value
+	rowid int64
+}
+
+// rowCtx is the evaluation context: bound tables plus an optional parent
+// (for correlated subqueries).
+type rowCtx struct {
+	tables []*tblCtx
+	parent *rowCtx
+}
+
+// resolve finds (table, column) for a column reference.
+func (rc *rowCtx) resolve(table, name string) (Value, bool) {
+	for c := rc; c != nil; c = c.parent {
+		for _, t := range c.tables {
+			if table != "" && !strings.EqualFold(t.alias, table) {
+				continue
+			}
+			if strings.EqualFold(name, "rowid") {
+				return Int(t.rowid), true
+			}
+			if i := t.tbl.ColIndex(name); i >= 0 {
+				if t.tbl.RowidCol == i {
+					return Int(t.rowid), true
+				}
+				if i < len(t.vals) {
+					return t.vals[i], true
+				}
+				return Null(), true // column added after the row was written
+			}
+		}
+	}
+	return Value{}, false
+}
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	fn    string
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   Value
+	max   Value
+	seen  bool
+}
+
+func (a *aggState) add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch v.Kind {
+	case KInt:
+		a.sumI += v.I
+		a.sum += float64(v.I)
+	default:
+		a.isInt = false
+		a.sum += v.Num()
+	}
+	if !a.seen {
+		a.min, a.max, a.seen = v, v, true
+		return
+	}
+	if Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if Compare(v, a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result() Value {
+	switch a.fn {
+	case "count":
+		return Int(a.count)
+	case "sum", "total":
+		if a.count == 0 {
+			if a.fn == "total" {
+				return Real(0)
+			}
+			return Null()
+		}
+		if a.isInt {
+			return Int(a.sumI)
+		}
+		return Real(a.sum)
+	case "avg":
+		if a.count == 0 {
+			return Null()
+		}
+		return Real(a.sum / float64(a.count))
+	case "min":
+		if !a.seen {
+			return Null()
+		}
+		return a.min
+	case "max":
+		if !a.seen {
+			return Null()
+		}
+		return a.max
+	}
+	return Null()
+}
+
+func isAggFn(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max", "total":
+		return true
+	}
+	return false
+}
+
+// hasAgg reports whether the expression contains an aggregate call.
+func hasAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *EFunc:
+		if isAggFn(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAgg(a) {
+				return true
+			}
+		}
+	case *EBin:
+		return hasAgg(x.L) || hasAgg(x.R)
+	case *EUn:
+		return hasAgg(x.E)
+	case *EBetween:
+		return hasAgg(x.E) || hasAgg(x.Lo) || hasAgg(x.Hi)
+	case *EIn:
+		if hasAgg(x.E) {
+			return true
+		}
+		for _, le := range x.List {
+			if hasAgg(le) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// likeMatch implements SQL LIKE (case-insensitive ASCII, % and _).
+func likeMatch(pat, s string) bool {
+	pat, s = strings.ToLower(pat), strings.ToLower(s)
+	var match func(p, t string) bool
+	match = func(p, t string) bool {
+		for len(p) > 0 {
+			switch p[0] {
+			case '%':
+				for len(p) > 0 && p[0] == '%' {
+					p = p[1:]
+				}
+				if len(p) == 0 {
+					return true
+				}
+				for i := 0; i <= len(t); i++ {
+					if match(p, t[i:]) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if len(t) == 0 {
+					return false
+				}
+				p, t = p[1:], t[1:]
+			default:
+				if len(t) == 0 || p[0] != t[0] {
+					return false
+				}
+				p, t = p[1:], t[1:]
+			}
+		}
+		return len(t) == 0
+	}
+	return match(pat, s)
+}
+
+// eval computes an expression in the given row context.
+func (db *DB) eval(rc *rowCtx, e Expr) Value {
+	db.e.Work(workRowFilter / 4)
+	switch x := e.(type) {
+	case *ELit:
+		return x.V
+	case *ECol:
+		v, ok := rc.resolve(x.Table, x.Name)
+		if !ok {
+			fail("no such column %s", colName(x))
+		}
+		return v
+	case *EUn:
+		switch x.Op {
+		case "NOT":
+			v := db.eval(rc, x.E)
+			if v.IsNull() {
+				return Null()
+			}
+			return Bool(!v.Truthy())
+		case "-":
+			v := db.eval(rc, x.E)
+			switch v.Kind {
+			case KInt:
+				return Int(-v.I)
+			case KNull:
+				return Null()
+			default:
+				return Real(-v.Num())
+			}
+		}
+	case *EBetween:
+		v := db.eval(rc, x.E)
+		lo := db.eval(rc, x.Lo)
+		hi := db.eval(rc, x.Hi)
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null()
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		if x.Not {
+			in = !in
+		}
+		return Bool(in)
+	case *EIn:
+		v := db.eval(rc, x.E)
+		if v.IsNull() {
+			return Null()
+		}
+		found := false
+		if x.Sub != nil {
+			res := db.execSelect(x.Sub, rc)
+			for _, row := range res.Rows {
+				if len(row) > 0 && !row[0].IsNull() && Compare(v, row[0]) == 0 {
+					found = true
+					break
+				}
+			}
+		} else {
+			for _, le := range x.List {
+				lv := db.eval(rc, le)
+				if !lv.IsNull() && Compare(v, lv) == 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if x.Not {
+			found = !found
+		}
+		return Bool(found)
+	case *EBin:
+		return db.evalBin(rc, x)
+	case *EFunc:
+		return db.evalFunc(rc, x)
+	case *ESub:
+		if x.cached != nil {
+			return *x.cached
+		}
+		res := db.execSelect(x.Sel, rc)
+		v := Null()
+		if len(res.Rows) > 0 && len(res.Rows[0]) > 0 {
+			v = res.Rows[0][0]
+		}
+		// SQLite flattens and caches uncorrelated scalar subqueries;
+		// correlated ones must be re-evaluated per outer row.
+		if !db.isCorrelated(x.Sel) {
+			x.cached = &v
+		}
+		return v
+	}
+	fail("unsupported expression %T", e)
+	return Null()
+}
+
+// isCorrelated reports whether the subquery references columns outside
+// its own FROM scope (conservatively: any reference it cannot resolve
+// against its own tables marks it correlated).
+func (db *DB) isCorrelated(sel *SelectStmt) bool {
+	aliases := map[string]bool{}
+	var cols []*Table
+	for _, fi := range sel.From {
+		aliases[strings.ToLower(fi.Alias)] = true
+		if t := db.cat.Table(fi.Table); t != nil {
+			cols = append(cols, t)
+		}
+	}
+	resolvable := func(c *ECol) bool {
+		if c.Table != "" {
+			return aliases[strings.ToLower(c.Table)]
+		}
+		if strings.EqualFold(c.Name, "rowid") {
+			return len(cols) > 0
+		}
+		for _, t := range cols {
+			if t.ColIndex(c.Name) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	correlated := false
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if correlated || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ECol:
+			if !resolvable(x) {
+				correlated = true
+			}
+		case *EBin:
+			walk(x.L)
+			walk(x.R)
+		case *EUn:
+			walk(x.E)
+		case *EBetween:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *EFunc:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *EIn:
+			walk(x.E)
+			for _, le := range x.List {
+				walk(le)
+			}
+			if x.Sub != nil && db.isCorrelated(x.Sub) {
+				correlated = true
+			}
+		case *ESub:
+			// A nested subquery resolving against its own scope is fine;
+			// treat unresolved nesting conservatively as correlated.
+			if db.isCorrelated(x.Sel) {
+				correlated = true
+			}
+		}
+	}
+	for _, c := range sel.Cols {
+		if !c.Star {
+			walk(c.Expr)
+		}
+	}
+	walk(sel.Where)
+	for _, g := range sel.GroupBy {
+		walk(g)
+	}
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+	return correlated
+}
+
+func colName(c *ECol) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func (db *DB) evalBin(rc *rowCtx, x *EBin) Value {
+	switch x.Op {
+	case "AND":
+		l := db.eval(rc, x.L)
+		if !l.IsNull() && !l.Truthy() {
+			return Bool(false)
+		}
+		r := db.eval(rc, x.R)
+		if !r.IsNull() && !r.Truthy() {
+			return Bool(false)
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null()
+		}
+		return Bool(true)
+	case "OR":
+		l := db.eval(rc, x.L)
+		if !l.IsNull() && l.Truthy() {
+			return Bool(true)
+		}
+		r := db.eval(rc, x.R)
+		if !r.IsNull() && r.Truthy() {
+			return Bool(true)
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null()
+		}
+		return Bool(false)
+	case "IS NULL":
+		l := db.eval(rc, x.L)
+		want := db.eval(rc, x.R).Truthy() // true = IS NULL, false = IS NOT NULL
+		return Bool(l.IsNull() == want)
+	}
+	l := db.eval(rc, x.L)
+	r := db.eval(rc, x.R)
+	switch x.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null()
+		}
+		cmp := Compare(l, r)
+		switch x.Op {
+		case "=":
+			return Bool(cmp == 0)
+		case "!=":
+			return Bool(cmp != 0)
+		case "<":
+			return Bool(cmp < 0)
+		case "<=":
+			return Bool(cmp <= 0)
+		case ">":
+			return Bool(cmp > 0)
+		default:
+			return Bool(cmp >= 0)
+		}
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null()
+		}
+		return Bool(likeMatch(r.String(), l.String()))
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null()
+		}
+		return Text(l.String() + r.String())
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return Null()
+		}
+		if l.Kind == KInt && r.Kind == KInt {
+			switch x.Op {
+			case "+":
+				return Int(l.I + r.I)
+			case "-":
+				return Int(l.I - r.I)
+			case "*":
+				return Int(l.I * r.I)
+			case "/":
+				if r.I == 0 {
+					return Null()
+				}
+				return Int(l.I / r.I)
+			case "%":
+				if r.I == 0 {
+					return Null()
+				}
+				return Int(l.I % r.I)
+			}
+		}
+		a, b := l.Num(), r.Num()
+		switch x.Op {
+		case "+":
+			return Real(a + b)
+		case "-":
+			return Real(a - b)
+		case "*":
+			return Real(a * b)
+		case "/":
+			if b == 0 {
+				return Null()
+			}
+			return Real(a / b)
+		case "%":
+			if b == 0 {
+				return Null()
+			}
+			return Int(int64(a) % int64(b))
+		}
+	}
+	fail("unsupported operator %q", x.Op)
+	return Null()
+}
+
+func (db *DB) evalFunc(rc *rowCtx, x *EFunc) Value {
+	if isAggFn(x.Name) {
+		fail("aggregate %s used outside an aggregate query", x.Name)
+	}
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = db.eval(rc, a)
+	}
+	switch x.Name {
+	case "length":
+		if args[0].IsNull() {
+			return Null()
+		}
+		if args[0].Kind == KBlob {
+			return Int(int64(len(args[0].B)))
+		}
+		return Int(int64(len(args[0].String())))
+	case "abs":
+		v := args[0]
+		switch v.Kind {
+		case KInt:
+			if v.I < 0 {
+				return Int(-v.I)
+			}
+			return v
+		case KNull:
+			return Null()
+		default:
+			n := v.Num()
+			if n < 0 {
+				n = -n
+			}
+			return Real(n)
+		}
+	case "upper":
+		return Text(strings.ToUpper(args[0].String()))
+	case "lower":
+		return Text(strings.ToLower(args[0].String()))
+	case "substr":
+		s := args[0].String()
+		start := int(args[1].Num()) - 1
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return Text("")
+		}
+		end := len(s)
+		if len(args) > 2 {
+			end = start + int(args[2].Num())
+			if end > len(s) {
+				end = len(s)
+			}
+		}
+		return Text(s[start:end])
+	case "coalesce", "ifnull":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a
+			}
+		}
+		return Null()
+	case "random":
+		return Int(int64(db.nextRand()))
+	case "typeof":
+		switch args[0].Kind {
+		case KNull:
+			return Text("null")
+		case KInt:
+			return Text("integer")
+		case KReal:
+			return Text("real")
+		case KText:
+			return Text("text")
+		default:
+			return Text("blob")
+		}
+	}
+	fail("no such function %s", x.Name)
+	return Null()
+}

@@ -1,0 +1,524 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/vfscore"
+	"cubicleos/internal/vm"
+)
+
+// PageSize is the database page size.
+const PageSize = 4096
+
+// Work model: the engine's CPU/memory work charged on the virtual clock.
+const (
+	workPageIO     = 250 // pager bookkeeping per page read/written
+	workNodeSearch = 120 // B+tree node binary search base
+	workPerCompare = 18
+	workRecDecode  = 90
+	workRecEncode  = 110
+	workRowFilter  = 60 // expression evaluation per row
+	workParseSQL   = 2500
+)
+
+// headerPage is the database header (page 1) layout:
+//
+//	[0:8)  magic "CUBIQLDB"
+//	[8:12) page count
+//	[12:16) catalog btree root page
+//	[16:20) freelist head page (0 = empty)
+var magic = [8]byte{'C', 'U', 'B', 'I', 'Q', 'L', 'D', 'B'}
+
+// cpage is a cached page.
+type cpage struct {
+	pgno  uint32
+	data  []byte
+	dirty bool
+	// lru is the last-touch tick.
+	lru uint64
+}
+
+// PagerStats counts pager events for the experiment reports.
+type PagerStats struct {
+	Hits, Misses, Reads, Writes, Spills, JournalPages, Fsyncs, Commits uint64
+	// Recoveries counts hot-journal rollbacks performed at open.
+	Recoveries uint64
+}
+
+// Pager is the page cache plus rollback-journal transaction layer. All
+// file I/O goes through the VFS client, staged in a window-shared buffer.
+type Pager struct {
+	e   *cubicle.Env
+	vfs *vfscore.Client
+
+	path    string
+	fd      uint64
+	jfd     uint64 // journal fd while a journal file exists
+	ioBuf   vm.Addr
+	cache   map[uint32]*cpage
+	cap     int
+	tick    uint64
+	nPages  uint32
+	catRoot uint32
+	freeHd  uint32
+
+	inTxn    bool
+	origs    map[uint32][]byte // pre-transaction page images
+	jWritten map[uint32]bool   // images already spilled to the journal file
+	jOffset  uint64
+
+	// Window discipline (the ported SQLite's CubicleOS-specific code,
+	// §6.2): the I/O buffer's window is opened for the file-system
+	// cubicles before each I/O call and closed again after, exactly as
+	// Figure 4 does around RAMFS_WRITE.
+	ioWid     cubicle.WID
+	ioTargets []cubicle.ID
+
+	Stats PagerStats
+}
+
+// SetWindowDiscipline makes the pager open/close the given window for the
+// target cubicles around every file I/O call. This is the window
+// management the paper's SQLite port adds (600 SLOC, §6.2).
+func (p *Pager) SetWindowDiscipline(wid cubicle.WID, targets ...cubicle.ID) {
+	p.ioWid = wid
+	p.ioTargets = p.ioTargets[:0]
+	for _, t := range targets {
+		dup := false
+		for _, have := range p.ioTargets {
+			if have == t {
+				dup = true
+			}
+		}
+		if !dup {
+			p.ioTargets = append(p.ioTargets, t)
+		}
+	}
+}
+
+// openIOWindow grants the FS stack access to the I/O buffer for one call.
+func (p *Pager) openIOWindow() {
+	for _, t := range p.ioTargets {
+		p.e.WindowOpen(p.ioWid, t)
+	}
+}
+
+// closeIOWindow revokes the grant (lazily, per causal tag consistency).
+func (p *Pager) closeIOWindow() {
+	for _, t := range p.ioTargets {
+		p.e.WindowClose(p.ioWid, t)
+	}
+}
+
+// OpenPager opens (or creates) the database file at path. The ioBuf must
+// be a page-sized, page-aligned buffer owned by the calling cubicle with
+// windows open for VFSCORE and the file-system backend.
+func OpenPager(e *cubicle.Env, vfs *vfscore.Client, path string, ioBuf vm.Addr, cacheCap int) (*Pager, error) {
+	if cacheCap < 8 {
+		cacheCap = 8
+	}
+	p := &Pager{
+		e: e, vfs: vfs, path: path, ioBuf: ioBuf,
+		cache: make(map[uint32]*cpage), cap: cacheCap,
+		origs: make(map[uint32][]byte), jWritten: make(map[uint32]bool),
+	}
+	fd, errno := vfs.Open(e, path, vfscore.OCreat|vfscore.ORdwr)
+	if errno != vfscore.EOK {
+		return nil, fmt.Errorf("sqldb: open %s: errno %d", path, errno)
+	}
+	p.fd = fd
+	// Hot-journal recovery: a journal file left behind by a crashed
+	// transaction holds the pre-transaction page images; replay them into
+	// the database before reading anything (the rollback-journal recovery
+	// protocol).
+	if err := p.recoverHotJournal(); err != nil {
+		return nil, err
+	}
+	size, errno := vfs.FStat(e, fd)
+	if errno != vfscore.EOK {
+		return nil, fmt.Errorf("sqldb: fstat: errno %d", errno)
+	}
+	if size == 0 {
+		// Fresh database: header page plus the catalog root.
+		p.nPages = 1
+		hdr := p.freshPage(1)
+		copy(hdr.data, magic[:])
+		cat := p.Allocate()
+		initBtreePage(p.page(cat).data, pgTableLeaf)
+		p.catRoot = cat
+		p.writeHeader()
+		if err := p.flushAll(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.readPage(1); err != nil {
+			return nil, err
+		}
+		hdr := p.cache[1]
+		for i := range magic {
+			if hdr.data[i] != magic[i] {
+				return nil, fmt.Errorf("sqldb: %s is not a database", path)
+			}
+		}
+		p.nPages = binary.LittleEndian.Uint32(hdr.data[8:])
+		p.catRoot = binary.LittleEndian.Uint32(hdr.data[12:])
+		p.freeHd = binary.LittleEndian.Uint32(hdr.data[16:])
+	}
+	return p, nil
+}
+
+// recoverHotJournal replays a leftover journal file into the database and
+// removes it. Each journal record is an 8-byte header (page number) plus
+// the page's pre-transaction image.
+func (p *Pager) recoverHotJournal() error {
+	jpath := p.path + "-journal"
+	jsize, errno := p.vfs.Stat(p.e, jpath)
+	if errno != vfscore.EOK || jsize == 0 {
+		return nil // no hot journal
+	}
+	jfd, errno := p.vfs.Open(p.e, jpath, vfscore.ORdonly)
+	if errno != vfscore.EOK {
+		return fmt.Errorf("sqldb: hot journal open: errno %d", errno)
+	}
+	p.Stats.Recoveries++
+	const rec = 8 + PageSize
+	for off := uint64(0); off+rec <= jsize; off += rec {
+		n, errno := p.vfs.PRead(p.e, jfd, p.ioBuf, 8, off)
+		if errno != vfscore.EOK || n != 8 {
+			return fmt.Errorf("sqldb: hot journal header read: errno %d", errno)
+		}
+		hdr := p.e.ReadBytes(p.ioBuf, 8)
+		pgno := binary.LittleEndian.Uint32(hdr)
+		// Copy the image straight from the journal to the database page.
+		if n, errno := p.vfs.PRead(p.e, jfd, p.ioBuf, PageSize, off+8); errno != vfscore.EOK || n != PageSize {
+			return fmt.Errorf("sqldb: hot journal image read: errno %d", errno)
+		}
+		if n, errno := p.vfs.PWrite(p.e, p.fd, p.ioBuf, PageSize, uint64(pgno-1)*PageSize); errno != vfscore.EOK || n != PageSize {
+			return fmt.Errorf("sqldb: hot journal replay write: errno %d", errno)
+		}
+	}
+	p.vfs.FSync(p.e, p.fd)
+	p.vfs.Close(p.e, jfd)
+	if errno := p.vfs.Unlink(p.e, jpath); errno != vfscore.EOK {
+		return fmt.Errorf("sqldb: hot journal unlink: errno %d", errno)
+	}
+	return nil
+}
+
+// writeHeader refreshes page 1 from the pager fields.
+func (p *Pager) writeHeader() {
+	hdr := p.page(1)
+	p.beforeWrite(hdr)
+	binary.LittleEndian.PutUint32(hdr.data[8:], p.nPages)
+	binary.LittleEndian.PutUint32(hdr.data[12:], p.catRoot)
+	binary.LittleEndian.PutUint32(hdr.data[16:], p.freeHd)
+	hdr.dirty = true
+}
+
+// freshPage installs an all-zero cached page without touching the file.
+func (p *Pager) freshPage(pgno uint32) *cpage {
+	pg := &cpage{pgno: pgno, data: make([]byte, PageSize), dirty: true}
+	p.cache[pgno] = pg
+	p.touch(pg)
+	return pg
+}
+
+func (p *Pager) touch(pg *cpage) {
+	p.tick++
+	pg.lru = p.tick
+}
+
+// readPage faults a page in from the file through the window-shared I/O
+// buffer.
+func (p *Pager) readPage(pgno uint32) error {
+	p.e.Work(workPageIO)
+	p.Stats.Reads++
+	off := uint64(pgno-1) * PageSize
+	p.openIOWindow()
+	n, errno := p.vfs.PRead(p.e, p.fd, p.ioBuf, PageSize, off)
+	p.closeIOWindow()
+	if errno != vfscore.EOK {
+		return fmt.Errorf("sqldb: read page %d: errno %d", pgno, errno)
+	}
+	data := make([]byte, PageSize)
+	copy(data, p.e.ReadBytes(p.ioBuf, n))
+	pg := &cpage{pgno: pgno, data: data}
+	p.cache[pgno] = pg
+	p.touch(pg)
+	p.evictIfNeeded()
+	return nil
+}
+
+// flushPage writes one page back to the file.
+func (p *Pager) flushPage(pg *cpage) error {
+	p.e.Work(workPageIO)
+	p.Stats.Writes++
+	p.e.Write(p.ioBuf, pg.data)
+	off := uint64(pg.pgno-1) * PageSize
+	p.openIOWindow()
+	n, errno := p.vfs.PWrite(p.e, p.fd, p.ioBuf, PageSize, off)
+	p.closeIOWindow()
+	if errno != vfscore.EOK || n != PageSize {
+		return fmt.Errorf("sqldb: write page %d: errno %d", pg.pgno, errno)
+	}
+	pg.dirty = false
+	return nil
+}
+
+// evictIfNeeded keeps the cache within capacity, spilling dirty pages
+// (after their original image is safely in the journal).
+func (p *Pager) evictIfNeeded() {
+	for len(p.cache) > p.cap {
+		var victim *cpage
+		for _, pg := range p.cache {
+			if pg.pgno == 1 {
+				continue // keep the header resident
+			}
+			if victim == nil || pg.lru < victim.lru {
+				victim = pg
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if victim.dirty {
+			p.Stats.Spills++
+			if p.inTxn {
+				p.spillJournal()
+			}
+			if err := p.flushPage(victim); err != nil {
+				panic(err)
+			}
+		}
+		delete(p.cache, victim.pgno)
+	}
+}
+
+// page returns the cached page, faulting it in if necessary.
+func (p *Pager) page(pgno uint32) *cpage {
+	if pg, ok := p.cache[pgno]; ok {
+		p.Stats.Hits++
+		p.touch(pg)
+		return pg
+	}
+	p.Stats.Misses++
+	if err := p.readPage(pgno); err != nil {
+		panic(err)
+	}
+	return p.cache[pgno]
+}
+
+// Get returns a page's contents for reading.
+func (p *Pager) Get(pgno uint32) []byte { return p.page(pgno).data }
+
+// beforeWrite records the page's pre-transaction image.
+func (p *Pager) beforeWrite(pg *cpage) {
+	if !p.inTxn {
+		return
+	}
+	if _, ok := p.origs[pg.pgno]; !ok {
+		orig := make([]byte, PageSize)
+		copy(orig, pg.data)
+		p.origs[pg.pgno] = orig
+	}
+}
+
+// Write returns a page's contents for modification, journaling the
+// original image first.
+func (p *Pager) Write(pgno uint32) []byte {
+	pg := p.page(pgno)
+	p.beforeWrite(pg)
+	pg.dirty = true
+	return pg.data
+}
+
+// Allocate returns a fresh page number (from the freelist or by growing
+// the file).
+func (p *Pager) Allocate() uint32 {
+	if p.freeHd != 0 {
+		pgno := p.freeHd
+		data := p.Get(pgno)
+		p.freeHd = binary.LittleEndian.Uint32(data[0:])
+		w := p.Write(pgno)
+		for i := range w {
+			w[i] = 0
+		}
+		p.writeHeader()
+		return pgno
+	}
+	p.nPages++
+	pgno := p.nPages
+	p.freshPage(pgno)
+	p.beforeWrite(p.cache[pgno])
+	p.writeHeader()
+	p.evictIfNeeded()
+	return pgno
+}
+
+// Free returns a page to the freelist.
+func (p *Pager) Free(pgno uint32) {
+	w := p.Write(pgno)
+	binary.LittleEndian.PutUint32(w[0:], p.freeHd)
+	p.freeHd = pgno
+	p.writeHeader()
+}
+
+// NPages returns the database size in pages.
+func (p *Pager) NPages() uint32 { return p.nPages }
+
+// CatalogRoot returns the catalog btree root page.
+func (p *Pager) CatalogRoot() uint32 { return p.catRoot }
+
+// --- Transactions -----------------------------------------------------------
+
+// InTxn reports whether a transaction is open.
+func (p *Pager) InTxn() bool { return p.inTxn }
+
+// Begin opens a transaction.
+func (p *Pager) Begin() error {
+	if p.inTxn {
+		return fmt.Errorf("sqldb: nested transaction")
+	}
+	p.inTxn = true
+	p.origs = make(map[uint32][]byte)
+	p.jWritten = make(map[uint32]bool)
+	p.jOffset = 0
+	return nil
+}
+
+// spillJournal makes sure every recorded original image is on disk in the
+// journal file before a dirty page may overwrite the database (the
+// rollback-journal write-ahead rule).
+func (p *Pager) spillJournal() {
+	if p.jfd == 0 {
+		fd, errno := p.vfs.Open(p.e, p.path+"-journal", vfscore.OCreat|vfscore.OWronly|vfscore.OTrunc)
+		if errno != vfscore.EOK {
+			panic(fmt.Sprintf("sqldb: journal open: errno %d", errno))
+		}
+		p.jfd = fd
+	}
+	pgnos := make([]uint32, 0, len(p.origs))
+	for pgno := range p.origs {
+		if !p.jWritten[pgno] {
+			pgnos = append(pgnos, pgno)
+		}
+	}
+	sort.Slice(pgnos, func(i, j int) bool { return pgnos[i] < pgnos[j] })
+	for _, pgno := range pgnos {
+		orig := p.origs[pgno]
+		p.e.Work(workPageIO)
+		p.Stats.JournalPages++
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], pgno)
+		p.e.Write(p.ioBuf, hdr[:])
+		p.openIOWindow()
+		p.vfs.PWrite(p.e, p.jfd, p.ioBuf, 8, p.jOffset)
+		p.closeIOWindow()
+		p.jOffset += 8
+		p.e.Write(p.ioBuf, orig)
+		p.openIOWindow()
+		p.vfs.PWrite(p.e, p.jfd, p.ioBuf, PageSize, p.jOffset)
+		p.closeIOWindow()
+		p.jOffset += PageSize
+		p.jWritten[pgno] = true
+	}
+	p.vfs.FSync(p.e, p.jfd)
+	p.Stats.Fsyncs++
+}
+
+// flushAll writes every dirty cached page in ascending page order (both
+// for write locality and so that sparse-file zero-filling behaves
+// deterministically).
+func (p *Pager) flushAll() error {
+	pgnos := make([]uint32, 0, len(p.cache))
+	for pgno, pg := range p.cache {
+		if pg.dirty {
+			pgnos = append(pgnos, pgno)
+		}
+	}
+	sort.Slice(pgnos, func(i, j int) bool { return pgnos[i] < pgnos[j] })
+	for _, pgno := range pgnos {
+		if err := p.flushPage(p.cache[pgno]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit makes the transaction durable: journal to disk, fsync, database
+// pages to disk, fsync, journal deleted — the SQLite rollback-journal
+// commit protocol, and the source of the OS-interface traffic that makes
+// the paper's "group 2" queries expensive.
+func (p *Pager) Commit() error {
+	if !p.inTxn {
+		return fmt.Errorf("sqldb: commit outside transaction")
+	}
+	p.Stats.Commits++
+	if len(p.origs) > 0 {
+		p.spillJournal()
+	}
+	if err := p.flushAll(); err != nil {
+		return err
+	}
+	p.vfs.FSync(p.e, p.fd)
+	p.Stats.Fsyncs++
+	if p.jfd != 0 {
+		p.vfs.Close(p.e, p.jfd)
+		p.vfs.Unlink(p.e, p.path+"-journal")
+		p.jfd = 0
+	}
+	p.inTxn = false
+	p.origs = map[uint32][]byte{}
+	p.jWritten = map[uint32]bool{}
+	return nil
+}
+
+// Rollback restores every page touched by the transaction.
+func (p *Pager) Rollback() error {
+	if !p.inTxn {
+		return fmt.Errorf("sqldb: rollback outside transaction")
+	}
+	for pgno, orig := range p.origs {
+		pg, ok := p.cache[pgno]
+		if !ok {
+			p.freshPage(pgno)
+			pg = p.cache[pgno]
+		}
+		copy(pg.data, orig)
+		pg.dirty = true
+	}
+	// Restore header-derived fields.
+	hdr := p.page(1)
+	p.nPages = binary.LittleEndian.Uint32(hdr.data[8:])
+	p.catRoot = binary.LittleEndian.Uint32(hdr.data[12:])
+	p.freeHd = binary.LittleEndian.Uint32(hdr.data[16:])
+	if err := p.flushAll(); err != nil {
+		return err
+	}
+	if p.jfd != 0 {
+		p.vfs.Close(p.e, p.jfd)
+		p.vfs.Unlink(p.e, p.path+"-journal")
+		p.jfd = 0
+	}
+	p.inTxn = false
+	p.origs = map[uint32][]byte{}
+	p.jWritten = map[uint32]bool{}
+	return nil
+}
+
+// Close flushes and closes the database file.
+func (p *Pager) Close() error {
+	if p.inTxn {
+		if err := p.Rollback(); err != nil {
+			return err
+		}
+	}
+	if err := p.flushAll(); err != nil {
+		return err
+	}
+	p.vfs.Close(p.e, p.fd)
+	return nil
+}

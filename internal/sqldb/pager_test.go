@@ -1,0 +1,201 @@
+package sqldb
+
+import (
+	"testing"
+
+	"cubicleos/internal/cubicle"
+)
+
+// TestHotJournalRecovery simulates a crash mid-transaction: the journal
+// holds pre-images, some dirty pages were already spilled over the
+// database, and the process dies before commit. Reopening must roll the
+// database back to the pre-transaction state.
+func TestHotJournalRecovery(t *testing.T) {
+	withPager(t, 16, func(p *Pager) {
+		// Committed baseline: a table page with a known byte.
+		root := CreateTableTree(p)
+		tr := NewTableTree(p, root)
+		if err := tr.InsertRow(1, EncodeRecord([]Value{Text("committed")})); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// An uncommitted transaction overwrites the row, spills its
+		// journal and flushes the dirty page — then the "process dies".
+		if err := p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.InsertRow(1, EncodeRecord([]Value{Text("UNCOMMITTED")})); err != nil {
+			t.Fatal(err)
+		}
+		p.spillJournal()
+		if err := p.flushAll(); err != nil {
+			t.Fatal(err)
+		}
+		// No Commit, no Rollback, no Close: crash.
+
+		// A fresh pager on the same file must find the hot journal,
+		// replay it, and see the committed state.
+		e := p.e
+		ioBuf2 := e.HeapAlloc(PageSize)
+		p2, err := OpenPager(e, p.vfs, p.path, ioBuf2, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2.Stats.Recoveries != 1 {
+			t.Fatalf("recoveries = %d, want 1", p2.Stats.Recoveries)
+		}
+		tr2 := NewTableTree(p2, root)
+		rec := tr2.GetRow(1)
+		if rec == nil {
+			t.Fatal("row lost after recovery")
+		}
+		vals, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[0].S != "committed" {
+			t.Fatalf("recovered value %q, want the committed one", vals[0].S)
+		}
+		// The journal must be gone; a third open performs no recovery.
+		ioBuf3 := e.HeapAlloc(PageSize)
+		p3, err := OpenPager(e, p.vfs, p.path, ioBuf3, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p3.Stats.Recoveries != 0 {
+			t.Error("journal not removed after recovery")
+		}
+	})
+}
+
+// TestCommitLeavesNoJournal: a clean commit must remove the journal file
+// so the next open sees no hot journal.
+func TestCommitLeavesNoJournal(t *testing.T) {
+	withPager(t, 8, func(p *Pager) {
+		root := CreateTableTree(p)
+		tr := NewTableTree(p, root)
+		if err := p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		big := Text(string(make([]byte, 400)))
+		for i := int64(0); i < 400; i++ { // enough pages to force spills at cap 8
+			if err := tr.InsertRow(i, EncodeRecord([]Value{Int(i), big})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if p.Stats.Spills == 0 {
+			t.Error("tiny cache never spilled (test premise broken)")
+		}
+		if err := p.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		e := p.e
+		p2, err := OpenPager(e, p.vfs, p.path, e.HeapAlloc(PageSize), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2.Stats.Recoveries != 0 {
+			t.Error("journal survived a clean commit")
+		}
+		if problems := NewTableTree(p2, root).Check(); len(problems) > 0 {
+			t.Fatalf("integrity after reopen: %v", problems)
+		}
+	})
+}
+
+// TestRollbackAfterSpill: an explicit rollback after dirty pages were
+// spilled to disk must restore the on-disk state too.
+func TestRollbackAfterSpill(t *testing.T) {
+	withPager(t, 8, func(p *Pager) {
+		root := CreateTableTree(p)
+		tr := NewTableTree(p, root)
+		if err := tr.InsertRow(1, EncodeRecord([]Value{Text("base")})); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.flushAll(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		fodder := Text(string(make([]byte, 400)))
+		for i := int64(2); i < 400; i++ {
+			if err := tr.InsertRow(i, EncodeRecord([]Value{Int(i), fodder})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		rec := tr.GetRow(1)
+		if rec == nil {
+			t.Fatal("base row lost after rollback")
+		}
+		if tr.GetRow(250) != nil {
+			t.Fatal("rolled-back row still present")
+		}
+		if problems := tr.Check(); len(problems) > 0 {
+			t.Fatalf("integrity after rollback: %v", problems)
+		}
+	})
+}
+
+// TestFreelistReuse: freed pages are recycled before the file grows.
+func TestFreelistReuse(t *testing.T) {
+	withPager(t, 32, func(p *Pager) {
+		a := p.Allocate()
+		before := p.NPages()
+		p.Free(a)
+		b := p.Allocate()
+		if b != a {
+			t.Errorf("freed page %d not reused (got %d)", a, b)
+		}
+		if p.NPages() != before {
+			t.Errorf("file grew despite freelist: %d -> %d", before, p.NPages())
+		}
+	})
+}
+
+// TestHeaderResident: the header page never leaves the cache even under
+// eviction pressure.
+func TestHeaderResident(t *testing.T) {
+	withPager(t, 8, func(p *Pager) {
+		for i := 0; i < 64; i++ {
+			pg := p.Allocate()
+			initBtreePage(p.Write(pg), pgTableLeaf)
+		}
+		if _, ok := p.cache[1]; !ok {
+			t.Error("header page evicted")
+		}
+		if len(p.cache) > p.cap+1 {
+			t.Errorf("cache over capacity: %d > %d", len(p.cache), p.cap)
+		}
+	})
+}
+
+func TestNestedBeginRejected(t *testing.T) {
+	withPager(t, 8, func(p *Pager) {
+		if err := p.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Begin(); err == nil {
+			t.Error("nested Begin accepted")
+		}
+		if err := p.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Commit(); err == nil {
+			t.Error("Commit without txn accepted")
+		}
+		if err := p.Rollback(); err == nil {
+			t.Error("Rollback without txn accepted")
+		}
+	})
+}
+
+var _ = cubicle.MonitorID

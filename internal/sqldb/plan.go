@@ -1,0 +1,370 @@
+package sqldb
+
+import (
+	"strings"
+)
+
+// splitConjuncts flattens a WHERE tree's AND chain.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*EBin); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// maxBindIdx returns the highest bind index an expression references, or
+// -1 when it references none (literals, parent-correlated columns).
+func maxBindIdx(e Expr, binds []*tblCtx) int {
+	max := -1
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ECol:
+			for i, b := range binds {
+				if x.Table != "" {
+					if strings.EqualFold(b.alias, x.Table) {
+						if i > max {
+							max = i
+						}
+						return
+					}
+					continue
+				}
+				if strings.EqualFold(x.Name, "rowid") || b.tbl.ColIndex(x.Name) >= 0 {
+					if i > max {
+						max = i
+					}
+					return
+				}
+			}
+		case *EBin:
+			walk(x.L)
+			walk(x.R)
+		case *EUn:
+			walk(x.E)
+		case *EBetween:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *EFunc:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *EIn:
+			walk(x.E)
+			for _, le := range x.List {
+				walk(le)
+			}
+			if x.Sub != nil {
+				max = len(binds) - 1
+			}
+		case *ESub:
+			// Conservatively pin subqueries to the last bind so they are
+			// only evaluated on fully bound rows.
+			max = len(binds) - 1
+		}
+	}
+	walk(e)
+	return max
+}
+
+// colOn returns the column index the expression names on bind i, with
+// -2 meaning "the rowid", or -1 when it is not a plain column of bind i.
+func colOn(e Expr, binds []*tblCtx, i int) int {
+	c, ok := e.(*ECol)
+	if !ok {
+		return -1
+	}
+	b := binds[i]
+	if c.Table != "" && !strings.EqualFold(c.Table, b.alias) {
+		return -1
+	}
+	if c.Table == "" {
+		// An unqualified name binds to the first table that has it.
+		if mi := maxBindIdx(e, binds); mi != i {
+			return -1
+		}
+	}
+	if strings.EqualFold(c.Name, "rowid") {
+		return -2
+	}
+	ci := b.tbl.ColIndex(c.Name)
+	if ci < 0 {
+		return -1
+	}
+	if ci == b.tbl.RowidCol {
+		return -2
+	}
+	return ci
+}
+
+// access describes how to enumerate rows of one bind.
+type access struct {
+	kind string // "scan", "rowid-eq", "rowid-range", "index-eq", "index-range"
+	idx  *Index
+	// expressions evaluated against the outer row context:
+	eq     Expr
+	lo, hi Expr
+	loIncl bool
+	hiIncl bool
+}
+
+// planAccess chooses the access path for bind i given the conjuncts that
+// become fully bound at this level.
+func (db *DB) planAccess(binds []*tblCtx, i int, conjuncts []Expr) access {
+	b := binds[i]
+	var best access
+	best.kind = "scan"
+	better := func(a access) bool {
+		rank := map[string]int{"scan": 0, "index-range": 1, "rowid-range": 2, "index-eq": 3, "rowid-eq": 4}
+		return rank[a.kind] > rank[best.kind]
+	}
+	indexOn := func(ci int) *Index {
+		col := b.tbl.Columns[ci].Name
+		for _, idx := range db.cat.TableIndexes(b.tbl.Name) {
+			if strings.EqualFold(idx.Cols[0], col) {
+				return idx
+			}
+		}
+		return nil
+	}
+	consider := func(ci int, op string, rhs Expr) {
+		if maxBindIdx(rhs, binds) >= i {
+			return // rhs not computable before binding this table
+		}
+		var a access
+		switch {
+		case ci == -2 && op == "=":
+			a = access{kind: "rowid-eq", eq: rhs}
+		case ci == -2:
+			a = access{kind: "rowid-range"}
+			switch op {
+			case ">", ">=":
+				a.lo, a.loIncl = rhs, op == ">="
+			case "<", "<=":
+				a.hi, a.hiIncl = rhs, op == "<="
+			}
+		case ci >= 0:
+			idx := indexOn(ci)
+			if idx == nil {
+				return
+			}
+			if op == "=" {
+				a = access{kind: "index-eq", idx: idx, eq: rhs}
+			} else {
+				a = access{kind: "index-range", idx: idx}
+				switch op {
+				case ">", ">=":
+					a.lo, a.loIncl = rhs, op == ">="
+				case "<", "<=":
+					a.hi, a.hiIncl = rhs, op == "<="
+				}
+			}
+		default:
+			return
+		}
+		if better(a) {
+			best = a
+		}
+	}
+	flip := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+	for _, c := range conjuncts {
+		if maxBindIdx(c, binds) != i {
+			continue
+		}
+		switch x := c.(type) {
+		case *EBin:
+			switch x.Op {
+			case "=", "<", "<=", ">", ">=":
+				if ci := colOn(x.L, binds, i); ci != -1 {
+					consider(ci, x.Op, x.R)
+				} else if ci := colOn(x.R, binds, i); ci != -1 {
+					consider(ci, flip[x.Op], x.L)
+				}
+			}
+		case *EBetween:
+			if x.Not {
+				continue
+			}
+			if ci := colOn(x.E, binds, i); ci != -1 {
+				if maxBindIdx(x.Lo, binds) < i && maxBindIdx(x.Hi, binds) < i {
+					if ci == -2 {
+						a := access{kind: "rowid-range", lo: x.Lo, hi: x.Hi, loIncl: true, hiIncl: true}
+						if better(a) {
+							best = a
+						}
+					} else if idx := indexOn(ci); idx != nil {
+						a := access{kind: "index-range", idx: idx, lo: x.Lo, hi: x.Hi, loIncl: true, hiIncl: true}
+						if better(a) {
+							best = a
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// bindRow decodes a fetched row into the bind.
+func (db *DB) bindRow(b *tblCtx, rowid int64, record []byte) {
+	vals, err := DecodeRecord(record)
+	if err != nil {
+		fail("%v", err)
+	}
+	b.vals = db.padRow(b.tbl, vals, rowid)
+	b.rowid = rowid
+}
+
+// joinLoop enumerates rows of binds[i:] under the already-bound prefix,
+// filtering with the conjuncts that become applicable at each level, and
+// calls emit for every surviving fully-bound row. Returns false when emit
+// asked to stop.
+func (db *DB) joinLoop(binds []*tblCtx, i int, rc *rowCtx, conjuncts []Expr, emit func(*rowCtx) bool) bool {
+	if i == len(binds) {
+		return emit(rc)
+	}
+	b := binds[i]
+	tree := NewTableTree(db.pager, b.tbl.Root)
+	rc.tables = append(rc.tables, b)
+	defer func() { rc.tables = rc.tables[:len(rc.tables)-1] }()
+
+	// Conjuncts to check once this table is bound.
+	var applicable []Expr
+	for _, c := range conjuncts {
+		if maxBindIdx(c, binds) == i {
+			applicable = append(applicable, c)
+		}
+	}
+	// At the last level, conjuncts that reference no binds (correlated or
+	// constant) are checked too.
+	if i == len(binds)-1 {
+		for _, c := range conjuncts {
+			if maxBindIdx(c, binds) == -1 {
+				applicable = append(applicable, c)
+			}
+		}
+	}
+
+	tryRow := func(rowid int64, record []byte) bool {
+		db.bindRow(b, rowid, record)
+		db.e.Work(workRowFilter)
+		for _, c := range applicable {
+			v := db.eval(rc, c)
+			if v.IsNull() || !v.Truthy() {
+				return true // filtered out; keep scanning
+			}
+		}
+		return db.joinLoop(binds, i+1, rc, conjuncts, emit)
+	}
+
+	// rc.tables must not include the current bind while evaluating outer
+	// expressions for the access path, but resolve() tolerates it since
+	// vals are stale; evaluate access expressions against the prefix only.
+	outer := &rowCtx{tables: rc.tables[:len(rc.tables)-1], parent: rc.parent}
+
+	a := db.planAccess(binds, i, conjuncts)
+	switch a.kind {
+	case "rowid-eq":
+		v := db.eval(outer, a.eq)
+		if v.IsNull() || v.Kind != KInt && v.Kind != KReal {
+			return true
+		}
+		rowid := int64(v.Num())
+		if rec := tree.GetRow(rowid); rec != nil {
+			return tryRow(rowid, rec)
+		}
+		return true
+	case "rowid-range":
+		lo := int64(-1 << 62)
+		hi := int64(1<<62 - 1)
+		if a.lo != nil {
+			v := db.eval(outer, a.lo)
+			if v.IsNull() {
+				return true
+			}
+			lo = int64(v.Num())
+			if !a.loIncl {
+				lo++
+			}
+		}
+		if a.hi != nil {
+			v := db.eval(outer, a.hi)
+			if v.IsNull() {
+				return true
+			}
+			hi = int64(v.Num())
+			if !a.hiIncl {
+				hi--
+			}
+		}
+		ok := true
+		tree.ScanTableFrom(lo, func(rowid int64, record []byte) bool {
+			if rowid > hi {
+				return false
+			}
+			ok = tryRow(rowid, record)
+			return ok
+		})
+		return ok
+	case "index-eq", "index-range":
+		itree := NewIndexTree(db.pager, a.idx.Root)
+		var lo, hi []byte
+		if a.kind == "index-eq" {
+			v := db.eval(outer, a.eq)
+			if v.IsNull() {
+				return true
+			}
+			lo = EncodeKey([]Value{v})
+			hi = append(append([]byte{}, lo...), 0xFF)
+		} else {
+			// Range bounds only need to be a superset of the matching
+			// keys: every applicable conjunct is re-checked per row, so
+			// exclusive bounds simply scan inclusively.
+			if a.lo != nil {
+				v := db.eval(outer, a.lo)
+				if v.IsNull() {
+					return true
+				}
+				lo = EncodeKey([]Value{v})
+			}
+			if a.hi != nil {
+				v := db.eval(outer, a.hi)
+				if v.IsNull() {
+					return true
+				}
+				hi = append(EncodeKey([]Value{v}), 0xFF)
+			}
+		}
+		ok := true
+		itree.ScanIndexRange(lo, hi, func(key []byte, rowid int64) bool {
+			rec := tree.GetRow(rowid)
+			if rec == nil {
+				return true
+			}
+			ok = tryRow(rowid, rec)
+			return ok
+		})
+		return ok
+	}
+	// Full scan.
+	ok := true
+	tree.ScanTable(func(rowid int64, record []byte) bool {
+		ok = tryRow(rowid, record)
+		return ok
+	})
+	return ok
+}
+
+// scanFiltered enumerates a single table's rows matching where.
+func (db *DB) scanFiltered(t *Table, alias string, where Expr, fn func(rowid int64, vals []Value) bool) {
+	binds := []*tblCtx{{alias: alias, tbl: t}}
+	conjuncts := splitConjuncts(where)
+	rc := &rowCtx{}
+	db.joinLoop(binds, 0, rc, conjuncts, func(rc *rowCtx) bool {
+		return fn(binds[0].rowid, binds[0].vals)
+	})
+}

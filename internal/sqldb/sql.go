@@ -1,0 +1,1165 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// --- Lexer -------------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkOp
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			start := l.pos
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tkNumber, l.src[start:l.pos]})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string")
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tkString, sb.String()})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tkIdent, l.src[start:l.pos]})
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!=", "==", "||"} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{tkOp, op})
+					l.pos += 2
+					goto next
+				}
+			}
+			if strings.ContainsRune("+-*/%=<>(),.;", rune(c)) {
+				l.toks = append(l.toks, token{tkOp, string(c)})
+				l.pos++
+			} else {
+				return nil, fmt.Errorf("sql: unexpected character %q", c)
+			}
+		next:
+		}
+	}
+	l.toks = append(l.toks, token{tkEOF, ""})
+	return l.toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// --- AST ---------------------------------------------------------------------
+
+// Expr is a SQL expression node.
+type Expr interface{}
+
+// ELit is a literal value.
+type ELit struct{ V Value }
+
+// ECol is a column reference, optionally table-qualified.
+type ECol struct{ Table, Name string }
+
+// EBin is a binary operation.
+type EBin struct {
+	Op   string
+	L, R Expr
+}
+
+// EUn is a unary operation (NOT, -).
+type EUn struct {
+	Op string
+	E  Expr
+}
+
+// EFunc is a function call; Star marks count(*).
+type EFunc struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// ESub is a scalar subquery. Uncorrelated subqueries are evaluated once
+// per statement execution and cached (ASTs are not shared across
+// statement executions).
+type ESub struct {
+	Sel    *SelectStmt
+	cached *Value
+}
+
+// EIn is x [NOT] IN (e1, e2, ...) or x [NOT] IN (SELECT ...).
+type EIn struct {
+	E    Expr
+	List []Expr
+	Sub  *SelectStmt
+	Not  bool
+}
+
+// EBetween is x BETWEEN lo AND hi (negated when Not).
+type EBetween struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// SelectCol is one result column.
+type SelectCol struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// FromItem is one table in the FROM clause.
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Cols     []SelectCol
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = none
+}
+
+// InsertStmt is INSERT [OR REPLACE] INTO.
+type InsertStmt struct {
+	Table   string
+	Cols    []string
+	Rows    [][]Expr
+	Replace bool
+	// FromSelect supports INSERT INTO t SELECT ...
+	FromSelect *SelectStmt
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE].
+type UpdateStmt struct {
+	Table string
+	Sets  []struct {
+		Col string
+		E   Expr
+	}
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name     string
+	Cols     []Column
+	RowidCol int
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+// DropStmt drops a table or index.
+type DropStmt struct {
+	Kind string // "table" or "index"
+	Name string
+}
+
+// AlterAddColumnStmt is ALTER TABLE t ADD COLUMN.
+type AlterAddColumnStmt struct {
+	Table string
+	Col   Column
+}
+
+// TxnStmt is BEGIN/COMMIT/ROLLBACK.
+type TxnStmt struct{ Kind string }
+
+// PragmaStmt is PRAGMA name.
+type PragmaStmt struct{ Name string }
+
+// --- Parser ------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (any, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkOp, ";")
+	if p.peek().kind != tkEOF {
+		return nil, fmt.Errorf("sql: trailing tokens at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptKw consumes a keyword (case-insensitive) if present.
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tkIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.accept(tkOp, op) {
+		return fmt.Errorf("sql: expected %q, got %q", op, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (any, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return nil, fmt.Errorf("sql: expected statement, got %q", t.text)
+	}
+	switch strings.ToUpper(t.text) {
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT", "REPLACE":
+		return p.insertStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropStmt()
+	case "ALTER":
+		return p.alterStmt()
+	case "BEGIN":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		return &TxnStmt{Kind: "begin"}, nil
+	case "COMMIT", "END":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		return &TxnStmt{Kind: "commit"}, nil
+	case "ROLLBACK":
+		p.pos++
+		return &TxnStmt{Kind: "rollback"}, nil
+	case "PRAGMA":
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &PragmaStmt{Name: strings.ToLower(name)}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %q", t.text)
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	if p.acceptKw("DISTINCT") {
+		s.Distinct = true
+	} else {
+		p.acceptKw("ALL")
+	}
+	for {
+		if p.accept(tkOp, "*") {
+			s.Cols = append(s.Cols, SelectCol{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			col := SelectCol{Expr: e}
+			if p.acceptKw("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				col.Alias = a
+			}
+			s.Cols = append(s.Cols, col)
+		}
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		fromItem := func() error {
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			fi := FromItem{Table: name, Alias: name}
+			if t := p.peek(); t.kind == tkIdent && !isKeyword(t.text) {
+				fi.Alias = t.text
+				p.pos++
+			}
+			s.From = append(s.From, fi)
+			return nil
+		}
+		if err := fromItem(); err != nil {
+			return nil, err
+		}
+	fromLoop:
+		for {
+			switch {
+			case p.accept(tkOp, ","):
+				if err := fromItem(); err != nil {
+					return nil, err
+				}
+			case p.acceptKw("JOIN"), p.acceptKw("INNER"):
+				// "INNER" must be followed by JOIN; plain "JOIN" already
+				// consumed it.
+				if strings.EqualFold(p.toks[p.pos-1].text, "INNER") {
+					if err := p.expectKw("JOIN"); err != nil {
+						return nil, err
+					}
+				}
+				if err := fromItem(); err != nil {
+					return nil, err
+				}
+				if p.acceptKw("ON") {
+					on, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					if s.Where == nil {
+						s.Where = on
+					} else {
+						s.Where = &EBin{Op: "AND", L: s.Where, R: on}
+					}
+				}
+			default:
+				break fromLoop
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if s.Where == nil {
+			s.Where = w
+		} else {
+			s.Where = &EBin{Op: "AND", L: s.Where, R: w}
+		}
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				oi.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, oi)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := e.(*ELit)
+		if !ok || lit.V.Kind != KInt {
+			return nil, fmt.Errorf("sql: LIMIT must be an integer literal")
+		}
+		s.Limit = lit.V.I
+	}
+	return s, nil
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "JOIN": true, "INNER": true, "ON": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "ASC": true, "DESC": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "DROP": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"LIKE": true, "BETWEEN": true, "IS": true, "NULL": true, "IN": true,
+	"PRIMARY": true, "KEY": true, "REPLACE": true, "ALTER": true, "ADD": true,
+	"COLUMN": true, "PRAGMA": true, "HAVING": true, "DISTINCT": true, "ALL": true,
+	"UNION": true, "END": true, "TRANSACTION": true,
+}
+
+func isKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	s := &InsertStmt{}
+	if p.acceptKw("REPLACE") {
+		s.Replace = true
+	} else {
+		if err := p.expectKw("INSERT"); err != nil {
+			return nil, err
+		}
+		if p.acceptKw("OR") {
+			if err := p.expectKw("REPLACE"); err != nil {
+				return nil, err
+			}
+			s.Replace = true
+		}
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = name
+	if p.accept(tkOp, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Cols = append(s.Cols, col)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind == tkIdent && strings.EqualFold(p.peek().text, "SELECT") {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.FromSelect = sub
+		return s, nil
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &UpdateStmt{Table: name}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Sets = append(s.Sets, struct {
+			Col string
+			E   Expr
+		}{col, e})
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	return s, nil
+}
+
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &DeleteStmt{Table: name}
+	if p.acceptKw("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	return s, nil
+}
+
+func (p *parser) createStmt() (any, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKw("UNIQUE")
+	if p.acceptKw("INDEX") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if !p.accept(tkOp, ",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Name: name, Table: table, Cols: cols, Unique: unique}, nil
+	}
+	if unique {
+		return nil, fmt.Errorf("sql: UNIQUE only valid for indexes")
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	s := &CreateTableStmt{Name: name, RowidCol: -1}
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		col := Column{Name: cname, Type: "TEXT"}
+		if t := p.peek(); t.kind == tkIdent && !isKeyword(t.text) {
+			col.Type = strings.ToUpper(t.text)
+			p.pos++
+		}
+		if p.acceptKw("PRIMARY") {
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if strings.EqualFold(col.Type, "INTEGER") {
+				s.RowidCol = len(s.Cols)
+			}
+		}
+		p.acceptKw("NOT") // tolerate NOT NULL
+		p.acceptKw("NULL")
+		s.Cols = append(s.Cols, col)
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) dropStmt() (*DropStmt, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	kind := ""
+	switch {
+	case p.acceptKw("TABLE"):
+		kind = "table"
+	case p.acceptKw("INDEX"):
+		kind = "index"
+	default:
+		return nil, fmt.Errorf("sql: DROP must name TABLE or INDEX")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropStmt{Kind: kind, Name: name}, nil
+}
+
+func (p *parser) alterStmt() (*AlterAddColumnStmt, error) {
+	if err := p.expectKw("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ADD"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("COLUMN")
+	cname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	col := Column{Name: cname, Type: "TEXT"}
+	if t := p.peek(); t.kind == tkIdent && !isKeyword(t.text) {
+		col.Type = strings.ToUpper(t.text)
+		p.pos++
+	}
+	return &AlterAddColumnStmt{Table: table, Col: col}, nil
+}
+
+// --- Expression parsing (precedence climbing) ---------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.exprOr() }
+
+func (p *parser) exprOr() (Expr, error) {
+	l, err := p.exprAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.exprAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &EBin{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) exprAnd() (Expr, error) {
+	l, err := p.exprNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.exprNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &EBin{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) exprNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.exprNot()
+		if err != nil {
+			return nil, err
+		}
+		return &EUn{Op: "NOT", E: e}, nil
+	}
+	return p.exprCmp()
+}
+
+func (p *parser) exprCmp() (Expr, error) {
+	l, err := p.exprAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkOp, "="), p.accept(tkOp, "=="):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "=", L: l, R: r}
+		case p.accept(tkOp, "!="), p.accept(tkOp, "<>"):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "!=", L: l, R: r}
+		case p.accept(tkOp, "<="):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "<=", L: l, R: r}
+		case p.accept(tkOp, ">="):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: ">=", L: l, R: r}
+		case p.accept(tkOp, "<"):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "<", L: l, R: r}
+		case p.accept(tkOp, ">"):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: ">", L: l, R: r}
+		case p.acceptKw("LIKE"):
+			r, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "LIKE", L: l, R: r}
+		case p.acceptKw("IS"):
+			not := p.acceptKw("NOT")
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "IS NULL", L: l, R: &ELit{V: Bool(!not)}}
+		case p.acceptKw("BETWEEN"):
+			lo, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.exprAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBetween{E: l, Lo: lo, Hi: hi}
+		case p.acceptKw("IN"):
+			in, err := p.inTail(l, false)
+			if err != nil {
+				return nil, err
+			}
+			l = in
+		case p.acceptKw("NOT"):
+			switch {
+			case p.acceptKw("IN"):
+				in, err := p.inTail(l, true)
+				if err != nil {
+					return nil, err
+				}
+				l = in
+			case p.acceptKw("BETWEEN"):
+				lo, err := p.exprAdd()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKw("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.exprAdd()
+				if err != nil {
+					return nil, err
+				}
+				l = &EBetween{E: l, Lo: lo, Hi: hi, Not: true}
+			case p.acceptKw("LIKE"):
+				r, err := p.exprAdd()
+				if err != nil {
+					return nil, err
+				}
+				l = &EUn{Op: "NOT", E: &EBin{Op: "LIKE", L: l, R: r}}
+			default:
+				return nil, fmt.Errorf("sql: expected IN, BETWEEN or LIKE after NOT, got %q", p.peek().text)
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// inTail parses the parenthesised tail of an IN predicate.
+func (p *parser) inTail(l Expr, not bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tkIdent && strings.EqualFold(p.peek().text, "SELECT") {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &EIn{E: l, Sub: sub, Not: not}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(tkOp, ",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &EIn{E: l, List: list, Not: not}, nil
+}
+
+func (p *parser) exprAdd() (Expr, error) {
+	l, err := p.exprMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkOp, "+"):
+			r, err := p.exprMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "+", L: l, R: r}
+		case p.accept(tkOp, "-"):
+			r, err := p.exprMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "-", L: l, R: r}
+		case p.accept(tkOp, "||"):
+			r, err := p.exprMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "||", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) exprMul() (Expr, error) {
+	l, err := p.exprUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkOp, "*"):
+			r, err := p.exprUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "*", L: l, R: r}
+		case p.accept(tkOp, "/"):
+			r, err := p.exprUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "/", L: l, R: r}
+		case p.accept(tkOp, "%"):
+			r, err := p.exprUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &EBin{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) exprUnary() (Expr, error) {
+	if p.accept(tkOp, "-") {
+		e, err := p.exprUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*ELit); ok {
+			switch lit.V.Kind {
+			case KInt:
+				return &ELit{V: Int(-lit.V.I)}, nil
+			case KReal:
+				return &ELit{V: Real(-lit.V.R)}, nil
+			}
+		}
+		return &EUn{Op: "-", E: e}, nil
+	}
+	if p.accept(tkOp, "+") {
+		return p.exprUnary()
+	}
+	return p.exprPrimary()
+}
+
+func (p *parser) exprPrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &ELit{V: Real(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+		}
+		return &ELit{V: Int(i)}, nil
+	case tkString:
+		p.pos++
+		return &ELit{V: Text(t.text)}, nil
+	case tkOp:
+		if t.text == "(" {
+			p.pos++
+			// Scalar subquery?
+			if p.peek().kind == tkIdent && strings.EqualFold(p.peek().text, "SELECT") {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &ESub{Sel: sub}, nil
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tkIdent:
+		switch strings.ToUpper(t.text) {
+		case "NULL":
+			p.pos++
+			return &ELit{V: Null()}, nil
+		case "TRUE":
+			p.pos++
+			return &ELit{V: Int(1)}, nil
+		case "FALSE":
+			p.pos++
+			return &ELit{V: Int(0)}, nil
+		}
+		p.pos++
+		name := t.text
+		// Function call?
+		if p.accept(tkOp, "(") {
+			f := &EFunc{Name: strings.ToLower(name)}
+			if p.accept(tkOp, "*") {
+				f.Star = true
+			} else if !p.accept(tkOp, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.accept(tkOp, ",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			} else {
+				return f, nil
+			}
+			if f.Star {
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		// Qualified column?
+		if p.accept(tkOp, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ECol{Table: name, Name: col}, nil
+		}
+		return &ECol{Name: name}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+}

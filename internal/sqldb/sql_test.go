@@ -1,0 +1,138 @@
+package sqldb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseStatements(t *testing.T) {
+	good := []string{
+		"SELECT 1",
+		"SELECT a, b AS x FROM t WHERE a > 1 AND b < 2 OR NOT a = b",
+		"SELECT * FROM t ORDER BY a DESC, b ASC LIMIT 10",
+		"SELECT count(*), sum(a+1) FROM t GROUP BY b HAVING count(*) > 2",
+		"SELECT DISTINCT a FROM t",
+		"SELECT t1.a, t2.b FROM t1 JOIN t2 ON t1.id = t2.ref",
+		"SELECT a FROM t1, t2, t3 WHERE t1.a = t2.b AND t2.b = t3.c",
+		"SELECT a FROM t WHERE b IN (1, 2, 3) AND c NOT IN (SELECT x FROM u)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 10 AND c NOT BETWEEN 2 AND 3",
+		"SELECT a FROM t WHERE s LIKE 'x%' AND s NOT LIKE '%y'",
+		"SELECT a FROM t WHERE b IS NULL OR c IS NOT NULL",
+		"SELECT (SELECT max(a) FROM t) + 1",
+		"INSERT INTO t VALUES (1, 'two', 3.5, NULL)",
+		"INSERT INTO t (a, b) VALUES (1, 2), (3, 4)",
+		"INSERT OR REPLACE INTO t VALUES (1)",
+		"REPLACE INTO t VALUES (1)",
+		"INSERT INTO t SELECT a, b FROM u",
+		"UPDATE t SET a = a + 1, b = 'x' WHERE id = 5",
+		"DELETE FROM t WHERE a < 0",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT NOT NULL, r REAL)",
+		"CREATE UNIQUE INDEX i ON t (a, b)",
+		"DROP TABLE t",
+		"DROP INDEX i",
+		"ALTER TABLE t ADD COLUMN extra INTEGER",
+		"BEGIN", "BEGIN TRANSACTION", "COMMIT", "END", "ROLLBACK",
+		"PRAGMA integrity_check",
+		"SELECT -a, +b, a || b, a % b FROM t",
+		"SELECT 'it''s quoted'",
+		"SELECT 1 -- trailing comment",
+		"SELECT 1;",
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		"", "SELECT", "SELECT FROM t", "SELECT 1 2", "WHERE 1",
+		"INSERT t VALUES (1)", "UPDATE SET a = 1", "CREATE t",
+		"SELECT 'open", "SELECT a FROM t ORDER", "SELECT a FROM t LIMIT a",
+		"DELETE t", "DROP", "SELECT a IN", "SELECT ((1)",
+		"SELECT 1 UNION SELECT 2", // unsupported, must error not panic
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+// TestParseNeverPanics throws random token soup at the parser.
+func TestParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "INSERT",
+		"INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE",
+		"INDEX", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+		"JOIN", "ON", "HAVING", "DISTINCT", "t", "a", "b", "ident_1",
+		"1", "3.5", "'str'", "(", ")", ",", "*", "+", "-", "/", "%",
+		"=", "<", ">", "<=", ">=", "!=", "<>", "||", ".", ";",
+	}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n%40)+1; i++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String()) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexNeverPanics throws arbitrary bytes at the lexer+parser.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Parse(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	stmt, err := Parse("SELECT DISTINCT a, count(*) AS n FROM t1 x JOIN t2 ON x.id = t2.ref WHERE a > 0 GROUP BY a HAVING n > 1 ORDER BY 2 DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if !s.Distinct || len(s.Cols) != 2 || s.Cols[1].Alias != "n" {
+		t.Errorf("cols: %+v", s.Cols)
+	}
+	if len(s.From) != 2 || s.From[0].Alias != "x" || s.From[1].Table != "t2" {
+		t.Errorf("from: %+v", s.From)
+	}
+	if s.Where == nil || s.Having == nil {
+		t.Error("where/having missing")
+	}
+	if len(s.GroupBy) != 1 || len(s.OrderBy) != 1 || !s.OrderBy[0].Desc || s.Limit != 5 {
+		t.Errorf("clauses: groupby=%d orderby=%+v limit=%d", len(s.GroupBy), s.OrderBy, s.Limit)
+	}
+}
+
+func TestParseCreateTableShape(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.(*CreateTableStmt)
+	if s.Name != "t" || len(s.Cols) != 3 || s.RowidCol != 0 {
+		t.Errorf("%+v", s)
+	}
+	if s.Cols[1].Type != "TEXT" || s.Cols[2].Type != "REAL" {
+		t.Errorf("types: %+v", s.Cols)
+	}
+	// TEXT PRIMARY KEY is not a rowid alias.
+	stmt, _ = Parse("CREATE TABLE u (k TEXT PRIMARY KEY)")
+	if stmt.(*CreateTableStmt).RowidCol != -1 {
+		t.Error("TEXT PRIMARY KEY treated as rowid alias")
+	}
+}

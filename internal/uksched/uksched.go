@@ -1,0 +1,105 @@
+// Package uksched is the cooperative user-level scheduler of the Unikraft
+// model: user-level threads multiplexed onto a single host thread (§8 of
+// the paper). Tasks are step functions driven round-robin — there is no
+// preemption and no host-thread concurrency, which keeps the virtual
+// cycle clock globally consistent.
+package uksched
+
+// Status is what a task step reports back to the scheduler.
+type Status int
+
+const (
+	// Yield means the task has more work and wants to run again.
+	Yield Status = iota
+	// Block means the task is waiting for an external event; it will be
+	// polled again after other tasks have run.
+	Block
+	// Done means the task has finished and is removed.
+	Done
+)
+
+// Task is one cooperative task: Step runs a slice of work.
+type Task interface {
+	Step() Status
+}
+
+// TaskFunc adapts a function to the Task interface.
+type TaskFunc func() Status
+
+// Step runs the function.
+func (f TaskFunc) Step() Status { return f() }
+
+// Scheduler runs tasks round-robin until all are done or progress stops.
+type Scheduler struct {
+	tasks []Task
+	names []string
+	// Steps counts task steps executed (observability).
+	Steps uint64
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Add queues a task under a diagnostic name.
+func (s *Scheduler) Add(name string, t Task) {
+	s.tasks = append(s.tasks, t)
+	s.names = append(s.names, name)
+}
+
+// AddFunc queues a function task.
+func (s *Scheduler) AddFunc(name string, f func() Status) { s.Add(name, TaskFunc(f)) }
+
+// Len returns the number of live tasks.
+func (s *Scheduler) Len() int { return len(s.tasks) }
+
+// remove drops task i.
+func (s *Scheduler) remove(i int) {
+	s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+	s.names = append(s.names[:i], s.names[i+1:]...)
+}
+
+// RunOnce makes one round-robin pass. It reports whether any task made
+// progress (returned Yield or Done).
+func (s *Scheduler) RunOnce() bool {
+	progress := false
+	for i := 0; i < len(s.tasks); {
+		s.Steps++
+		switch s.tasks[i].Step() {
+		case Done:
+			s.remove(i)
+			progress = true
+		case Yield:
+			progress = true
+			i++
+		default: // Block
+			i++
+		}
+	}
+	return progress
+}
+
+// Run drives the scheduler until all tasks are done, or until maxIdle
+// consecutive passes make no progress (deadlock/starvation guard).
+// It reports whether all tasks completed.
+func (s *Scheduler) Run(maxIdle int) bool {
+	idle := 0
+	for len(s.tasks) > 0 {
+		if s.RunOnce() {
+			idle = 0
+		} else {
+			idle++
+			if idle >= maxIdle {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Blocked returns the names of tasks still queued (diagnostics after a
+// failed Run).
+func (s *Scheduler) Blocked() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}

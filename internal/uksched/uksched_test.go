@@ -1,0 +1,82 @@
+package uksched
+
+import "testing"
+
+func TestRunToCompletion(t *testing.T) {
+	s := New()
+	var order []string
+	count := 0
+	s.AddFunc("a", func() Status {
+		order = append(order, "a")
+		count++
+		if count >= 3 {
+			return Done
+		}
+		return Yield
+	})
+	s.AddFunc("b", func() Status {
+		order = append(order, "b")
+		return Done
+	})
+	if !s.Run(10) {
+		t.Fatal("Run did not complete")
+	}
+	if s.Len() != 0 {
+		t.Errorf("tasks remaining: %d", s.Len())
+	}
+	want := []string{"a", "b", "a", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBlockedTasksDetected(t *testing.T) {
+	s := New()
+	s.AddFunc("stuck", func() Status { return Block })
+	s.AddFunc("ok", func() Status { return Done })
+	if s.Run(5) {
+		t.Fatal("Run reported completion with a blocked task")
+	}
+	blocked := s.Blocked()
+	if len(blocked) != 1 || blocked[0] != "stuck" {
+		t.Errorf("Blocked() = %v", blocked)
+	}
+}
+
+func TestBlockedTaskWakesUp(t *testing.T) {
+	s := New()
+	ready := false
+	s.AddFunc("producer", func() Status {
+		ready = true
+		return Done
+	})
+	s.AddFunc("consumer", func() Status {
+		if !ready {
+			return Block
+		}
+		return Done
+	})
+	if !s.Run(10) {
+		t.Fatal("consumer never woke up")
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	s := New()
+	s.AddFunc("t", func() Status { return Done })
+	s.RunOnce()
+	if s.Steps != 1 {
+		t.Errorf("Steps = %d", s.Steps)
+	}
+}
+
+func TestEmptySchedulerCompletes(t *testing.T) {
+	if !New().Run(1) {
+		t.Error("empty scheduler did not complete")
+	}
+}

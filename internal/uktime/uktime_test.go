@@ -1,0 +1,66 @@
+package uktime_test
+
+import (
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/uktime"
+)
+
+func bootApp(t *testing.T) *boot.System {
+	t.Helper()
+	return boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "APP", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+}
+
+func TestMonotonicAdvancesWithWork(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := uktime.NewClient(s.M, s.Cubs["APP"].ID)
+		t1 := c.MonotonicNs(e)
+		e.Work(2_200_000) // 1 ms at 2.2 GHz
+		t2 := c.MonotonicNs(e)
+		if t2 <= t1 {
+			t.Errorf("clock did not advance: %d -> %d", t1, t2)
+		}
+		if d := t2 - t1; d < 1_000_000 {
+			t.Errorf("1ms of work advanced the clock by only %d ns", d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClockAnchored(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := uktime.NewClient(s.M, s.Cubs["APP"].ID)
+		wall := c.WallNs(e)
+		mono := c.MonotonicNs(e)
+		if wall <= mono {
+			t.Error("wall clock not anchored past the epoch")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeCallsAreCrossings(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := uktime.NewClient(s.M, s.Cubs["APP"].ID)
+		c.MonotonicNs(e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := cubicle.Edge{From: s.Cubs["APP"].ID, To: s.Cubs[uktime.Name].ID}
+	if s.M.Stats.Calls[edge] != 1 {
+		t.Errorf("APP->TIME edge = %d, want 1", s.M.Stats.Calls[edge])
+	}
+}

@@ -1,0 +1,124 @@
+// Package ulibc is the shared LIBC cubicle (the paper's newlibc
+// equivalent): string and memory helpers that contain little state and are
+// frequently used by every component. As a shared cubicle its code
+// executes with the privileges, stack and heap of the calling cubicle
+// (§3 ❹) — calls into it never involve the CubicleOS TCB.
+package ulibc
+
+import (
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/vm"
+)
+
+// Component name as it appears in deployments.
+const Name = "LIBC"
+
+// Component returns the LIBC component for the builder.
+func Component() *cubicle.Component {
+	return &cubicle.Component{
+		Name: Name,
+		Kind: cubicle.KindShared,
+		Exports: []cubicle.ExportDecl{
+			{Name: "memcpy", RegArgs: 3, Fn: memcpy},
+			{Name: "memset", RegArgs: 3, Fn: memset},
+			{Name: "memcmp", RegArgs: 3, Fn: memcmp},
+			{Name: "strlen", RegArgs: 1, Fn: strlen},
+			{Name: "strncmp", RegArgs: 3, Fn: strncmp},
+		},
+	}
+}
+
+// memcpy(dst, src, n) copies n bytes and returns dst.
+func memcpy(e *cubicle.Env, args []uint64) []uint64 {
+	e.Memcpy(vm.Addr(args[0]), vm.Addr(args[1]), args[2])
+	return []uint64{args[0]}
+}
+
+// memset(dst, c, n) fills n bytes with c and returns dst.
+func memset(e *cubicle.Env, args []uint64) []uint64 {
+	e.Memset(vm.Addr(args[0]), byte(args[1]), args[2])
+	return []uint64{args[0]}
+}
+
+// memcmp(a, b, n) returns 0/1/^0 like C memcmp (sign as two's complement
+// in a uint64).
+func memcmp(e *cubicle.Env, args []uint64) []uint64 {
+	a := e.ReadBytes(vm.Addr(args[0]), args[2])
+	b := e.ReadBytes(vm.Addr(args[1]), args[2])
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return []uint64{^uint64(0)}
+			}
+			return []uint64{1}
+		}
+	}
+	return []uint64{0}
+}
+
+// strlen(p) returns the length of the NUL-terminated string at p.
+func strlen(e *cubicle.Env, args []uint64) []uint64 {
+	addr := vm.Addr(args[0])
+	var n uint64
+	for {
+		if e.LoadByte(addr.Add(n)) == 0 {
+			return []uint64{n}
+		}
+		n++
+	}
+}
+
+// strncmp(a, b, n) compares at most n bytes of two NUL-terminated strings.
+func strncmp(e *cubicle.Env, args []uint64) []uint64 {
+	a, b := vm.Addr(args[0]), vm.Addr(args[1])
+	for i := uint64(0); i < args[2]; i++ {
+		ca, cb := e.LoadByte(a.Add(i)), e.LoadByte(b.Add(i))
+		if ca != cb {
+			if ca < cb {
+				return []uint64{^uint64(0)}
+			}
+			return []uint64{1}
+		}
+		if ca == 0 {
+			break
+		}
+	}
+	return []uint64{0}
+}
+
+// Client provides typed access to LIBC from another component.
+type Client struct {
+	memcpy, memset, memcmp cubicle.Handle
+}
+
+// NewClient resolves LIBC's entry points for the given caller cubicle.
+func NewClient(m *cubicle.Monitor, caller cubicle.ID) *Client {
+	return &Client{
+		memcpy: m.MustResolve(caller, Name, "memcpy"),
+		memset: m.MustResolve(caller, Name, "memset"),
+		memcmp: m.MustResolve(caller, Name, "memcmp"),
+	}
+}
+
+// Memcpy calls LIBC memcpy.
+func (c *Client) Memcpy(e *cubicle.Env, dst, src vm.Addr, n uint64) {
+	c.memcpy.Call(e, uint64(dst), uint64(src), n)
+}
+
+// Memset calls LIBC memset.
+func (c *Client) Memset(e *cubicle.Env, dst vm.Addr, v byte, n uint64) {
+	c.memset.Call(e, uint64(dst), uint64(v), n)
+}
+
+// Memcmp calls LIBC memcmp; returns -1, 0 or 1.
+func (c *Client) Memcmp(e *cubicle.Env, a, b vm.Addr, n uint64) int {
+	r := c.memcmp.Call(e, uint64(a), uint64(b), n)[0]
+	switch r {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,98 @@
+package ulibc_test
+
+import (
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/ulibc"
+	"cubicleos/internal/vm"
+)
+
+func bootApp(t *testing.T) *boot.System {
+	t.Helper()
+	return boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "APP", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+}
+
+func TestMemcpyMemsetMemcmp(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := ulibc.NewClient(s.M, s.Cubs["APP"].ID)
+		a := e.HeapAlloc(64)
+		b := e.HeapAlloc(64)
+		c.Memset(e, a, 0xAB, 64)
+		c.Memcpy(e, b, a, 64)
+		if got := c.Memcmp(e, a, b, 64); got != 0 {
+			t.Errorf("memcmp equal = %d", got)
+		}
+		e.StoreByte(b.Add(10), 0xAC)
+		if got := c.Memcmp(e, a, b, 64); got != -1 {
+			t.Errorf("memcmp a<b = %d", got)
+		}
+		if got := c.Memcmp(e, b, a, 64); got != 1 {
+			t.Errorf("memcmp b>a = %d", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrlenStrncmp(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		strlen := s.M.MustResolve(e.Cubicle(), ulibc.Name, "strlen")
+		strncmp := s.M.MustResolve(e.Cubicle(), ulibc.Name, "strncmp")
+		p := e.HeapAlloc(32)
+		e.Write(p, []byte("cubicle\x00"))
+		if n := strlen.Call(e, uint64(p))[0]; n != 7 {
+			t.Errorf("strlen = %d", n)
+		}
+		q := e.HeapAlloc(32)
+		e.Write(q, []byte("cubicle\x00"))
+		if r := strncmp.Call(e, uint64(p), uint64(q), 16)[0]; r != 0 {
+			t.Errorf("strncmp equal = %d", r)
+		}
+		e.Write(q, []byte("cubiclf\x00"))
+		if r := strncmp.Call(e, uint64(p), uint64(q), 16)[0]; r != ^uint64(0) {
+			t.Errorf("strncmp less = %d", r)
+		}
+		// Bounded comparison stops at n.
+		if r := strncmp.Call(e, uint64(p), uint64(q), 6)[0]; r != 0 {
+			t.Errorf("strncmp bounded = %d", r)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedCubicleNoTCB: LIBC calls do not count as cross-cubicle calls
+// and take no trampoline cost.
+func TestSharedCubicleNoTCB(t *testing.T) {
+	s := bootApp(t)
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		c := ulibc.NewClient(s.M, s.Cubs["APP"].ID)
+		a := e.HeapAlloc(vm.PageSize)
+		e.Memset(a, 1, vm.PageSize) // warm the page mapping
+		cross := s.M.Stats.CallsTotal
+		shared := s.M.Stats.SharedCalls
+		wrp := s.M.Stats.WRPKRUs
+		c.Memset(e, a, 2, 64)
+		if s.M.Stats.CallsTotal != cross {
+			t.Error("LIBC call crossed the TCB")
+		}
+		if s.M.Stats.SharedCalls != shared+1 {
+			t.Error("LIBC call not counted as shared")
+		}
+		if s.M.Stats.WRPKRUs != wrp {
+			t.Error("LIBC call executed wrpkru")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package vfscore_test
+
+import (
+	"testing"
+
+	"cubicleos/internal/boot"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/ramfs"
+	"cubicleos/internal/vfscore"
+	"cubicleos/internal/vm"
+)
+
+// harness boots the FS stack and hands fn an app-side client with a
+// windowed I/O buffer.
+func harness(t *testing.T, fn func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr)) {
+	t.Helper()
+	s := boot.MustNewFS(boot.Config{Mode: cubicle.ModeFull, Extra: []*cubicle.Component{{
+		Name: "APP", Kind: cubicle.KindIsolated,
+		Exports: []cubicle.ExportDecl{{Name: "main", Fn: func(e *cubicle.Env, a []uint64) []uint64 { return nil }}},
+	}}})
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		vfs := vfscore.NewClient(s.M, s.Cubs["APP"].ID)
+		vfs.InitBuffers(e, e.CubicleOf(ramfs.Name))
+		buf := e.HeapAlloc(vm.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(vfscore.Name))
+		e.WindowOpen(wid, e.CubicleOf(ramfs.Name))
+		fn(e, vfs, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLseekWhence(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		fd, _ := vfs.Open(e, "/f", vfscore.OCreat|vfscore.ORdwr)
+		e.Write(buf, []byte("0123456789"))
+		vfs.Write(e, fd, buf, 10)
+		if off, errno := vfs.Lseek(e, fd, 2, vfscore.SeekSet); errno != vfscore.EOK || off != 2 {
+			t.Fatalf("SeekSet: off=%d errno=%d", off, errno)
+		}
+		if off, _ := vfs.Lseek(e, fd, 3, vfscore.SeekCur); off != 5 {
+			t.Fatalf("SeekCur: off=%d", off)
+		}
+		// Negative relative seek via two's complement.
+		if off, _ := vfs.Lseek(e, fd, ^uint64(0), vfscore.SeekCur); off != 4 {
+			t.Fatalf("SeekCur -1: off=%d", off)
+		}
+		if off, _ := vfs.Lseek(e, fd, 0, vfscore.SeekEnd); off != 10 {
+			t.Fatalf("SeekEnd: off=%d", off)
+		}
+		if _, errno := vfs.Lseek(e, fd, 0, 9); errno != vfscore.EINVAL {
+			t.Fatalf("bad whence: errno=%d", errno)
+		}
+	})
+}
+
+func TestCloseInvalidatesFD(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		fd, _ := vfs.Open(e, "/f", vfscore.OCreat|vfscore.ORdwr)
+		if errno := vfs.Close(e, fd); errno != vfscore.EOK {
+			t.Fatalf("close: %d", errno)
+		}
+		if errno := vfs.Close(e, fd); errno != vfscore.EBADF {
+			t.Fatalf("double close: %d", errno)
+		}
+		if _, errno := vfs.Read(e, fd, buf, 1); errno != vfscore.EBADF {
+			t.Fatalf("read closed fd: %d", errno)
+		}
+	})
+}
+
+func TestOpenTruncResets(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		fd, _ := vfs.Open(e, "/f", vfscore.OCreat|vfscore.OWronly)
+		e.Write(buf, []byte("longcontent"))
+		vfs.Write(e, fd, buf, 11)
+		vfs.Close(e, fd)
+		fd, _ = vfs.Open(e, "/f", vfscore.OWronly|vfscore.OTrunc)
+		if size, _ := vfs.FStat(e, fd); size != 0 {
+			t.Fatalf("O_TRUNC left %d bytes", size)
+		}
+	})
+}
+
+func TestStatMissingAndFstatBad(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		if _, errno := vfs.Stat(e, "/ghost"); errno != vfscore.ENOENT {
+			t.Fatalf("stat missing: %d", errno)
+		}
+		if _, errno := vfs.FStat(e, 12345); errno != vfscore.EBADF {
+			t.Fatalf("fstat bad fd: %d", errno)
+		}
+	})
+}
+
+// TestWrapInterposition verifies the microkernel-baseline seam: a wrapped
+// client routes every call through the wrapper.
+func TestWrapInterposition(t *testing.T) {
+	harness(t, func(e *cubicle.Env, vfs *vfscore.Client, buf vm.Addr) {
+		count := 0
+		vfs.Wrap(func(name string, inner vfscore.Caller) vfscore.Caller {
+			return countingCaller{inner: inner, n: &count}
+		})
+		fd, _ := vfs.Open(e, "/w", vfscore.OCreat|vfscore.ORdwr)
+		e.Write(buf, []byte("x"))
+		vfs.Write(e, fd, buf, 1)
+		vfs.Close(e, fd)
+		if count != 3 {
+			t.Fatalf("wrapper saw %d calls, want 3", count)
+		}
+	})
+}
+
+type countingCaller struct {
+	inner vfscore.Caller
+	n     *int
+}
+
+func (c countingCaller) Call(e *cubicle.Env, args ...uint64) []uint64 {
+	*c.n++
+	return c.inner.Call(e, args...)
+}

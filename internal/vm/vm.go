@@ -1,0 +1,282 @@
+// Package vm implements the simulated machine memory on which CubicleOS
+// runs: a software-managed, paged virtual address space in which every page
+// carries the metadata the paper's design needs — a 4-bit MPK protection
+// key, page-table permissions, an owning cubicle, and a page type (code,
+// global data, stack or heap).
+//
+// The page metadata map of §5.3 ("CubicleOS keeps a page metadata map that
+// identifies the window descriptor array corresponding to that page,
+// together with its owner and type") is realised directly by the page
+// array: lookups are O(1) by construction.
+//
+// Package vm performs no permission checking itself. Untrusted component
+// code never touches an AddrSpace directly; it goes through the checked
+// accessors of the cubicle runtime, which consult the per-thread PKRU
+// before delegating to the raw operations here.
+package vm
+
+import "fmt"
+
+// PageShift is log2 of the page size.
+const PageShift = 12
+
+// PageSize is the size of one page in bytes (4 KiB, as on x86-64).
+const PageSize = 1 << PageShift
+
+// Addr is a virtual address in the simulated address space. Address 0 is
+// never mapped and acts as the null pointer.
+type Addr uint64
+
+// PageNum returns the page number containing the address.
+func (a Addr) PageNum() uint64 { return uint64(a) >> PageShift }
+
+// PageOff returns the offset of the address within its page.
+func (a Addr) PageOff() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Add returns the address offset by n bytes.
+func (a Addr) Add(n uint64) Addr { return a + Addr(n) }
+
+// Perm is a set of page-table permissions.
+type Perm uint8
+
+// Page-table permission bits. Execute permission is page-table state only:
+// the paper notes MPK does not control execution (§2.2 challenge iii), so
+// X lives here, and the simulated hardware modification of §5.5 (no
+// read/write on a key implies no execute) is applied by the MPK layer.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// Has reports whether all bits in q are set in p.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+func (p Perm) String() string {
+	buf := []byte("---")
+	if p.Has(PermRead) {
+		buf[0] = 'r'
+	}
+	if p.Has(PermWrite) {
+		buf[1] = 'w'
+	}
+	if p.Has(PermExec) {
+		buf[2] = 'x'
+	}
+	return string(buf)
+}
+
+// PageType classifies a page for the page metadata map. Pages are strictly
+// assigned an owner and type at allocation time (§5.3).
+type PageType uint8
+
+// Page types distinguished by the monitor's page metadata map.
+const (
+	PageCode PageType = iota
+	PageGlobal
+	PageStack
+	PageHeap
+)
+
+func (t PageType) String() string {
+	switch t {
+	case PageCode:
+		return "code"
+	case PageGlobal:
+		return "global"
+	case PageStack:
+		return "stack"
+	case PageHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("PageType(%d)", uint8(t))
+}
+
+// NoOwner marks a page that belongs to the trusted runtime rather than to
+// any cubicle.
+const NoOwner = -1
+
+// Page is one mapped page together with its metadata.
+type Page struct {
+	Data  [PageSize]byte
+	Key   uint8    // MPK protection key currently tagged on the page
+	Perm  Perm     // page-table permissions
+	Owner int      // owning cubicle ID, or NoOwner
+	Type  PageType // code / global / stack / heap
+}
+
+// AddrSpace is the simulated address space: a growable array of pages
+// indexed by page number. Page number 0 is reserved so that Addr 0 is
+// always invalid.
+type AddrSpace struct {
+	pages []*Page
+	free  []uint64 // freed single pages available for reuse
+}
+
+// NewAddrSpace returns an empty address space.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{pages: make([]*Page, 1)} // page 0 reserved
+}
+
+// MappedPages returns the number of currently mapped pages.
+func (as *AddrSpace) MappedPages() int {
+	n := 0
+	for _, p := range as.pages {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Map allocates npages contiguous pages with the given metadata and
+// returns the address of the first. The key is the MPK tag initially
+// assigned to every page.
+func (as *AddrSpace) Map(npages int, owner int, typ PageType, perm Perm, key uint8) Addr {
+	if npages <= 0 {
+		panic("vm: Map with non-positive page count")
+	}
+	if npages == 1 && len(as.free) > 0 {
+		pn := as.free[len(as.free)-1]
+		as.free = as.free[:len(as.free)-1]
+		as.pages[pn] = &Page{Key: key, Perm: perm, Owner: owner, Type: typ}
+		return Addr(pn << PageShift)
+	}
+	pn := uint64(len(as.pages))
+	for i := 0; i < npages; i++ {
+		as.pages = append(as.pages, &Page{Key: key, Perm: perm, Owner: owner, Type: typ})
+	}
+	return Addr(pn << PageShift)
+}
+
+// Unmap releases npages pages starting at addr, which must be page-aligned
+// and mapped.
+func (as *AddrSpace) Unmap(addr Addr, npages int) error {
+	if addr.PageOff() != 0 {
+		return fmt.Errorf("vm: Unmap of unaligned address %#x", uint64(addr))
+	}
+	pn := addr.PageNum()
+	for i := uint64(0); i < uint64(npages); i++ {
+		if pn+i >= uint64(len(as.pages)) || as.pages[pn+i] == nil {
+			return fmt.Errorf("vm: Unmap of unmapped page %#x", (pn+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < uint64(npages); i++ {
+		as.pages[pn+i] = nil
+		as.free = append(as.free, pn+i)
+	}
+	return nil
+}
+
+// ForEachPage calls fn for every mapped page, in page-number order.
+func (as *AddrSpace) ForEachPage(fn func(pn uint64, p *Page)) {
+	for pn, p := range as.pages {
+		if p != nil {
+			fn(uint64(pn), p)
+		}
+	}
+}
+
+// Page returns the page containing addr, or nil if it is unmapped.
+func (as *AddrSpace) Page(addr Addr) *Page {
+	pn := addr.PageNum()
+	if pn >= uint64(len(as.pages)) {
+		return nil
+	}
+	return as.pages[pn]
+}
+
+// errRange describes an access that touches unmapped memory.
+func (as *AddrSpace) errRange(op string, addr Addr, n int) error {
+	return fmt.Errorf("vm: %s of %d bytes at %#x touches unmapped memory", op, n, uint64(addr))
+}
+
+// CheckMapped reports an error unless [addr, addr+n) is fully mapped.
+func (as *AddrSpace) CheckMapped(addr Addr, n int) error {
+	if addr == 0 {
+		return as.errRange("access", addr, n)
+	}
+	for off := uint64(0); off < uint64(n); {
+		p := as.Page(addr.Add(off))
+		if p == nil {
+			return as.errRange("access", addr, n)
+		}
+		off += PageSize - addr.Add(off).PageOff()
+	}
+	if n == 0 && as.Page(addr) == nil {
+		return as.errRange("access", addr, n)
+	}
+	return nil
+}
+
+// ReadAt copies len(b) bytes starting at addr into b. It is a raw
+// (unchecked) operation for trusted code.
+func (as *AddrSpace) ReadAt(addr Addr, b []byte) error {
+	for done := 0; done < len(b); {
+		p := as.Page(addr.Add(uint64(done)))
+		if p == nil {
+			return as.errRange("read", addr, len(b))
+		}
+		off := addr.Add(uint64(done)).PageOff()
+		n := copy(b[done:], p.Data[off:])
+		done += n
+	}
+	return nil
+}
+
+// WriteAt copies b into memory starting at addr. It is a raw (unchecked)
+// operation for trusted code.
+func (as *AddrSpace) WriteAt(addr Addr, b []byte) error {
+	for done := 0; done < len(b); {
+		p := as.Page(addr.Add(uint64(done)))
+		if p == nil {
+			return as.errRange("write", addr, len(b))
+		}
+		off := addr.Add(uint64(done)).PageOff()
+		n := copy(p.Data[off:], b[done:])
+		done += n
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word at addr.
+func (as *AddrSpace) ReadU64(addr Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.ReadAt(addr, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian 64-bit word at addr.
+func (as *AddrSpace) WriteU64(addr Addr, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return as.WriteAt(addr, b[:])
+}
+
+// PagesIn returns the page numbers fully or partially covered by the range
+// [addr, addr+size).
+func PagesIn(addr Addr, size uint64) (first, last uint64) {
+	if size == 0 {
+		return addr.PageNum(), addr.PageNum()
+	}
+	return addr.PageNum(), (uint64(addr) + size - 1) >> PageShift
+}
+
+// PageAddr returns the address of the first byte of page number pn.
+func PageAddr(pn uint64) Addr { return Addr(pn << PageShift) }
+
+// PagesFor returns how many pages are needed to hold n bytes.
+func PagesFor(n uint64) int {
+	if n == 0 {
+		return 1
+	}
+	return int((n + PageSize - 1) / PageSize)
+}
