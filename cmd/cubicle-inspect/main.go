@@ -2,22 +2,145 @@
 // state: cubicles with their MPK keys and exports, the page map by owner
 // and type, installed trampolines, and (after a short workload) the
 // window tables and event counters — the view a CubicleOS operator gets
-// of a running system.
+// of a running system. With -json the same report is emitted as
+// machine-readable JSON for scripting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"cubicleos"
+	"cubicleos/internal/cubicle"
 	"cubicleos/internal/siege"
 	"cubicleos/internal/vm"
 )
 
+// report is the machine-readable form of the dump.
+type report struct {
+	Mode     string         `json:"mode"`
+	Cubicles []cubicleInfo  `json:"cubicles"`
+	PageMap  []pageMapEntry `json:"page_map"`
+	Tramps   []string       `json:"trampolines"`
+	Counters counters       `json:"counters"`
+}
+
+type cubicleInfo struct {
+	ID         int      `json:"id"`
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Key        int      `json:"key"`
+	Windows    int      `json:"windows"`
+	Components []string `json:"components,omitempty"`
+	Exports    []string `json:"exports,omitempty"`
+}
+
+type pageMapEntry struct {
+	Owner     int    `json:"owner"`
+	OwnerName string `json:"owner_name"`
+	Type      string `json:"type"`
+	Pages     int    `json:"pages"`
+	KiB       int    `json:"kib"`
+}
+
+type edgeCount struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Count uint64 `json:"count"`
+}
+
+type counters struct {
+	Calls             uint64      `json:"cross_cubicle_calls"`
+	SharedCalls       uint64      `json:"shared_cubicle_calls"`
+	Faults            uint64      `json:"protection_traps"`
+	DeniedFaults      uint64      `json:"denied_traps"`
+	Retags            uint64      `json:"page_retags"`
+	WRPKRUs           uint64      `json:"wrpkru_executions"`
+	WindowOps         uint64      `json:"window_operations"`
+	WindowSearchSteps uint64      `json:"window_search_steps"`
+	StackBytesCopied  uint64      `json:"stack_arg_bytes"`
+	BulkBytesCopied   uint64      `json:"bulk_bytes_copied"`
+	KeyEvictions      uint64      `json:"key_evictions"`
+	Edges             []edgeCount `json:"call_edges"`
+	VirtualCycles     uint64      `json:"virtual_cycles"`
+	VirtualMs         float64     `json:"virtual_ms"`
+}
+
+func buildReport(m *cubicleos.Monitor) *report {
+	r := &report{Mode: m.Mode.String()}
+	names := map[int]string{int(cubicle.MonitorID): "MONITOR"}
+	for _, c := range m.Cubicles() {
+		names[int(c.ID)] = c.Name
+		exports := c.Exports()
+		sort.Strings(exports)
+		r.Cubicles = append(r.Cubicles, cubicleInfo{
+			ID: int(c.ID), Name: c.Name, Kind: c.Kind.String(), Key: int(c.Key),
+			Windows: m.WindowCount(c.ID), Components: c.Components(), Exports: exports,
+		})
+	}
+	type key struct {
+		owner int
+		typ   vm.PageType
+	}
+	counts := map[key]int{}
+	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
+		counts[key{p.Owner, p.Type}]++
+	})
+	var keys []key
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].owner != keys[j].owner {
+			return keys[i].owner < keys[j].owner
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	for _, k := range keys {
+		owner := names[k.owner]
+		if owner == "" {
+			owner = fmt.Sprintf("cubicle-%d", k.owner)
+		}
+		r.PageMap = append(r.PageMap, pageMapEntry{
+			Owner: k.owner, OwnerName: owner, Type: k.typ.String(),
+			Pages: counts[k], KiB: counts[k] * vm.PageSize / 1024,
+		})
+	}
+	for _, tr := range m.Trampolines() {
+		r.Tramps = append(r.Tramps, tr.Symbol())
+	}
+	sort.Strings(r.Tramps)
+	st := m.Stats
+	r.Counters = counters{
+		Calls:             st.CallsTotal,
+		SharedCalls:       st.SharedCalls,
+		Faults:            st.Faults,
+		DeniedFaults:      st.DeniedFaults,
+		Retags:            st.Retags,
+		WRPKRUs:           st.WRPKRUs,
+		WindowOps:         st.WindowOps,
+		WindowSearchSteps: st.WindowSearchSteps,
+		StackBytesCopied:  st.StackBytesCopied,
+		BulkBytesCopied:   st.BulkBytesCopied,
+		KeyEvictions:      st.KeyEvictions,
+		VirtualCycles:     m.Clock.Cycles(),
+		VirtualMs:         float64(m.Clock.Duration().Microseconds()) / 1000,
+	}
+	for _, e := range st.SortedEdges() {
+		r.Counters.Edges = append(r.Counters.Edges, edgeCount{
+			From: int(e.From), To: int(e.To), Count: e.Count,
+		})
+	}
+	return r
+}
+
 func main() {
 	workload := flag.Bool("workload", true, "run a short HTTP workload before dumping")
+	asJSON := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	flag.Parse()
 
 	tgt, err := siege.NewTarget(cubicleos.ModeFull)
@@ -33,6 +156,15 @@ func main() {
 		}
 	}
 	m := tgt.Sys.M
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(buildReport(m)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	fmt.Println("CUBICLES")
 	fmt.Printf("%-4s %-10s %-9s %-4s %-8s %s\n", "id", "name", "kind", "key", "windows", "exports")
@@ -55,7 +187,7 @@ func main() {
 	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
 		counts[key{p.Owner, p.Type}]++
 	})
-	names := map[int]string{int(cubicleos.CubicleID(0)): "MONITOR"}
+	names := map[int]string{int(cubicle.MonitorID): "MONITOR"}
 	for _, c := range m.Cubicles() {
 		names[int(c.ID)] = c.Name
 	}

@@ -1,0 +1,177 @@
+// Command cubicle-trace boots the siege/NGINX deployment with the
+// observability layer enabled from cycle 0, drives an HTTP workload, and
+// emits the run in one of four formats:
+//
+//	-format chrome    Chrome trace_event JSON — load in Perfetto or
+//	                  chrome://tracing to see cross-cubicle call spans,
+//	                  fault handler costs, retags and wrpkru instants on
+//	                  the virtual-time axis
+//	-format prom      Prometheus text exposition: event counters, per-edge
+//	                  call-latency histograms with quantiles, per-cubicle
+//	                  cycle totals
+//	-format json      machine-readable snapshot (counters, edge digests,
+//	                  per-cubicle profile)
+//	-format profile   human-readable per-cubicle cycle profile
+//
+// With -check the emitted chrome/json output is additionally validated to
+// round-trip through encoding/json, and the per-cubicle profile total is
+// checked against the virtual clock — the invariants scripts/check.sh
+// smoke-tests in CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"cubicleos"
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/siege"
+)
+
+func main() {
+	format := flag.String("format", "chrome", "output: chrome, prom, json, profile")
+	mode := flag.String("mode", "full", "isolation mode: unikraft, no-mpk, no-acl, full")
+	requests := flag.Int("requests", 20, "number of GET requests to issue")
+	size := flag.Int("size", 16<<10, "static file size in bytes")
+	ring := flag.Int("ring", 1<<16, "trace ring capacity in events")
+	sample := flag.Uint64("sample", 100_000, "profiler sample period in virtual cycles (0 = spans only)")
+	out := flag.String("o", "", "output file (default stdout)")
+	check := flag.Bool("check", false, "validate output invariants and report them on stderr")
+	flag.Parse()
+
+	var m cubicleos.Mode
+	switch *mode {
+	case "unikraft":
+		m = cubicleos.ModeUnikraft
+	case "no-mpk":
+		m = cubicleos.ModeTrampoline
+	case "no-acl":
+		m = cubicleos.ModeNoACL
+	case "full":
+		m = cubicleos.ModeFull
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	tgt, err := siege.NewTargetTraced(m, *ring, *sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tgt.PutFile("/trace.bin", make([]byte, *size)); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *requests; i++ {
+		res, err := tgt.Fetch("/trace.bin")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Status != 200 {
+			log.Fatalf("request %d: status %d", i, res.Status)
+		}
+	}
+
+	trc := tgt.Sys.M.Tracer()
+	var buf bytes.Buffer
+	switch *format {
+	case "chrome":
+		err = trc.WriteChromeTrace(&buf)
+	case "prom":
+		err = trc.WritePrometheus(&buf)
+	case "json":
+		err = trc.WriteJSON(&buf)
+	case "profile":
+		writeProfile(&buf, tgt)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *check {
+		validate(tgt, *format, buf.Bytes())
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeProfile prints the per-cubicle cycle profile as a table.
+func writeProfile(w io.Writer, tgt *siege.Target) {
+	trc := tgt.Sys.M.Tracer()
+	prof := trc.Profile()
+	clock := tgt.Sys.M.Clock.Cycles()
+	fmt.Fprintf(w, "PER-CUBICLE CYCLE PROFILE (%s, %d requests logged by NGINX)\n",
+		tgt.Sys.M.Mode, tgt.Srv.Requests)
+	fmt.Fprintf(w, "%-12s %14s %7s %10s\n", "cubicle", "cycles", "%", "samples")
+	for _, e := range prof.Entries {
+		fmt.Fprintf(w, "%-12s %14d %6.2f%% %10d\n", e.Name, e.Cycles, e.Percent, e.Samples)
+	}
+	fmt.Fprintf(w, "%-12s %14d %6.2f%% %10d\n", "TOTAL", prof.TotalCycles,
+		100*float64(prof.TotalCycles)/float64(clock), prof.Samples)
+	fmt.Fprintf(w, "virtual clock %d cycles; profile covers %.3f%% of it\n",
+		clock, 100*float64(prof.TotalCycles)/float64(clock))
+}
+
+// validate asserts the acceptance invariants of the emitted data.
+func validate(tgt *siege.Target, format string, output []byte) {
+	m := tgt.Sys.M
+	trc := m.Tracer()
+	fail := func(f string, a ...any) { log.Fatalf("check failed: "+f, a...) }
+
+	switch format {
+	case "chrome", "json":
+		var v any
+		if err := json.Unmarshal(output, &v); err != nil {
+			fail("%s output does not round-trip through encoding/json: %v", format, err)
+		}
+	}
+
+	// Trace-derived counters must equal the legacy Stats exactly.
+	derived := cubicle.StatsFromTrace(trc)
+	if got, want := derived.CallsTotal, m.Stats.CallsTotal; got != want {
+		fail("trace-derived calls %d != stats %d", got, want)
+	}
+	if got, want := derived.Faults, m.Stats.Faults; got != want {
+		fail("trace-derived faults %d != stats %d", got, want)
+	}
+	if got, want := derived.Retags, m.Stats.Retags; got != want {
+		fail("trace-derived retags %d != stats %d", got, want)
+	}
+	if got, want := derived.WRPKRUs, m.Stats.WRPKRUs; got != want {
+		fail("trace-derived wrpkrus %d != stats %d", got, want)
+	}
+	for e, n := range m.Stats.Calls {
+		if derived.Calls[e] != n {
+			fail("edge %d->%d: trace %d != stats %d", e.From, e.To, derived.Calls[e], n)
+		}
+	}
+
+	// The per-cubicle profile must account for the whole virtual clock.
+	prof := trc.Profile()
+	clock := m.Clock.Cycles()
+	if clock == 0 {
+		fail("virtual clock did not advance")
+	}
+	cover := float64(prof.TotalCycles) / float64(clock)
+	if cover < 0.99 || cover > 1.01 {
+		fail("profile covers %.4f of the virtual clock (want within 1%%)", cover)
+	}
+	fmt.Fprintf(os.Stderr, "check ok: %d events, stats match, profile covers %.4f%% of %d cycles\n",
+		trc.Recorded(), 100*cover, clock)
+}

@@ -1,9 +1,8 @@
 // Command speedtest1 runs the SQLite benchmark workload (the paper's
 // §6.4 evaluation) on a CubicleOS deployment and prints per-query
 // virtual execution times, mirroring the real speedtest1 utility's
-// output style. The --stat flag scales the workload as in the paper's
-// artifact ("the size of the database can be changed via the --stat XXX
-// flag (100 is the default)").
+// output style. As in the paper's artifact, the size of the database is
+// controlled by the --stat flag (default 100).
 package main
 
 import (

@@ -33,6 +33,7 @@ import (
 	"cubicleos/internal/boot"
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/cycles"
+	"cubicleos/internal/trace"
 	"cubicleos/internal/vm"
 )
 
@@ -73,6 +74,16 @@ type (
 	Costs = cycles.Costs
 	// Clock is the virtual cycle clock.
 	Clock = cycles.Clock
+	// Tracer is the observability layer: an event ring, per-edge cycle
+	// histograms and a per-cubicle cycle profiler over the virtual clock.
+	// Attach one with Monitor.EnableTracing or Config.TraceEvents.
+	Tracer = trace.Tracer
+	// TraceEvent is one entry of the trace ring.
+	TraceEvent = trace.Event
+	// TraceSnapshot is the machine-readable digest of a traced run.
+	TraceSnapshot = trace.Snapshot
+	// CycleProfile is the per-cubicle "where did the time go" report.
+	CycleProfile = trace.Profile
 )
 
 // Isolation modes (the Figure 6 ablation ladder).

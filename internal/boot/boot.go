@@ -52,6 +52,13 @@ type Config struct {
 	Extra []*cubicle.Component
 	// Seed for the shared random device.
 	Seed uint64
+	// TraceEvents, when non-zero, enables the observability layer with a
+	// ring of that many events, attached before any component loads so
+	// the per-cubicle cycle profile covers the whole virtual clock.
+	TraceEvents int
+	// TraceSamplePeriod, when non-zero with TraceEvents, starts the
+	// virtual-clock sampling profiler with that period in cycles.
+	TraceSamplePeriod uint64
 }
 
 // System is a booted deployment.
@@ -87,6 +94,12 @@ func NewFS(cfg Config) (*System, error) {
 		Rand:  urandom.New(cfg.Seed),
 	}
 	m := cubicle.NewMonitor(cfg.Mode, costs)
+	if cfg.TraceEvents > 0 {
+		trc := m.EnableTracing(cfg.TraceEvents)
+		if cfg.TraceSamplePeriod > 0 {
+			trc.EnableSampling(cfg.TraceSamplePeriod)
+		}
+	}
 	s.M = m
 	s.Time = uktime.New(m.Clock)
 

@@ -126,6 +126,21 @@ func (e *Env) StoreByte(addr vm.Addr, v byte) {
 func (e *Env) chargeCopy(n uint64) {
 	e.M.Clock.Charge(((n + 15) / 16) * e.M.Costs.CopyChunk16)
 	e.M.Stats.BulkBytesCopied += n
+	if e.M.trc != nil {
+		e.M.trc.Copy(int(e.T.cur), n)
+	}
+}
+
+// Tracing reports whether the deployment records trace events.
+func (e *Env) Tracing() bool { return e.M.trc != nil }
+
+// TraceMark records an application-level trace marker (a no-op when
+// tracing is disabled). Pass constant labels so the hot path stays
+// allocation-free.
+func (e *Env) TraceMark(label string) {
+	if e.M.trc != nil {
+		e.M.trc.Mark(e.T.id, int(e.T.cur), label)
+	}
 }
 
 // Memcpy copies n bytes from src to dst with access checks on both sides

@@ -139,6 +139,7 @@ func (ld *Loader) Load(si *SystemImage, c *Component, group string) (*Cubicle, e
 			callee:     cub.ID,
 			component:  c.Name,
 			sym:        ex.Name,
+			symbol:     c.Name + "." + ex.Name,
 			fn:         ld.wrapEntry(cub, ex.Fn, c.Name+"."+ex.Name),
 			regArgs:    ex.RegArgs,
 			stackBytes: ex.StackBytes,

@@ -5,6 +5,7 @@ import (
 
 	"cubicleos/internal/cycles"
 	"cubicleos/internal/mpk"
+	"cubicleos/internal/trace"
 	"cubicleos/internal/vm"
 )
 
@@ -31,6 +32,11 @@ type Monitor struct {
 	Costs cycles.Costs
 	Mode  Mode
 	Stats Stats
+
+	// trc is the optional tracing layer. It is nil unless EnableTracing
+	// was called; every hot-path instrumentation site guards on that nil
+	// check, which keeps ModeFull benchmarks with tracing off unaffected.
+	trc *trace.Tracer
 
 	cubicles    []*Cubicle
 	byName      map[string]*Cubicle
@@ -76,6 +82,24 @@ func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
 	m.keyHolder[sharedKey] = -2 // reserved for shared cubicles
 	return m
 }
+
+// EnableTracing attaches a tracer with a ring of ringCap events to the
+// monitor. Enable it before loading components so the per-cubicle cycle
+// profile covers the whole virtual clock. The returned tracer is also
+// available through Tracer.
+func (m *Monitor) EnableTracing(ringCap int) *trace.Tracer {
+	m.trc = trace.New(m.Clock, ringCap)
+	m.trc.SetNamer(func(id int) string {
+		if c := m.cubicleIfValid(ID(id)); c != nil {
+			return c.Name
+		}
+		return ""
+	})
+	return m.trc
+}
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+func (m *Monitor) Tracer() *trace.Tracer { return m.trc }
 
 // cubicle returns the cubicle with the given ID, panicking on a runtime
 // bug (IDs are link-time constants; an unknown ID cannot come from
@@ -156,14 +180,16 @@ func (m *Monitor) acquireKey(id ID) mpk.Key {
 	victimID := m.keyHolder[victim]
 	delete(m.keyOf, victimID)
 	m.Stats.KeyEvictions++
+	if m.trc != nil {
+		m.trc.KeyEviction(int(victimID), uint8(victim))
+	}
 	// Retag the victim's pages to the monitor key; each retag is a
 	// pkey_mprotect through the host kernel — the price of key recycling
 	// that libmpk measures and the paper's design mostly avoids.
 	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
 		if mpk.Key(p.Key) == victim {
 			p.Key = uint8(monitorKey)
-			m.Clock.Charge(m.Costs.PkeyMprotect)
-			m.Stats.Retags++
+			m.noteRetag(victimID, vm.PageAddr(pn), monitorKey)
 		}
 	})
 	if c := m.cubicleIfValid(victimID); c != nil {
@@ -286,12 +312,17 @@ func pageTablePerm(kind mpk.AccessKind, perm vm.Perm) bool {
 //	❺ if allowed, retag the page's MPK key to the faulting cubicle.
 func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.Page) {
 	m.Stats.Faults++
+	trapStart := m.Clock.Cycles()
 	m.Clock.Charge(m.Costs.TrapEntry + m.Costs.PageMetaLookup)
 
 	cur := t.cur
 	owner := ID(p.Owner)
 	deny := func(reason string) {
 		m.Stats.DeniedFaults++
+		if m.trc != nil {
+			m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), m.Clock.Cycles()-trapStart)
+			m.trc.DeniedFault(t.id, int(cur), int(owner), uint64(pa))
+		}
 		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: cur, Owner: owner,
 			PageType: p.Type, Reason: reason})
 	}
@@ -299,6 +330,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 		deny("page belongs to the trusted runtime")
 	}
 	allowed := false
+	var searchSteps uint64
 	switch {
 	case owner == cur:
 		// Implicit window 0: a cubicle always has access to the pages it
@@ -318,7 +350,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 				if w == nil {
 					continue
 				}
-				m.Stats.WindowSearchSteps++
+				searchSteps++
 				m.Clock.Charge(m.Costs.WindowSearchEntry)
 				if w.covers(pa) && w.IsOpenFor(cur) {
 					allowed = true
@@ -327,16 +359,35 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 			}
 		}
 	}
+	if searchSteps > 0 {
+		m.Stats.WindowSearchSteps += searchSteps
+		if m.trc != nil {
+			m.trc.WindowSearch(int(cur), searchSteps)
+		}
+	}
 	if !allowed {
 		deny("no open window authorises the access")
 	}
 	// ❺ Retag the page to the accessing cubicle's key. Writable access
 	// is granted as a whole: windows are read/write grants in CubicleOS.
-	if err := mpk.PkeyMprotect(m.AS, pa, 1, m.keyFor(cur)); err != nil {
+	key := m.keyFor(cur)
+	if err := mpk.PkeyMprotect(m.AS, pa, 1, key); err != nil {
 		panic(fmt.Sprintf("cubicle: retag failed: %v", err))
 	}
+	m.noteRetag(cur, pa, key)
+	if m.trc != nil {
+		m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), m.Clock.Cycles()-trapStart)
+	}
+}
+
+// noteRetag charges and records one page retag (the caller has already
+// changed the page's key).
+func (m *Monitor) noteRetag(cub ID, addr vm.Addr, key mpk.Key) {
 	m.Clock.Charge(m.Costs.PkeyMprotect)
 	m.Stats.Retags++
+	if m.trc != nil {
+		m.trc.Retag(int(cub), uint64(addr), uint8(key))
+	}
 }
 
 // wrpkru models one execution of the wrpkru instruction on thread t.
@@ -345,6 +396,9 @@ func (m *Monitor) wrpkru(t *Thread, v mpk.PKRU) {
 	if m.Mode.MPKEnabled() {
 		m.Clock.Charge(m.Costs.WRPKRU)
 		m.Stats.WRPKRUs++
+		if m.trc != nil {
+			m.trc.WRPKRU(t.id, int(t.cur), uint64(v))
+		}
 	}
 }
 

@@ -25,7 +25,7 @@ const noPin = mpk.Key(0xFF)
 
 // pinWindow assigns window wid of cubicle c a dedicated key.
 func (m *Monitor) pinWindow(c ID, wid WID) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "pin", wid)
 	w := m.window(c, wid, "window_pin")
 	if w.pinned != noPin {
 		return
@@ -47,7 +47,7 @@ func (m *Monitor) pinWindow(c ID, wid WID) {
 // the owner's key and subsequent cross-cubicle accesses go back to
 // trap-and-map.
 func (m *Monitor) unpinWindow(c ID, wid WID) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "unpin", wid)
 	w := m.window(c, wid, "window_unpin")
 	if w.pinned == noPin {
 		return
@@ -72,8 +72,7 @@ func (m *Monitor) retagWindow(w *Window, key mpk.Key) {
 			if err := mpk.PkeyMprotect(m.AS, vm.PageAddr(pn), 1, key); err != nil {
 				panic(fmt.Sprintf("cubicle: pin retag failed: %v", err))
 			}
-			m.Clock.Charge(m.Costs.PkeyMprotect)
-			m.Stats.Retags++
+			m.noteRetag(w.Owner, vm.PageAddr(pn), key)
 		}
 	}
 }

@@ -1,0 +1,101 @@
+package cubicle
+
+import (
+	"testing"
+)
+
+func TestSortedEdgesTieBreaking(t *testing.T) {
+	s := newStats()
+	// Two pairs tied on count plus one dominant edge; ties must order by
+	// From, then To, so reports are stable run to run.
+	s.Calls[Edge{From: 5, To: 1}] = 3
+	s.Calls[Edge{From: 2, To: 7}] = 3
+	s.Calls[Edge{From: 2, To: 4}] = 3
+	s.Calls[Edge{From: 9, To: 9}] = 100
+	got := s.SortedEdges()
+	want := []EdgeCount{
+		{From: 9, To: 9, Count: 100},
+		{From: 2, To: 4, Count: 3},
+		{From: 2, To: 7, Count: 3},
+		{From: 5, To: 1, Count: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStatsResetGivesFreshMap(t *testing.T) {
+	s := newStats()
+	s.Calls[Edge{From: 1, To: 2}] = 9
+	s.CallsTotal = 9
+	s.Faults = 4
+	old := s.Calls
+
+	s.Reset()
+	if s.CallsTotal != 0 || s.Faults != 0 {
+		t.Fatalf("scalar counters survived reset: %+v", s)
+	}
+	if len(s.Calls) != 0 {
+		t.Fatalf("edge map survived reset: %v", s.Calls)
+	}
+	// The reset map must not alias the old one: writes through a stale
+	// reference (e.g. a report held across a reset) must not reappear.
+	old[Edge{From: 3, To: 4}] = 1
+	if len(s.Calls) != 0 {
+		t.Fatal("Reset left the stats aliasing the old Calls map")
+	}
+}
+
+// TestTracingDisabledAddsNoAllocations is the benchmark guard in test
+// form: with no tracer attached, the cross-cubicle call path must not
+// allocate, so ModeFull measurements are unaffected by the existence of
+// the observability layer.
+func TestTracingDisabledAddsNoAllocations(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	h := ts.m.MustResolve(ts.cubs["BAR"].ID, "FOO", "foo_noop")
+	ts.enter(t, "BAR", func(e *Env) {
+		// Warm up: first calls populate the per-edge stats map and any
+		// lazily-built thread state.
+		for i := 0; i < 16; i++ {
+			h.Call(e)
+		}
+		allocs := testing.AllocsPerRun(200, func() { h.Call(e) })
+		// Generous margin: the call path itself is allocation-free; allow
+		// a stray allocation for runtime noise but fail on a per-call
+		// event or label allocation sneaking in.
+		if allocs > 0.5 {
+			t.Fatalf("tracing-disabled call allocates %.2f objects/op, want 0", allocs)
+		}
+	})
+}
+
+// benchCall measures one FOO←BAR noop cross-cubicle call in ModeFull.
+func benchCall(b *testing.B, traced bool) {
+	var tt testing.T
+	ts := bootPair(&tt, ModeFull)
+	if tt.Failed() {
+		b.Fatal("boot failed")
+	}
+	if traced {
+		ts.m.EnableTracing(1 << 12)
+	}
+	h := ts.m.MustResolve(ts.cubs["BAR"].ID, "FOO", "foo_noop")
+	cub := ts.cubs["BAR"]
+	e := ts.env
+	e.T.pushFrame(cub.ID, true)
+	defer e.T.popFrame()
+	ts.m.wrpkru(e.T, ts.m.pkruFor(cub.ID))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Call(e)
+	}
+}
+
+func BenchmarkCallTracingDisabled(b *testing.B) { benchCall(b, false) }
+func BenchmarkCallTracingEnabled(b *testing.B)  { benchCall(b, true) }

@@ -36,7 +36,8 @@ type frame struct {
 // own PKRU value and per-cubicle stacks, as MPK permissions are per-thread.
 type Thread struct {
 	m      *Monitor
-	cur    ID // cubicle whose privileges the thread currently runs with
+	id     int // dense thread index, stamped into trace events
+	cur    ID  // cubicle whose privileges the thread currently runs with
 	pkru   mpk.PKRU
 	stacks map[ID]*stack
 	frames []frame
@@ -47,6 +48,7 @@ type Thread struct {
 func (m *Monitor) NewThread() *Thread {
 	t := &Thread{
 		m:      m,
+		id:     len(m.threads),
 		cur:    MonitorID,
 		pkru:   mpk.AllAllowed,
 		stacks: make(map[ID]*stack),
@@ -55,6 +57,9 @@ func (m *Monitor) NewThread() *Thread {
 	m.threads = append(m.threads, t)
 	return t
 }
+
+// TID returns the thread's dense index (the "tid" of its trace track).
+func (t *Thread) TID() int { return t.id }
 
 // Current returns the cubicle whose privileges the thread is running with.
 func (t *Thread) Current() ID { return t.cur }
@@ -110,6 +115,11 @@ func (t *Thread) pushFrame(callee ID, crossing bool) {
 	caller := t.cur
 	if crossing {
 		t.cur = callee
+		// The profiler attributes elapsed cycles to the executing
+		// cubicle; a crossing frame is exactly a cubicle switch.
+		if trc := t.m.trc; trc != nil {
+			trc.SwitchCubicle(int(callee))
+		}
 	}
 	s := t.stackFor(t.cur)
 	t.frames = append(t.frames, frame{
@@ -135,6 +145,9 @@ func (t *Thread) popFrame() {
 	}
 	if f.crossing {
 		t.cur = f.caller
+		if trc := t.m.trc; trc != nil {
+			trc.SwitchCubicle(int(f.caller))
+		}
 	}
 	t.pkru = f.savedPKRU
 }

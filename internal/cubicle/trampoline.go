@@ -24,6 +24,7 @@ type Trampoline struct {
 	callee     ID
 	component  string
 	sym        string
+	symbol     string // cached "component.symbol", so hot paths never concatenate
 	fn         Fn
 	regArgs    int
 	stackBytes int
@@ -36,7 +37,12 @@ type Trampoline struct {
 }
 
 // Symbol returns the trampoline's "component.symbol" name.
-func (tr *Trampoline) Symbol() string { return tr.component + "." + tr.sym }
+func (tr *Trampoline) Symbol() string {
+	if tr.symbol == "" {
+		tr.symbol = tr.component + "." + tr.sym
+	}
+	return tr.symbol
+}
 
 // Handle is a resolved cross-cubicle call target: the dynamic-symbol
 // binding the loader installs so that calls "go through the appropriate
@@ -141,6 +147,9 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	// calling cubicle; never involves the runtime TCB (§3 ❹).
 	if callee.Kind == KindShared {
 		m.Stats.SharedCalls++
+		if m.trc != nil {
+			m.trc.SharedCall(t.id, int(t.cur), int(tr.callee), tr.Symbol())
+		}
 		t.pushFrame(tr.callee, false)
 		defer t.popFrame()
 		return tr.fn(e, args)
@@ -157,6 +166,13 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	m.Stats.CallsTotal++
 	m.Stats.Calls[Edge{From: t.cur, To: tr.callee}]++
 
+	var copied uint64
+	if m.Mode.TrampolinesEnabled() && tr.stackBytes > 0 {
+		copied = uint64(tr.stackBytes)
+	}
+	if m.trc != nil {
+		m.trc.CallEnter(t.id, int(t.cur), int(tr.callee), tr.Symbol(), copied)
+	}
 	if m.Mode.TrampolinesEnabled() {
 		m.Clock.Charge(m.Costs.TrampolineBase)
 		if tr.stackBytes > 0 {
@@ -184,6 +200,9 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	}
 	if m.Mode.MPKEnabled() {
 		m.wrpkru(t, m.pkruFor(h.caller))
+	}
+	if m.trc != nil {
+		m.trc.CallExit(t.id, int(h.caller), int(tr.callee), tr.Symbol())
 	}
 	return rets
 }

@@ -61,32 +61,37 @@ func (w *Window) String() string {
 	return fmt.Sprintf("window %d (owner %d, %d ranges, open %#x)", w.ID, w.Owner, len(w.Ranges), w.Open)
 }
 
-// chargeWindowOp charges the cost of one window-management API call.
-// Window bookkeeping only costs anything when ACLs are enforced; in the
-// no-ACL ablation the calls are retained in component code but compile to
-// no-ops, which is how Figure 6 separates the "windows" overhead from the
-// "MPK" overhead.
-func (m *Monitor) chargeWindowOp() {
+// chargeWindowOp charges and records the cost of one window-management
+// API call. Window bookkeeping only costs anything when ACLs are
+// enforced; in the no-ACL ablation the calls are retained in component
+// code but compile to no-ops, which is how Figure 6 separates the
+// "windows" overhead from the "MPK" overhead. op and wid label the trace
+// event (wid -1 when the window is not yet allocated).
+func (m *Monitor) chargeWindowOp(c ID, op string, wid WID) {
 	if m.Mode.ACLEnabled() {
 		m.Clock.Charge(m.Costs.WindowOp)
 		m.Stats.WindowOps++
+		if m.trc != nil {
+			m.trc.WindowOp(int(c), op, int(wid))
+		}
 	}
 }
 
 // windowInit implements cubicle_window_init for cubicle c.
 func (m *Monitor) windowInit(c ID) WID {
-	m.chargeWindowOp()
 	cub := m.cubicle(c)
 	// Reuse a destroyed slot if one exists; otherwise the cubicle asks
 	// the monitor to extend the descriptor array (§5.3).
 	for i, w := range cub.windows {
 		if w == nil {
 			cub.windows[i] = &Window{ID: WID(i), Owner: c, Class: classNone, pinned: noPin}
+			m.chargeWindowOp(c, "init", WID(i))
 			return WID(i)
 		}
 	}
 	wid := WID(len(cub.windows))
 	cub.windows = append(cub.windows, &Window{ID: wid, Owner: c, Class: classNone, pinned: noPin})
+	m.chargeWindowOp(c, "init", wid)
 	return wid
 }
 
@@ -109,7 +114,7 @@ func (m *Monitor) window(c ID, wid WID, op string) *Window {
 // cannot open a window onto data shared with it by another cubicle (the
 // nested-call rule of §5.6).
 func (m *Monitor) windowAdd(c ID, wid WID, ptr vm.Addr, size uint64) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "add", wid)
 	w := m.window(c, wid, "window_add")
 	if size == 0 {
 		panic(&APIError{Cubicle: c, Op: "window_add", Reason: "empty range"})
@@ -149,8 +154,7 @@ func (m *Monitor) windowAdd(c ID, wid WID, ptr vm.Addr, size uint64) {
 		first, last := vm.PagesIn(ptr, size)
 		for pn := first; pn <= last; pn++ {
 			m.AS.Page(vm.PageAddr(pn)).Key = uint8(w.pinned)
-			m.Clock.Charge(m.Costs.PkeyMprotect)
-			m.Stats.Retags++
+			m.noteRetag(c, vm.PageAddr(pn), w.pinned)
 		}
 	}
 }
@@ -158,7 +162,7 @@ func (m *Monitor) windowAdd(c ID, wid WID, ptr vm.Addr, size uint64) {
 // windowRemove implements cubicle_window_remove: drop the range previously
 // associated with wid that starts at ptr.
 func (m *Monitor) windowRemove(c ID, wid WID, ptr vm.Addr) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "remove", wid)
 	w := m.window(c, wid, "window_remove")
 	for i, r := range w.Ranges {
 		if r.Addr == ptr {
@@ -172,7 +176,7 @@ func (m *Monitor) windowRemove(c ID, wid WID, ptr vm.Addr) {
 // windowOpen implements cubicle_window_open: allow cubicle cid to access
 // the window's contents.
 func (m *Monitor) windowOpen(c ID, wid WID, cid ID) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "open", wid)
 	w := m.window(c, wid, "window_open")
 	if cid < 0 || cid >= MaxCubicles || int(cid) >= len(m.cubicles) {
 		panic(&APIError{Cubicle: c, Op: "window_open", Reason: fmt.Sprintf("no such cubicle %d", cid)})
@@ -187,7 +191,7 @@ func (m *Monitor) windowOpen(c ID, wid WID, cid ID) {
 // pages: the monitor maintains causal tag consistency (§5.6), lazily
 // reassigning tags only when a page is next accessed.
 func (m *Monitor) windowClose(c ID, wid WID, cid ID) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "close", wid)
 	w := m.window(c, wid, "window_close")
 	if cid >= 0 && cid < MaxCubicles {
 		w.Open &^= 1 << uint(cid)
@@ -201,7 +205,7 @@ func (m *Monitor) windowClose(c ID, wid WID, cid ID) {
 
 // windowCloseAll implements cubicle_window_close_all.
 func (m *Monitor) windowCloseAll(c ID, wid WID) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "close_all", wid)
 	w := m.window(c, wid, "window_close_all")
 	w.Open = 0
 	if w.pinned != noPin {
@@ -211,7 +215,7 @@ func (m *Monitor) windowCloseAll(c ID, wid WID) {
 
 // windowDestroy implements cubicle_window_destroy.
 func (m *Monitor) windowDestroy(c ID, wid WID) {
-	m.chargeWindowOp()
+	m.chargeWindowOp(c, "destroy", wid)
 	w := m.window(c, wid, "window_destroy")
 	if w.pinned != noPin {
 		m.unpinWindow(c, wid)

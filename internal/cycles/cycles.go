@@ -27,10 +27,19 @@ type Clock struct {
 	// (Charge) are never scaled — traps and wrpkru cost what the
 	// hardware costs regardless of who runs on top.
 	workNum, workDen uint64
+	// onAdvance, when set, observes every clock advance with the new
+	// cycle count. The tracing layer uses it to drive the virtual-clock
+	// sampling profiler; when unset the cost is one nil check per charge.
+	onAdvance func(now uint64)
 }
 
 // Charge adds n cycles to the clock (architectural events; unscaled).
-func (c *Clock) Charge(n uint64) { c.cycles += n }
+func (c *Clock) Charge(n uint64) {
+	c.cycles += n
+	if c.onAdvance != nil {
+		c.onAdvance(c.cycles)
+	}
+}
 
 // ChargeWork adds n cycles of modelled compute, scaled by the work-scale
 // factor.
@@ -39,7 +48,13 @@ func (c *Clock) ChargeWork(n uint64) {
 		n = n * c.workNum / c.workDen
 	}
 	c.cycles += n
+	if c.onAdvance != nil {
+		c.onAdvance(c.cycles)
+	}
 }
+
+// SetOnAdvance installs (or with nil removes) the clock-advance observer.
+func (c *Clock) SetOnAdvance(fn func(now uint64)) { c.onAdvance = fn }
 
 // SetWorkScale sets the modelled-compute scale factor (1.0 = native).
 func (c *Clock) SetWorkScale(f float64) {

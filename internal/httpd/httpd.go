@@ -190,6 +190,7 @@ func (s *Server) advance(e *cubicle.Env, c *conn) uint64 {
 
 // parseRequest handles the request line and opens the file.
 func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
+	e.TraceMark("http.request.parsed")
 	e.Work(parseWork)
 	line, _, _ := strings.Cut(string(c.req), "\r\n")
 	fields := strings.Fields(line)
@@ -292,6 +293,7 @@ func (s *Server) finish(e *cubicle.Env, c *conn) {
 	e.Write(s.logBuf, []byte(line))
 	s.plat.ConsoleWrite(e, s.logBuf, uint64(len(line)))
 	s.Requests++
+	e.TraceMark("http.request.done")
 	s.closeConn(e, c)
 }
 

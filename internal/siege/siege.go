@@ -46,13 +46,27 @@ type Target struct {
 // RANDOM shared, every buffer allocated through ALLOC, in the given
 // isolation mode.
 func NewTarget(mode cubicle.Mode) (*Target, error) {
+	return newTarget(mode, 0, 0)
+}
+
+// NewTargetTraced boots the same deployment with the observability layer
+// enabled from cycle 0: a trace ring of ringCap events plus, when
+// samplePeriod is non-zero, the virtual-clock sampling profiler. Inspect
+// the run through Target.Sys.M.Tracer().
+func NewTargetTraced(mode cubicle.Mode, ringCap int, samplePeriod uint64) (*Target, error) {
+	return newTarget(mode, ringCap, samplePeriod)
+}
+
+func newTarget(mode cubicle.Mode, traceEvents int, samplePeriod uint64) (*Target, error) {
 	srv := httpd.New(80)
 	sys, err := boot.NewFS(boot.Config{
-		Mode:          mode,
-		Net:           true,
-		RamfsViaAlloc: true,
-		LwipViaAlloc:  true,
-		Extra:         []*cubicle.Component{srv.Component()},
+		Mode:              mode,
+		Net:               true,
+		RamfsViaAlloc:     true,
+		LwipViaAlloc:      true,
+		Extra:             []*cubicle.Component{srv.Component()},
+		TraceEvents:       traceEvents,
+		TraceSamplePeriod: samplePeriod,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"sort"
+
+	"cubicleos/internal/cycles"
+)
+
+// profiler attributes virtual cycles to the cubicle that was executing
+// when they were charged. The simulator is cooperatively scheduled, so a
+// single "currently executing cubicle" register is exact: the monitor
+// tells the profiler about every cubicle switch (trampoline call enter
+// and exit, RunAs), and every clock charge in between belongs to the
+// cubicle in that register. On top of the exact span attribution, an
+// optional virtual-clock sampler ticks every Period cycles and counts one
+// sample against the running cubicle — the flat profile a hardware
+// perf-style sampler would deliver.
+type profiler struct {
+	clock  *cycles.Clock
+	cur    int32  // currently executing cubicle
+	mark   uint64 // clock value when cur started executing
+	cycles map[int32]uint64
+
+	period     uint64
+	nextSample uint64
+	samples    map[int32]uint64
+}
+
+func (p *profiler) init(clock *cycles.Clock) {
+	p.clock = clock
+	p.cur = 0 // boot executes as the monitor
+	p.mark = clock.Cycles()
+	p.cycles = make(map[int32]uint64)
+	p.samples = make(map[int32]uint64)
+}
+
+// switchTo flushes the span of the previously running cubicle and makes
+// cub the attribution target.
+func (p *profiler) switchTo(cub int32) {
+	now := p.clock.Cycles()
+	p.cycles[p.cur] += now - p.mark
+	p.cur = cub
+	p.mark = now
+}
+
+// flush attributes the still-open span without changing the target.
+func (p *profiler) flush() {
+	now := p.clock.Cycles()
+	p.cycles[p.cur] += now - p.mark
+	p.mark = now
+}
+
+// tick is the clock-advance observer driving the sampler.
+func (p *profiler) tick(now uint64) {
+	for now >= p.nextSample {
+		p.samples[p.cur]++
+		p.nextSample += p.period
+	}
+}
+
+// SwitchCubicle informs the profiler that execution switched to cub.
+// The monitor calls this from every crossing frame push/pop.
+func (t *Tracer) SwitchCubicle(cub int) { t.prof.switchTo(int32(cub)) }
+
+// EnableSampling starts the virtual-clock sampler with the given period
+// in cycles, hooking the clock's advance observer. A period of 0 disables
+// sampling again.
+func (t *Tracer) EnableSampling(period uint64) {
+	if period == 0 {
+		t.clock.SetOnAdvance(nil)
+		t.prof.period = 0
+		return
+	}
+	t.prof.period = period
+	t.prof.nextSample = t.clock.Cycles() + period
+	t.clock.SetOnAdvance(t.prof.tick)
+}
+
+// ProfileEntry is one cubicle's row of the cycle profile.
+type ProfileEntry struct {
+	Cubicle int     `json:"cubicle"`
+	Name    string  `json:"name"`
+	Cycles  uint64  `json:"cycles"`
+	Percent float64 `json:"percent"`
+	Samples uint64  `json:"samples"`
+}
+
+// Profile is the per-cubicle "where did the time go" report.
+type Profile struct {
+	// TotalCycles is the sum over entries — equal to the virtual clock
+	// minus the cycle at which tracing was enabled.
+	TotalCycles uint64         `json:"total_cycles"`
+	Samples     uint64         `json:"samples"`
+	Period      uint64         `json:"sample_period,omitempty"`
+	Entries     []ProfileEntry `json:"entries"`
+}
+
+// Profile flushes the open span and returns the per-cubicle cycle
+// profile, sorted by descending cycles (ties by cubicle ID).
+func (t *Tracer) Profile() Profile {
+	t.prof.flush()
+	p := Profile{Period: t.prof.period}
+	for cub, cyc := range t.prof.cycles {
+		p.TotalCycles += cyc
+		p.Entries = append(p.Entries, ProfileEntry{
+			Cubicle: int(cub),
+			Name:    t.Name(int(cub)),
+			Cycles:  cyc,
+			Samples: t.prof.samples[cub],
+		})
+	}
+	for i := range p.Entries {
+		if p.TotalCycles > 0 {
+			p.Entries[i].Percent = 100 * float64(p.Entries[i].Cycles) / float64(p.TotalCycles)
+		}
+		p.Samples += p.Entries[i].Samples
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Cycles != p.Entries[j].Cycles {
+			return p.Entries[i].Cycles > p.Entries[j].Cycles
+		}
+		return p.Entries[i].Cubicle < p.Entries[j].Cubicle
+	})
+	return p
+}

@@ -1,0 +1,416 @@
+// Package trace is the observability layer of the simulated machine: a
+// fixed-capacity ring of typed events stamped with the virtual cycle
+// clock, streaming per-edge and per-event-class cycle histograms, and a
+// virtual-clock profiler that attributes elapsed cycles to the cubicle
+// executing when they were charged.
+//
+// The tracer is zero-dependency (it knows cubicles and threads only as
+// integer IDs, resolved to names by a caller-installed namer) and is
+// designed so that the *disabled* state costs the monitor exactly one nil
+// check per hot-path event and zero allocations. When enabled, recording
+// is allocation-free in steady state: the ring is preallocated, the
+// histograms are fixed-size, and event labels are interned strings the
+// instrumentation sites pass as constants.
+package trace
+
+import (
+	"sort"
+
+	"cubicleos/internal/cycles"
+)
+
+// Kind is the type of one trace event.
+type Kind uint8
+
+const (
+	// EvCallEnter marks a cross-cubicle call entering its trampoline:
+	// Cubicle is the caller, Other the callee, Arg the in-stack argument
+	// bytes copied, Name the trampoline symbol.
+	EvCallEnter Kind = iota
+	// EvCallExit marks the matching return; Arg is the inclusive elapsed
+	// cycles of the call.
+	EvCallExit
+	// EvSharedCall is a call into a shared cubicle (no TCB involvement).
+	EvSharedCall
+	// EvFault is a protection trap served by trap-and-map; Arg is the
+	// faulting address and Cost the cycles spent in the handler.
+	EvFault
+	// EvDeniedFault is a protection trap no window authorised.
+	EvDeniedFault
+	// EvRetag is one page retag (pkey_mprotect); Arg is the page address,
+	// Other the new key.
+	EvRetag
+	// EvWRPKRU is one wrpkru execution; Arg is the new PKRU value.
+	EvWRPKRU
+	// EvWindowOp is a window-management API call; Name is the operation
+	// (init/add/remove/open/close/close_all/destroy/pin/unpin), Arg the
+	// window ID.
+	EvWindowOp
+	// EvWindowSearch is one linear window-descriptor search; Arg is the
+	// number of descriptor entries visited.
+	EvWindowSearch
+	// EvKeyEviction is an MPK key recycled by tag virtualisation; Other
+	// is the evicted cubicle, Arg the physical key.
+	EvKeyEviction
+	// EvIPC is one message-passing call of the microkernel baselines;
+	// Name is the operation, Arg the payload bytes marshalled.
+	EvIPC
+	// EvCopy is a checked bulk copy (memcpy/memset); Arg is the byte count.
+	EvCopy
+	// EvMark is an application-level marker (e.g. HTTP request lifecycle).
+	EvMark
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvCallEnter:    "call_enter",
+	EvCallExit:     "call_exit",
+	EvSharedCall:   "shared_call",
+	EvFault:        "fault",
+	EvDeniedFault:  "denied_fault",
+	EvRetag:        "retag",
+	EvWRPKRU:       "wrpkru",
+	EvWindowOp:     "window_op",
+	EvWindowSearch: "window_search",
+	EvKeyEviction:  "key_eviction",
+	EvIPC:          "ipc",
+	EvCopy:         "copy",
+	EvMark:         "mark",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one entry of the trace ring. Field meaning varies by Kind (see
+// the Kind constants); Cycle is the virtual clock at record time, Cost
+// the cycles attributed to the event itself where that is meaningful
+// (call elapsed, fault-handler span, IPC charge).
+type Event struct {
+	Seq     uint64
+	Cycle   uint64
+	Kind    Kind
+	Thread  int32
+	Cubicle int32
+	Other   int32
+	Arg     uint64
+	Cost    uint64
+	Name    string
+}
+
+// Edge is a directed caller→callee pair, the unit of per-edge histograms.
+type Edge struct {
+	From, To int32
+}
+
+// Tracer is the recording side of the observability layer. It is not
+// safe for concurrent use — the simulator is cooperatively scheduled on
+// one goroutine, and the tracer inherits that discipline.
+type Tracer struct {
+	clock *cycles.Clock
+	namer func(int) string
+
+	// Ring buffer: buf[(seq) % cap] for seq in [next-len, next).
+	buf  []Event
+	next uint64
+
+	counts  [numKinds]uint64
+	weights [numKinds]uint64 // sum of Arg for weighted kinds
+
+	edgeCalls map[Edge]uint64
+	edgeHists map[Edge]*Hist
+	classHist [numKinds]*Hist // cycle cost distributions per event class
+
+	// open call spans per thread, for elapsed-cycle computation.
+	open map[int32][]openCall
+
+	prof profiler
+}
+
+type openCall struct {
+	edge  Edge
+	start uint64
+}
+
+// New creates a tracer over the given virtual clock with a ring of
+// ringCap events (minimum 16).
+func New(clock *cycles.Clock, ringCap int) *Tracer {
+	if ringCap < 16 {
+		ringCap = 16
+	}
+	t := &Tracer{
+		clock:     clock,
+		buf:       make([]Event, ringCap),
+		edgeCalls: make(map[Edge]uint64),
+		edgeHists: make(map[Edge]*Hist),
+		open:      make(map[int32][]openCall),
+	}
+	t.prof.init(clock)
+	return t
+}
+
+// SetNamer installs the cubicle-ID → name resolver used by exporters.
+func (t *Tracer) SetNamer(fn func(int) string) { t.namer = fn }
+
+// Name resolves a cubicle ID to a display name.
+func (t *Tracer) Name(id int) string {
+	if t.namer != nil {
+		if n := t.namer(id); n != "" {
+			return n
+		}
+	}
+	if id < 0 {
+		return "runtime"
+	}
+	return "cubicle-" + itoa(id)
+}
+
+// record appends ev to the ring and folds it into the streaming counters.
+func (t *Tracer) record(ev Event) {
+	ev.Seq = t.next
+	ev.Cycle = t.clock.Cycles()
+	t.buf[t.next%uint64(len(t.buf))] = ev
+	t.next++
+	t.counts[ev.Kind]++
+	switch ev.Kind {
+	case EvCallEnter, EvWindowSearch, EvCopy, EvIPC:
+		t.weights[ev.Kind] += ev.Arg
+	}
+	if ev.Cost > 0 {
+		h := t.classHist[ev.Kind]
+		if h == nil {
+			h = &Hist{}
+			t.classHist[ev.Kind] = h
+		}
+		h.Observe(ev.Cost)
+	}
+}
+
+// CallEnter records a cross-cubicle call entering its trampoline and
+// opens the span used to compute its elapsed cycles.
+func (t *Tracer) CallEnter(thread, from, to int, sym string, stackBytes uint64) {
+	e := Edge{From: int32(from), To: int32(to)}
+	t.edgeCalls[e]++
+	t.record(Event{Kind: EvCallEnter, Thread: int32(thread), Cubicle: int32(from),
+		Other: int32(to), Arg: stackBytes, Name: sym})
+	t.open[int32(thread)] = append(t.open[int32(thread)], openCall{edge: e, start: t.clock.Cycles()})
+}
+
+// CallExit records the return of the innermost open call on thread,
+// observing its inclusive elapsed cycles into the per-edge histogram.
+func (t *Tracer) CallExit(thread, from, to int, sym string) {
+	tid := int32(thread)
+	var elapsed uint64
+	if stk := t.open[tid]; len(stk) > 0 {
+		oc := stk[len(stk)-1]
+		t.open[tid] = stk[:len(stk)-1]
+		elapsed = t.clock.Cycles() - oc.start
+		h := t.edgeHists[oc.edge]
+		if h == nil {
+			h = &Hist{}
+			t.edgeHists[oc.edge] = h
+		}
+		h.Observe(elapsed)
+	}
+	t.record(Event{Kind: EvCallExit, Thread: tid, Cubicle: int32(from),
+		Other: int32(to), Arg: elapsed, Cost: elapsed, Name: sym})
+}
+
+// SharedCall records a call into a shared cubicle.
+func (t *Tracer) SharedCall(thread, cur, callee int, sym string) {
+	t.record(Event{Kind: EvSharedCall, Thread: int32(thread), Cubicle: int32(cur),
+		Other: int32(callee), Name: sym})
+}
+
+// Fault records a protection trap served by trap-and-map; elapsed is the
+// cycles the handler charged.
+func (t *Tracer) Fault(thread, cur, owner int, addr, elapsed uint64) {
+	t.record(Event{Kind: EvFault, Thread: int32(thread), Cubicle: int32(cur),
+		Other: int32(owner), Arg: addr, Cost: elapsed})
+}
+
+// DeniedFault records a protection trap that no window authorised.
+func (t *Tracer) DeniedFault(thread, cur, owner int, addr uint64) {
+	t.record(Event{Kind: EvDeniedFault, Thread: int32(thread), Cubicle: int32(cur),
+		Other: int32(owner), Arg: addr})
+}
+
+// Retag records one page retag to the given key.
+func (t *Tracer) Retag(cur int, addr uint64, key uint8) {
+	t.record(Event{Kind: EvRetag, Thread: -1, Cubicle: int32(cur), Other: int32(key), Arg: addr})
+}
+
+// WRPKRU records one wrpkru execution.
+func (t *Tracer) WRPKRU(thread, cur int, pkru uint64) {
+	t.record(Event{Kind: EvWRPKRU, Thread: int32(thread), Cubicle: int32(cur), Arg: pkru})
+}
+
+// WindowOp records one window-management API call.
+func (t *Tracer) WindowOp(cur int, op string, wid int) {
+	t.record(Event{Kind: EvWindowOp, Thread: -1, Cubicle: int32(cur), Arg: uint64(wid), Name: op})
+}
+
+// WindowSearch records one linear window-descriptor search of the trap
+// handler; steps is the number of descriptor entries visited.
+func (t *Tracer) WindowSearch(cur int, steps uint64) {
+	t.record(Event{Kind: EvWindowSearch, Thread: -1, Cubicle: int32(cur), Arg: steps})
+}
+
+// KeyEviction records an MPK key recycled away from cubicle victim.
+func (t *Tracer) KeyEviction(victim int, key uint8) {
+	t.record(Event{Kind: EvKeyEviction, Thread: -1, Cubicle: int32(victim),
+		Other: int32(key), Arg: uint64(key)})
+}
+
+// IPC records one message-passing call of a microkernel baseline.
+func (t *Tracer) IPC(cur int, op string, bytes, cost uint64) {
+	t.record(Event{Kind: EvIPC, Thread: -1, Cubicle: int32(cur), Arg: bytes, Cost: cost, Name: op})
+}
+
+// Copy records a checked bulk copy of n bytes.
+func (t *Tracer) Copy(cur int, n uint64) {
+	t.record(Event{Kind: EvCopy, Thread: -1, Cubicle: int32(cur), Arg: n})
+}
+
+// Mark records an application-level marker. Label should be a constant
+// string so that recording stays allocation-free.
+func (t *Tracer) Mark(thread, cur int, label string) {
+	t.record(Event{Kind: EvMark, Thread: int32(thread), Cubicle: int32(cur), Name: label})
+}
+
+// --- Queries -----------------------------------------------------------------
+
+// Count returns the number of events of kind k recorded so far (streaming;
+// unaffected by ring overwrites).
+func (t *Tracer) Count(k Kind) uint64 { return t.counts[k] }
+
+// Weight returns the accumulated Arg sum for weighted kinds: stack-arg
+// bytes for EvCallEnter, search steps for EvWindowSearch, bytes for
+// EvCopy and EvIPC.
+func (t *Tracer) Weight(k Kind) uint64 { return t.weights[k] }
+
+// EdgeCalls returns a copy of the per-edge call counts.
+func (t *Tracer) EdgeCalls() map[Edge]uint64 {
+	out := make(map[Edge]uint64, len(t.edgeCalls))
+	for e, n := range t.edgeCalls {
+		out[e] = n
+	}
+	return out
+}
+
+// EdgeSummary is one per-edge histogram digest.
+type EdgeSummary struct {
+	Edge Edge
+	Hist Summary
+}
+
+// EdgeSummaries returns the per-edge call-latency digests sorted by
+// descending call count (ties by edge).
+func (t *Tracer) EdgeSummaries() []EdgeSummary {
+	out := make([]EdgeSummary, 0, len(t.edgeHists))
+	for e, h := range t.edgeHists {
+		out = append(out, EdgeSummary{Edge: e, Hist: h.Summary()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hist.Count != out[j].Hist.Count {
+			return out[i].Hist.Count > out[j].Hist.Count
+		}
+		if out[i].Edge.From != out[j].Edge.From {
+			return out[i].Edge.From < out[j].Edge.From
+		}
+		return out[i].Edge.To < out[j].Edge.To
+	})
+	return out
+}
+
+// EdgeHist returns the latency histogram of one edge, or nil.
+func (t *Tracer) EdgeHist(e Edge) *Hist { return t.edgeHists[e] }
+
+// ClassHist returns the cycle-cost histogram of one event class, or nil
+// if no event of that class carried a cost.
+func (t *Tracer) ClassHist(k Kind) *Hist { return t.classHist[k] }
+
+// Events returns the ring contents in chronological order. The slice
+// aliases fresh copies; mutating it does not affect the tracer.
+func (t *Tracer) Events() []Event {
+	n := t.next
+	capa := uint64(len(t.buf))
+	if n <= capa {
+		out := make([]Event, n)
+		copy(out, t.buf[:n])
+		return out
+	}
+	out := make([]Event, capa)
+	start := n % capa
+	copy(out, t.buf[start:])
+	copy(out[capa-start:], t.buf[:start])
+	return out
+}
+
+// Recorded returns the total number of events recorded (including those
+// overwritten in the ring).
+func (t *Tracer) Recorded() uint64 { return t.next }
+
+// Dropped returns how many events have been overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if capa := uint64(len(t.buf)); t.next > capa {
+		return t.next - capa
+	}
+	return 0
+}
+
+// Counts is the flat event-count view of the trace, mirroring the legacy
+// Stats counters so the two can be cross-checked field by field.
+type Counts struct {
+	CallsTotal        uint64
+	SharedCalls       uint64
+	Faults            uint64
+	DeniedFaults      uint64
+	Retags            uint64
+	WRPKRUs           uint64
+	WindowOps         uint64
+	WindowSearchSteps uint64
+	StackBytesCopied  uint64
+	BulkBytesCopied   uint64
+	KeyEvictions      uint64
+	IPCMessages       uint64
+	Calls             map[Edge]uint64
+}
+
+// Counts derives the flat counters from the event stream.
+func (t *Tracer) Counts() Counts {
+	return Counts{
+		CallsTotal:        t.counts[EvCallEnter],
+		SharedCalls:       t.counts[EvSharedCall],
+		Faults:            t.counts[EvFault],
+		DeniedFaults:      t.counts[EvDeniedFault],
+		Retags:            t.counts[EvRetag],
+		WRPKRUs:           t.counts[EvWRPKRU],
+		WindowOps:         t.counts[EvWindowOp],
+		WindowSearchSteps: t.weights[EvWindowSearch],
+		StackBytesCopied:  t.weights[EvCallEnter],
+		BulkBytesCopied:   t.weights[EvCopy],
+		KeyEvictions:      t.counts[EvKeyEviction],
+		IPCMessages:       t.counts[EvIPC],
+		Calls:             t.EdgeCalls(),
+	}
+}
+
+// itoa is strconv.Itoa for small non-negative ints without the import.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cubicleos/internal/cycles"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+		if c.v > BucketBound(c.bucket) {
+			t.Errorf("value %d above its bucket bound %d", c.v, BucketBound(c.bucket))
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	if h.Max() != 1025 || h.Min() != 0 {
+		t.Fatalf("min/max = %d/%d, want 0/1025", h.Min(), h.Max())
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty hist quantile should be 0")
+	}
+	// 90 cheap observations, 10 expensive ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket le=16
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // bucket le=8192
+	}
+	if q := h.Quantile(0.5); q != 16 {
+		t.Errorf("p50 = %d, want bucket bound 16", q)
+	}
+	// p99 lands in the expensive bucket; the estimate is the bucket's
+	// upper bound clamped to the observed max.
+	if q := h.Quantile(0.99); q != 5000 {
+		t.Errorf("p99 = %d, want max-clamped 5000", q)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Sum != 90*10+10*5000 || s.Max != 5000 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestRingWrapKeepsCounts(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 16)
+	for i := 0; i < 100; i++ {
+		clock.Charge(10)
+		tr.Retag(1, uint64(i), 2)
+	}
+	if got := tr.Count(EvRetag); got != 100 {
+		t.Fatalf("streaming count = %d, want 100 despite ring wrap", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring holds %d events, want 16", len(evs))
+	}
+	if tr.Dropped() != 100-16 {
+		t.Fatalf("dropped = %d, want %d", tr.Dropped(), 100-16)
+	}
+	// Chronological order, and the survivors are the newest events.
+	for i, ev := range evs {
+		if want := uint64(100 - 16 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestCallPairingAndEdgeHist(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	tr.CallEnter(0, 1, 2, "a.f", 32)
+	clock.Charge(500)
+	// Nested call on the same thread.
+	tr.CallEnter(0, 2, 3, "b.g", 16)
+	clock.Charge(100)
+	tr.CallExit(0, 2, 3, "b.g")
+	clock.Charge(400)
+	tr.CallExit(0, 1, 2, "a.f")
+
+	if h := tr.EdgeHist(Edge{2, 3}); h == nil || h.Count() != 1 || h.Sum() != 100 {
+		t.Fatalf("inner edge hist = %+v", h)
+	}
+	if h := tr.EdgeHist(Edge{1, 2}); h == nil || h.Count() != 1 || h.Sum() != 1000 {
+		t.Fatalf("outer edge hist = %+v", h)
+	}
+	c := tr.Counts()
+	if c.CallsTotal != 2 || c.StackBytesCopied != 48 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Calls[Edge{1, 2}] != 1 || c.Calls[Edge{2, 3}] != 1 {
+		t.Fatalf("edge calls = %v", c.Calls)
+	}
+}
+
+func TestProfileAttribution(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	tr.SetNamer(func(id int) string { return map[int]string{0: "A", 1: "B"}[id] })
+
+	clock.Charge(100) // cubicle 0 (initial)
+	tr.SwitchCubicle(1)
+	clock.Charge(300) // cubicle 1
+	tr.SwitchCubicle(0)
+	clock.Charge(50) // cubicle 0 again
+
+	p := tr.Profile()
+	if p.TotalCycles != 450 {
+		t.Fatalf("total = %d, want 450", p.TotalCycles)
+	}
+	if len(p.Entries) != 2 {
+		t.Fatalf("entries = %+v", p.Entries)
+	}
+	// Sorted by descending cycles: B=300, A=150.
+	if p.Entries[0].Name != "B" || p.Entries[0].Cycles != 300 {
+		t.Fatalf("top entry = %+v", p.Entries[0])
+	}
+	if p.Entries[1].Name != "A" || p.Entries[1].Cycles != 150 {
+		t.Fatalf("second entry = %+v", p.Entries[1])
+	}
+}
+
+func TestSamplingProfiler(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	tr.EnableSampling(100)
+	tr.SwitchCubicle(7)
+	for i := 0; i < 10; i++ {
+		clock.Charge(100)
+	}
+	p := tr.Profile()
+	if p.Samples != 10 {
+		t.Fatalf("samples = %d, want 10", p.Samples)
+	}
+	if len(p.Entries) == 0 || p.Entries[0].Cubicle != 7 || p.Entries[0].Samples != 10 {
+		t.Fatalf("entries = %+v", p.Entries)
+	}
+	// Disabling must unhook the clock observer.
+	tr.EnableSampling(0)
+	clock.Charge(1000)
+	if got := tr.Profile().Samples; got != 10 {
+		t.Fatalf("samples advanced to %d after disable", got)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	tr.SetNamer(func(id int) string { return "CUB" + itoa(id) })
+	tr.CallEnter(0, 1, 2, "b.read", 64)
+	clock.Charge(2200)
+	tr.Fault(0, 2, 1, 0x4000, 1500)
+	tr.Retag(2, 0x4000, 3)
+	tr.CallExit(0, 1, 2, "b.read")
+	tr.Mark(0, 2, "checkpoint")
+
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["B"] != 1 || phases["E"] != 1 {
+		t.Fatalf("want one B/E span pair, got %v", phases)
+	}
+	if phases["X"] != 1 {
+		t.Fatalf("fault should be a complete event, got %v", phases)
+	}
+	if phases["M"] == 0 {
+		t.Fatalf("missing metadata events: %v", phases)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	tr.CallEnter(0, 1, 2, "b.read", 64)
+	clock.Charge(4000)
+	tr.CallExit(0, 1, 2, "b.read")
+	tr.SwitchCubicle(1)
+	clock.Charge(100)
+
+	var buf bytes.Buffer
+	if err := tr.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`cubicleos_events_total{kind="call_enter"} 1`,
+		`cubicleos_call_cycles_bucket{from="cubicle-1",to="cubicle-2",le="+Inf"} 1`,
+		`cubicleos_call_cycles_sum{from="cubicle-1",to="cubicle-2"} 4000`,
+		`cubicleos_call_cycles_count{from="cubicle-1",to="cubicle-2"} 1`,
+		"# TYPE cubicleos_call_cycles histogram",
+		"cubicleos_virtual_cycles 4100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Cumulative histogram: every bucket count must be non-decreasing.
+	last := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `cubicleos_call_cycles_bucket{from="cubicle-1"`) {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %q after %v", line, last)
+		}
+		last = v
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	tr.CallEnter(0, 1, 2, "b.read", 64)
+	clock.Charge(4000)
+	tr.CallExit(0, 1, 2, "b.read")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if snap.VirtualCycles != 4000 || snap.Recorded != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Edges) != 1 || snap.Edges[0].Calls != 1 {
+		t.Fatalf("edges = %+v", snap.Edges)
+	}
+}
+
+func TestEdgeSummariesOrder(t *testing.T) {
+	clock := &cycles.Clock{}
+	tr := New(clock, 64)
+	call := func(from, to int, n int) {
+		for i := 0; i < n; i++ {
+			tr.CallEnter(0, from, to, "x", 0)
+			clock.Charge(10)
+			tr.CallExit(0, from, to, "x")
+		}
+	}
+	call(3, 4, 1)
+	call(1, 2, 5)
+	call(2, 3, 5) // ties with 1->2 on count; 1->2 must sort first
+	s := tr.EdgeSummaries()
+	if len(s) != 3 {
+		t.Fatalf("summaries = %+v", s)
+	}
+	if s[0].Edge != (Edge{1, 2}) || s[1].Edge != (Edge{2, 3}) || s[2].Edge != (Edge{3, 4}) {
+		t.Fatalf("order = %v %v %v", s[0].Edge, s[1].Edge, s[2].Edge)
+	}
+}

@@ -114,21 +114,28 @@ type ipcCall struct {
 	inner vfscore.Caller
 	model KernelModel
 	spec  payloadSpec
+	name  string // operation name, for trace events
 	cost  uint64 // per-call IPC cost of this boundary
-	clock *cycles.Clock
+	mon   *cubicle.Monitor
 	stats *Stats
 }
 
 // Call marshals, switches, dispatches and replies.
 func (c ipcCall) Call(e *cubicle.Env, args ...uint64) []uint64 {
 	c.stats.Calls++
-	c.clock.Charge(c.cost)
+	clock := c.mon.Clock
+	clock.Charge(c.cost)
+	overhead := c.cost
 	// In-payload: copy into the message at the caller, out of it at the
 	// callee (two copies).
+	var payload uint64
 	if c.spec.lenArg >= 0 && c.spec.in {
 		n := args[c.spec.lenArg]
-		c.clock.Charge(((n + 15) / 16) * c.model.CopyChunk16 * 2)
+		copyCost := ((n + 15) / 16) * c.model.CopyChunk16 * 2
+		clock.Charge(copyCost)
+		overhead += copyCost
 		c.stats.BytesCopied += 2 * n
+		payload += 2 * n
 	}
 	rets := c.inner.Call(e, args...)
 	// Out-payload: copy into the reply message and out at the caller.
@@ -137,8 +144,14 @@ func (c ipcCall) Call(e *cubicle.Env, args ...uint64) []uint64 {
 		if c.spec.outLenFromRet && len(rets) > 0 && rets[0] < n {
 			n = rets[0]
 		}
-		c.clock.Charge(((n + 15) / 16) * c.model.CopyChunk16 * 2)
+		copyCost := ((n + 15) / 16) * c.model.CopyChunk16 * 2
+		clock.Charge(copyCost)
+		overhead += copyCost
 		c.stats.BytesCopied += 2 * n
+		payload += 2 * n
+	}
+	if trc := c.mon.Tracer(); trc != nil {
+		trc.IPC(int(e.Cubicle()), c.name, payload, overhead)
 	}
 	return rets
 }
@@ -185,7 +198,7 @@ func NewSQLite(model KernelModel, components int, app *cubicle.Component) (*Depl
 			if !ok {
 				spec = payloadSpec{lenArg: -1}
 			}
-			return ipcCall{inner: inner, model: model, spec: spec, cost: cost, clock: sys.M.Clock, stats: &d.Stats}
+			return ipcCall{inner: inner, model: model, spec: spec, name: name, cost: cost, mon: sys.M, stats: &d.Stats}
 		}
 	}
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI gate: static checks, full test suite (with the race detector), and a
+# smoke run of the tracing CLI that validates its own output invariants
+# (-check: chrome JSON parses, trace-derived counters equal Stats, the
+# cycle profile covers the virtual clock).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+go run ./cmd/cubicle-trace -format chrome -requests 5 -check >/dev/null
+go run ./cmd/cubicle-trace -format prom -requests 5 -check >/dev/null
+go run ./cmd/cubicle-trace -format json -requests 5 -check >/dev/null
+
+echo "check.sh: all green"
