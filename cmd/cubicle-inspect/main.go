@@ -35,6 +35,9 @@ type cubicleInfo struct {
 	Kind       string   `json:"kind"`
 	Key        int      `json:"key"`
 	Windows    int      `json:"windows"`
+	Health     string   `json:"health"`
+	Restarts   uint64   `json:"restarts"`
+	LastFault  string   `json:"last_fault,omitempty"`
 	Components []string `json:"components,omitempty"`
 	Exports    []string `json:"exports,omitempty"`
 }
@@ -65,6 +68,10 @@ type counters struct {
 	StackBytesCopied  uint64      `json:"stack_arg_bytes"`
 	BulkBytesCopied   uint64      `json:"bulk_bytes_copied"`
 	KeyEvictions      uint64      `json:"key_evictions"`
+	ContainedFaults   uint64      `json:"contained_faults"`
+	Quarantines       uint64      `json:"quarantines"`
+	Restarts          uint64      `json:"restarts"`
+	InjectedFaults    uint64      `json:"injected_faults"`
 	Edges             []edgeCount `json:"call_edges"`
 	VirtualCycles     uint64      `json:"virtual_cycles"`
 	VirtualMs         float64     `json:"virtual_ms"`
@@ -77,10 +84,15 @@ func buildReport(m *cubicleos.Monitor) *report {
 		names[int(c.ID)] = c.Name
 		exports := c.Exports()
 		sort.Strings(exports)
-		r.Cubicles = append(r.Cubicles, cubicleInfo{
+		ci := cubicleInfo{
 			ID: int(c.ID), Name: c.Name, Kind: c.Kind.String(), Key: int(c.Key),
-			Windows: m.WindowCount(c.ID), Components: c.Components(), Exports: exports,
-		})
+			Windows: m.WindowCount(c.ID), Health: c.Health().String(),
+			Restarts: c.Restarts(), Components: c.Components(), Exports: exports,
+		}
+		if lf := c.LastFault(); lf != nil {
+			ci.LastFault = lf.Error()
+		}
+		r.Cubicles = append(r.Cubicles, ci)
 	}
 	type key struct {
 		owner int
@@ -127,6 +139,10 @@ func buildReport(m *cubicleos.Monitor) *report {
 		StackBytesCopied:  st.StackBytesCopied,
 		BulkBytesCopied:   st.BulkBytesCopied,
 		KeyEvictions:      st.KeyEvictions,
+		ContainedFaults:   st.ContainedFaults,
+		Quarantines:       st.Quarantines,
+		Restarts:          st.Restarts,
+		InjectedFaults:    st.InjectedFaults,
 		VirtualCycles:     m.Clock.Cycles(),
 		VirtualMs:         float64(m.Clock.Duration().Microseconds()) / 1000,
 	}
@@ -167,7 +183,8 @@ func main() {
 	}
 
 	fmt.Println("CUBICLES")
-	fmt.Printf("%-4s %-10s %-9s %-4s %-8s %s\n", "id", "name", "kind", "key", "windows", "exports")
+	fmt.Printf("%-4s %-10s %-9s %-4s %-8s %-11s %-8s %s\n",
+		"id", "name", "kind", "key", "windows", "health", "restarts", "exports")
 	for _, c := range m.Cubicles() {
 		exports := c.Exports()
 		sort.Strings(exports)
@@ -175,7 +192,11 @@ func main() {
 		if len(show) > 4 {
 			show = append(append([]string{}, show[:4]...), fmt.Sprintf("… (%d total)", len(exports)))
 		}
-		fmt.Printf("%-4d %-10s %-9s %-4d %-8d %v\n", c.ID, c.Name, c.Kind, c.Key, m.WindowCount(c.ID), show)
+		fmt.Printf("%-4d %-10s %-9s %-4d %-8d %-11s %-8d %v\n", c.ID, c.Name, c.Kind, c.Key,
+			m.WindowCount(c.ID), c.Health(), c.Restarts(), show)
+		if lf := c.LastFault(); lf != nil {
+			fmt.Printf("     last fault: %v\n", lf)
+		}
 	}
 
 	fmt.Println("\nPAGE MAP (pages by owner and type)")
@@ -232,6 +253,8 @@ func main() {
 	fmt.Printf("  window search steps   %10d\n", st.WindowSearchSteps)
 	fmt.Printf("  stack arg bytes       %10d\n", st.StackBytesCopied)
 	fmt.Printf("  bulk bytes copied     %10d\n", st.BulkBytesCopied)
+	fmt.Printf("  contained faults      %10d (%d injected)\n", st.ContainedFaults, st.InjectedFaults)
+	fmt.Printf("  quarantines           %10d (%d restarts)\n", st.Quarantines, st.Restarts)
 	fmt.Printf("  virtual time          %10d cycles (%.3f ms at 2.2 GHz)\n",
 		m.Clock.Cycles(), float64(m.Clock.Duration().Microseconds())/1000)
 }

@@ -30,6 +30,7 @@ import (
 
 	"cubicleos"
 	"cubicleos/internal/cubicle"
+	"cubicleos/internal/ramfs"
 	"cubicleos/internal/siege"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	sample := flag.Uint64("sample", 100_000, "profiler sample period in virtual cycles (0 = spans only)")
 	out := flag.String("o", "", "output file (default stdout)")
 	check := flag.Bool("check", false, "validate output invariants and report them on stderr")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "run under supervision with deterministic fault injection into RAMFS from this seed (0 = off)")
 	flag.Parse()
 
 	var m cubicleos.Mode
@@ -58,20 +60,69 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	tgt, err := siege.NewTargetTraced(m, *ring, *sample)
+	opts := siege.Options{Mode: m, TraceEvents: *ring, TraceSamplePeriod: *sample}
+	if *chaosSeed != 0 {
+		policy := cubicleos.DefaultRestartPolicy()
+		policy.MaxRestarts = 1000 // the smoke asserts recovery, not death
+		policy.CrossingBudget = 200_000_000
+		opts.Supervision = &policy
+		opts.Chaos = &cubicleos.ChaosConfig{
+			Seed:             *chaosSeed,
+			Target:           ramfs.Name,
+			ProtAtCrossing:   0.010,
+			CFIAtCrossing:    0.003,
+			BudgetAtCrossing: 0.002,
+			LeakAtCrossing:   0.005,
+			ProtAtWindowOp:   0.003,
+			ProtAtRetag:      0.002,
+		}
+	}
+	tgt, err := siege.NewTargetOpts(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := tgt.PutFile("/trace.bin", make([]byte, *size)); err != nil {
 		log.Fatal(err)
 	}
+	if chaos := tgt.Sys.Chaos; chaos != nil {
+		chaos.Arm()
+	}
 	for i := 0; i < *requests; i++ {
 		res, err := tgt.Fetch("/trace.bin")
+		if *chaosSeed != 0 {
+			// Under chaos, degraded responses (503, 404 after a RAMFS
+			// restart, truncated bodies) are the expected behaviour; the run
+			// only has to survive and recover, never crash.
+			if err == nil && res.Status == 404 {
+				_ = tgt.PutFile("/trace.bin", make([]byte, *size))
+			}
+			continue
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		if res.Status != 200 {
 			log.Fatalf("request %d: status %d", i, res.Status)
+		}
+	}
+	if chaos := tgt.Sys.Chaos; chaos != nil {
+		chaos.Disarm()
+		if tgt.Sys.M.Stats.InjectedFaults == 0 {
+			log.Fatalf("chaos seed %d injected no faults over %d requests", *chaosSeed, *requests)
+		}
+		recovered := false
+		for i := 0; i < 50 && !recovered; i++ {
+			if err := tgt.PutFile("/trace.bin", make([]byte, *size)); err != nil {
+				// Still in quarantine backoff; wait it out on the virtual clock.
+				tgt.Sys.M.Clock.Charge(opts.Supervision.BackoffMax)
+				continue
+			}
+			if res, err := tgt.Fetch("/trace.bin"); err == nil && res.Status == 200 {
+				recovered = true
+			}
+		}
+		if !recovered {
+			log.Fatal("server did not recover to 200 after chaos was disarmed")
 		}
 	}
 
@@ -155,6 +206,18 @@ func validate(tgt *siege.Target, format string, output []byte) {
 	}
 	if got, want := derived.WRPKRUs, m.Stats.WRPKRUs; got != want {
 		fail("trace-derived wrpkrus %d != stats %d", got, want)
+	}
+	if got, want := derived.ContainedFaults, m.Stats.ContainedFaults; got != want {
+		fail("trace-derived contained faults %d != stats %d", got, want)
+	}
+	if got, want := derived.Quarantines, m.Stats.Quarantines; got != want {
+		fail("trace-derived quarantines %d != stats %d", got, want)
+	}
+	if got, want := derived.Restarts, m.Stats.Restarts; got != want {
+		fail("trace-derived restarts %d != stats %d", got, want)
+	}
+	if got, want := derived.InjectedFaults, m.Stats.InjectedFaults; got != want {
+		fail("trace-derived injected faults %d != stats %d", got, want)
 	}
 	for e, n := range m.Stats.Calls {
 		if derived.Calls[e] != n {

@@ -33,6 +33,7 @@ import (
 	"cubicleos/internal/boot"
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/cycles"
+	"cubicleos/internal/faultinject"
 	"cubicleos/internal/trace"
 	"cubicleos/internal/vm"
 )
@@ -108,7 +109,50 @@ type (
 	CFIFault = cubicle.CFIFault
 	// APIError is a denied monitor API request.
 	APIError = cubicle.APIError
+	// BudgetFault is a crossing that exceeded the supervisor's watchdog
+	// cycle budget.
+	BudgetFault = cubicle.BudgetFault
+	// ContainedFault is the typed error a caller receives when a callee
+	// cubicle faults (or is refused) under containment.
+	ContainedFault = cubicle.ContainedFault
 )
+
+// Fault containment and supervision (enable with Config.Supervision or
+// Monitor.EnableContainment; see DESIGN.md §7).
+type (
+	// Supervisor contains faults at crossings, quarantines and restarts
+	// faulting cubicles, and enforces the watchdog budget.
+	Supervisor = cubicle.Supervisor
+	// RestartPolicy parameterises the supervisor in virtual cycles.
+	RestartPolicy = cubicle.RestartPolicy
+	// Health is a cubicle's supervision state.
+	Health = cubicle.Health
+	// ChaosConfig configures the deterministic fault injector attached via
+	// Config.Chaos.
+	ChaosConfig = faultinject.Config
+	// ChaosInjector is the seeded injector driving a chaos run.
+	ChaosInjector = faultinject.Injector
+)
+
+// Cubicle health states.
+const (
+	Healthy     = cubicle.Healthy
+	Quarantined = cubicle.Quarantined
+	Dead        = cubicle.Dead
+)
+
+// Causes of fail-fast ContainedFaults on unhealthy cubicles.
+var (
+	ErrQuarantined = cubicle.ErrQuarantined
+	ErrDead        = cubicle.ErrDead
+)
+
+// DefaultRestartPolicy returns the siege-tuned supervision policy.
+func DefaultRestartPolicy() RestartPolicy { return cubicle.DefaultRestartPolicy() }
+
+// CatchContained runs fn and returns the ContainedFault it raised, or nil.
+// Components use it to degrade gracefully when a dependency cubicle is down.
+func CatchContained(fn func()) *ContainedFault { return cubicle.CatchContained(fn) }
 
 // System is a booted CubicleOS deployment with the standard library OS
 // stack (PLAT, TIME, ALLOC, LIBC, RANDOM, VFSCORE, RAMFS, and optionally

@@ -7,6 +7,7 @@ package boot
 import (
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/cycles"
+	"cubicleos/internal/faultinject"
 	"cubicleos/internal/lwip"
 	"cubicleos/internal/netdev"
 	"cubicleos/internal/plat"
@@ -59,6 +60,14 @@ type Config struct {
 	// TraceSamplePeriod, when non-zero with TraceEvents, starts the
 	// virtual-clock sampling profiler with that period in cycles.
 	TraceSamplePeriod uint64
+	// Supervision, when non-nil, enables fault containment with this
+	// restart policy: faults in a callee cubicle unwind only to the
+	// crossing, the cubicle is quarantined and later restarted.
+	Supervision *cubicle.RestartPolicy
+	// Chaos, when non-nil, attaches a deterministic fault injector after
+	// boot wiring completes. The injector starts disarmed; arm it via
+	// System.Chaos once provisioning is done.
+	Chaos *faultinject.Config
 }
 
 // System is a booted deployment.
@@ -75,6 +84,13 @@ type System struct {
 	Rand   *urandom.Device
 	Netdev *netdev.Module // nil unless Config.Net
 	Lwip   *lwip.Module   // nil unless Config.Net
+
+	// Sup is the fault-containment supervisor (nil unless
+	// Config.Supervision was set).
+	Sup *cubicle.Supervisor
+	// Chaos is the deterministic fault injector (nil unless Config.Chaos
+	// was set). It boots disarmed.
+	Chaos *faultinject.Injector
 }
 
 // NewFS boots the file-system stack: PLAT, TIME, ALLOC, LIBC, RANDOM,
@@ -99,6 +115,9 @@ func NewFS(cfg Config) (*System, error) {
 		if cfg.TraceSamplePeriod > 0 {
 			trc.EnableSampling(cfg.TraceSamplePeriod)
 		}
+	}
+	if cfg.Supervision != nil {
+		s.Sup = m.EnableContainment(*cfg.Supervision)
 	}
 	s.M = m
 	s.Time = uktime.New(m.Clock)
@@ -167,6 +186,12 @@ func NewFS(cfg Config) (*System, error) {
 			lalloc = ualloc.NewLocal()
 		}
 		s.Lwip.SetDeps(netdev.NewClient(m, lwipID), lalloc, cubs[netdev.Name].ID)
+	}
+	if cfg.Chaos != nil {
+		// Attached last so no boot wiring draws from the PRNG stream; it
+		// still boots disarmed so provisioning also runs fault-free.
+		s.Chaos = faultinject.New(*cfg.Chaos)
+		m.SetInjector(s.Chaos)
 	}
 	return s, nil
 }

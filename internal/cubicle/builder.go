@@ -31,6 +31,10 @@ type Component struct {
 	// Image is the component's object image. If nil, the builder
 	// synthesises one whose code section exports the declared symbols.
 	Image *isa.Image
+	// OnRestart, when set, rebuilds the component's Go-side state after
+	// the supervisor restarts its cubicle (the simulator's analogue of the
+	// component's initialiser re-running on the fresh image).
+	OnRestart func()
 }
 
 // descriptor is the canonical byte encoding of a trampoline descriptor,

@@ -110,6 +110,15 @@ type Cubicle struct {
 	// components lists the component names fused into this cubicle (more
 	// than one when a deployment groups components, e.g. CubicleOS-3).
 	components []string
+
+	// Supervision state. Without a supervisor these stay at their zero
+	// values (Healthy, no restarts).
+	health       Health
+	restarts     uint64   // lifetime restart count
+	lastFault    error    // cause of the most recent contained fault
+	consecFaults int      // contained faults since the last healthy return
+	restartAt    uint64   // cycle at which a quarantined cubicle may restart
+	restartLog   []uint64 // cycles of recent restarts, pruned to the policy window
 }
 
 // HasComponent reports whether the named component was loaded into this
@@ -138,3 +147,13 @@ func (c *Cubicle) Exports() []string {
 	}
 	return out
 }
+
+// Health returns the cubicle's supervision state.
+func (c *Cubicle) Health() Health { return c.health }
+
+// Restarts returns how many times the supervisor restarted the cubicle.
+func (c *Cubicle) Restarts() uint64 { return c.restarts }
+
+// LastFault returns the cause of the cubicle's most recent contained
+// fault, or nil if it never faulted.
+func (c *Cubicle) LastFault() error { return c.lastFault }

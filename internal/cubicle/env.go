@@ -54,7 +54,14 @@ func (e *Env) CubicleOf(component string) ID {
 // Work charges n cycles of modelled CPU work (computation that is
 // identical across all isolation modes, scaled by the deployment's
 // runtime-efficiency factor).
-func (e *Env) Work(n uint64) { e.M.Clock.ChargeWork(n) }
+func (e *Env) Work(n uint64) {
+	e.M.Clock.ChargeWork(n)
+	if e.M.sup != nil {
+		// Modelled work is a watchdog checkpoint: it is how a runaway
+		// callee burns cycles without otherwise entering the monitor.
+		e.M.sup.watchdog(e.T)
+	}
+}
 
 // --- Checked memory access -------------------------------------------------
 
@@ -219,7 +226,14 @@ func (e *Env) AllocaPage(n uint64) vm.Addr {
 
 // WindowInit initialises an empty window owned by the current cubicle
 // (cubicle_window_init).
-func (e *Env) WindowInit() WID { return e.M.windowInit(e.T.cur) }
+func (e *Env) WindowInit() WID {
+	wid := e.M.windowInit(e.T.cur)
+	if e.M.sup != nil {
+		e.T.journal = append(e.T.journal, undoEntry{kind: undoDestroyWindow,
+			owner: e.T.cur, wid: wid})
+	}
+	return wid
+}
 
 // WindowAdd associates the memory range [ptr, ptr+size) with window wid
 // (cubicle_window_add). The memory must be owned by the current cubicle.
@@ -233,7 +247,12 @@ func (e *Env) WindowRemove(wid WID, ptr vm.Addr) { e.M.windowRemove(e.T.cur, wid
 
 // WindowOpen allows cubicle cid to access the contents of window wid
 // (cubicle_window_open).
-func (e *Env) WindowOpen(wid WID, cid ID) { e.M.windowOpen(e.T.cur, wid, cid) }
+func (e *Env) WindowOpen(wid WID, cid ID) {
+	if e.M.windowOpen(e.T.cur, wid, cid) && e.M.sup != nil {
+		e.T.journal = append(e.T.journal, undoEntry{kind: undoCloseWindow,
+			owner: e.T.cur, wid: wid, grantee: cid})
+	}
+}
 
 // WindowClose disallows cubicle cid from accessing window wid
 // (cubicle_window_close). Pages are not retagged eagerly: causal tag

@@ -54,29 +54,53 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("monitor API error: cubicle %d %s: %s", e.Cubicle, e.Op, e.Reason)
 }
 
-// Trap converts a recovered panic value back into the fault error it
-// carries, re-panicking for any foreign panic. It is used by the system
-// boundary (and tests) to observe faults.
-func Trap(r any) error {
+// AsFault reports whether a recovered panic value is one of the isolation
+// fault types and returns it as an error. Foreign panic values (runtime
+// errors, application panics) are not faults and yield ok=false.
+func AsFault(r any) (err error, ok bool) {
 	switch f := r.(type) {
 	case *ProtectionFault:
-		return f
+		return f, true
 	case *CFIFault:
-		return f
+		return f, true
 	case *APIError:
-		return f
-	default:
-		panic(r)
+		return f, true
+	case *BudgetFault:
+		return f, true
+	case *ContainedFault:
+		return f, true
 	}
+	return nil, false
+}
+
+// Trap converts a recovered panic value back into the fault error it
+// carries, re-panicking for any foreign panic. It is used by the system
+// boundary (and tests) to observe faults. The re-panic passes the original
+// value through unwrapped so the runtime's chained-panic report preserves
+// the foreign panic's identity and stack.
+func Trap(r any) error {
+	if err, ok := AsFault(r); ok {
+		return err
+	}
+	panic(r)
 }
 
 // Catch runs fn and returns the isolation fault it raised, or nil if it
-// completed. Foreign panics propagate.
+// completed. Foreign panics propagate with their original value: the
+// re-panic happens directly inside the deferred recovery, so the runtime
+// prints the original panic chained with "[recovered]" and the faulting
+// stack is preserved.
 func Catch(fn func()) (err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			err = Trap(r)
+		r := recover()
+		if r == nil {
+			return
 		}
+		fault, ok := AsFault(r)
+		if !ok {
+			panic(r)
+		}
+		err = fault
 	}()
 	fn()
 	return nil

@@ -157,6 +157,9 @@ func (ld *Loader) Load(si *SystemImage, c *Component, group string) (*Cubicle, e
 
 	cub.components = append(cub.components, c.Name)
 	m.compOf[c.Name] = cub
+	if c.OnRestart != nil {
+		m.restartHooks[cub.ID] = append(m.restartHooks[cub.ID], c.OnRestart)
+	}
 	_ = codeBase
 	return cub, nil
 }

@@ -38,6 +38,16 @@ type Monitor struct {
 	// check, which keeps ModeFull benchmarks with tracing off unaffected.
 	trc *trace.Tracer
 
+	// sup is the optional fault-containment supervisor (nil unless
+	// EnableContainment was called). Like tracing, containment is strictly
+	// opt-in and every hot-path hook guards on the nil check.
+	sup *Supervisor
+	// inj is the optional deterministic fault injector.
+	inj Injector
+	// restartHooks are per-cubicle component re-initialisation callbacks
+	// the loader registers from Component.OnRestart.
+	restartHooks map[ID][]func()
+
 	cubicles    []*Cubicle
 	byName      map[string]*Cubicle
 	compOf      map[string]*Cubicle // component name -> hosting cubicle
@@ -67,8 +77,9 @@ func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
 		Stats:      newStats(),
 		byName:     make(map[string]*Cubicle),
 		compOf:     make(map[string]*Cubicle),
-		guardPages: make(map[uint64]guardInfo),
-		keyOf:      make(map[ID]mpk.Key),
+		guardPages:   make(map[uint64]guardInfo),
+		keyOf:        make(map[ID]mpk.Key),
+		restartHooks: make(map[ID][]func()),
 	}
 	for i := range m.keyHolder {
 		m.keyHolder[i] = -1
@@ -286,6 +297,11 @@ func (m *Monitor) checkAccess(t *Thread, kind mpk.AccessKind, addr vm.Addr, n in
 		if t.pkru.Check(kind, p.Perm, mpk.Key(p.Key)) {
 			continue // fast path: no trap
 		}
+		if m.sup != nil {
+			// Monitor entry is a watchdog checkpoint: a runaway callee that
+			// keeps touching memory is caught here.
+			m.sup.watchdog(t)
+		}
 		m.trapAndMap(t, kind, pa, p)
 	}
 }
@@ -367,6 +383,14 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 	}
 	if !allowed {
 		deny("no open window authorises the access")
+	}
+	if m.inj != nil {
+		if k := m.inj.AtRetag(m.cubicle(cur).Name); k != InjectNone {
+			// An injected retag failure presents as a denied trap so the
+			// fault/denial accounting stays consistent with real denials.
+			m.noteInjected(cur, "retag")
+			deny("injected fault at retag")
+		}
 	}
 	// ❺ Retag the page to the accessing cubicle's key. Writable access
 	// is granted as a whole: windows are read/write grants in CubicleOS.

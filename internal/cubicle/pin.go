@@ -23,12 +23,13 @@ import (
 // noPin marks an unpinned window.
 const noPin = mpk.Key(0xFF)
 
-// pinWindow assigns window wid of cubicle c a dedicated key.
-func (m *Monitor) pinWindow(c ID, wid WID) {
+// pinWindow assigns window wid of cubicle c a dedicated key. It reports
+// whether the window was newly pinned (for the containment journal).
+func (m *Monitor) pinWindow(c ID, wid WID) bool {
 	m.chargeWindowOp(c, "pin", wid)
 	w := m.window(c, wid, "window_pin")
 	if w.pinned != noPin {
-		return
+		return false
 	}
 	key, ok := m.allocPinKey()
 	if !ok {
@@ -41,6 +42,7 @@ func (m *Monitor) pinWindow(c ID, wid WID) {
 	// kernel pkey_mprotect, paid once.
 	m.retagWindow(w, key)
 	m.refreshThreadPKRUs()
+	return true
 }
 
 // unpinWindow releases the window's dedicated key; its pages revert to
@@ -122,7 +124,12 @@ func (m *Monitor) refreshThreadPKRUs() {
 
 // WindowPin assigns window wid a dedicated MPK key (§8 extension): its
 // contents stop trap-and-mapping for the owner and every grantee.
-func (e *Env) WindowPin(wid WID) { e.M.pinWindow(e.T.cur, wid) }
+func (e *Env) WindowPin(wid WID) {
+	if e.M.pinWindow(e.T.cur, wid) && e.M.sup != nil {
+		e.T.journal = append(e.T.journal, undoEntry{kind: undoUnpinWindow,
+			owner: e.T.cur, wid: wid})
+	}
+}
 
 // WindowUnpin reverts wid to the default lazy trap-and-map behaviour.
 func (e *Env) WindowUnpin(wid WID) { e.M.unpinWindow(e.T.cur, wid) }

@@ -41,6 +41,15 @@ type Stats struct {
 	DeniedFaults uint64
 	// KeyEvictions counts MPK keys recycled by tag virtualisation.
 	KeyEvictions uint64
+	// ContainedFaults counts faults contained at a crossing, including
+	// fail-fast refusals of calls into quarantined or dead cubicles.
+	ContainedFaults uint64
+	// Quarantines counts health transitions into the Quarantined state.
+	Quarantines uint64
+	// Restarts counts supervisor restarts of quarantined cubicles.
+	Restarts uint64
+	// InjectedFaults counts deterministic fault injections that fired.
+	InjectedFaults uint64
 }
 
 // newStats returns an initialised Stats.

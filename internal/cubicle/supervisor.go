@@ -1,0 +1,416 @@
+package cubicle
+
+import (
+	"sort"
+
+	"cubicleos/internal/vm"
+)
+
+// RestartPolicy parameterises the supervisor. All durations are virtual
+// cycles on the monitor's clock, so supervision decisions are fully
+// deterministic for a given workload.
+type RestartPolicy struct {
+	// MaxRestarts is how many restarts a cubicle may consume within
+	// RestartWindow before it is declared Dead (0 = unlimited).
+	MaxRestarts int
+	// RestartWindow is the sliding virtual-time window the restart budget
+	// applies to.
+	RestartWindow uint64
+	// BackoffBase is the quarantine backoff after a first fault; each
+	// consecutive fault multiplies it by BackoffFactor up to BackoffMax.
+	BackoffBase   uint64
+	BackoffFactor uint64
+	BackoffMax    uint64
+	// RestartCost is charged to the virtual clock per restart: tearing
+	// down and re-mapping a cubicle's heap, stacks and windows is not free.
+	RestartCost uint64
+	// CrossingBudget, when non-zero, is the watchdog's per-crossing cycle
+	// budget: a callee that consumes more virtual cycles than this inside
+	// one crossing raises a BudgetFault.
+	CrossingBudget uint64
+}
+
+// DefaultRestartPolicy returns a policy tuned for the siege workload:
+// short backoffs relative to a request (~6M cycles), a one-virtual-second
+// restart window, and the watchdog disabled.
+func DefaultRestartPolicy() RestartPolicy {
+	return RestartPolicy{
+		MaxRestarts:    8,
+		RestartWindow:  2_200_000_000, // one virtual second at 2.2 GHz
+		BackoffBase:    100_000,
+		BackoffFactor:  2,
+		BackoffMax:     50_000_000,
+		RestartCost:    1_000_000,
+		CrossingBudget: 0,
+	}
+}
+
+// undoKind says how to undo one journalled window-state change.
+type undoKind uint8
+
+const (
+	undoDestroyWindow undoKind = iota // window was created: destroy it
+	undoCloseWindow                   // window was opened for grantee: close it
+	undoUnpinWindow                   // window was pinned: release its key
+)
+
+// undoEntry is one entry of a thread's containment journal: a window-state
+// change made since the innermost supervised crossing, to be rolled back
+// if the crossing faults. Entries are recorded only while a supervisor is
+// attached.
+type undoEntry struct {
+	kind    undoKind
+	owner   ID
+	wid     WID
+	grantee ID
+}
+
+// Supervisor is the per-monitor fault-domain manager: it contains faults
+// at crossings, quarantines and restarts faulting cubicles, and enforces
+// the watchdog budget. Attach one with Monitor.EnableContainment.
+type Supervisor struct {
+	m      *Monitor
+	policy RestartPolicy
+
+	// deaths counts cubicles permanently disabled after exhausting their
+	// restart budget.
+	deaths uint64
+	// containedByClass counts contained faults per fault class label.
+	containedByClass map[string]uint64
+}
+
+// EnableContainment attaches a supervisor with the given restart policy.
+// Like tracing, containment is opt-in: without it the monitor keeps the
+// seed behaviour of unwinding every fault to the outermost Catch.
+func (m *Monitor) EnableContainment(policy RestartPolicy) *Supervisor {
+	s := &Supervisor{m: m, policy: policy, containedByClass: make(map[string]uint64)}
+	m.sup = s
+	return s
+}
+
+// Supervisor returns the attached supervisor, or nil when containment is
+// disabled.
+func (m *Monitor) Supervisor() *Supervisor { return m.sup }
+
+// Policy returns the supervisor's restart policy.
+func (s *Supervisor) Policy() RestartPolicy { return s.policy }
+
+// Deaths returns how many cubicles were declared Dead.
+func (s *Supervisor) Deaths() uint64 { return s.deaths }
+
+// ContainedByClass returns the contained-fault counts per fault class,
+// as stable sorted (class, count) pairs.
+func (s *Supervisor) ContainedByClass() []ClassCount {
+	out := make([]ClassCount, 0, len(s.containedByClass))
+	for cls, n := range s.containedByClass {
+		out = append(out, ClassCount{Class: cls, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// ClassCount is one row of the per-class contained-fault report.
+type ClassCount struct {
+	Class string
+	Count uint64
+}
+
+// admit gates a cross-cubicle call on the callee's health before any call
+// accounting happens. Quarantined cubicles whose backoff expired are
+// restarted in place; otherwise the call is refused with a fail-fast
+// ContainedFault.
+func (s *Supervisor) admit(t *Thread, tr *Trampoline) {
+	s.watchdog(t) // the caller itself may have overrun its crossing budget
+	c := s.m.cubicle(tr.callee)
+	switch c.health {
+	case Healthy:
+		return
+	case Quarantined:
+		if s.m.Clock.Cycles() >= c.restartAt && s.restart(c) {
+			return
+		}
+		if c.health == Dead { // the refused restart exhausted the budget
+			s.refuse(t, tr, ErrDead)
+		}
+		s.refuse(t, tr, ErrQuarantined)
+	case Dead:
+		s.refuse(t, tr, ErrDead)
+	}
+}
+
+// refuse fails a call fast with a ContainedFault before it crosses into
+// the unhealthy callee.
+func (s *Supervisor) refuse(t *Thread, tr *Trampoline, cause error) {
+	m := s.m
+	m.Stats.ContainedFaults++
+	s.containedByClass[faultClass(cause)]++
+	if m.trc != nil {
+		m.trc.Contained(t.id, int(tr.callee), int(t.cur), faultClass(cause))
+	}
+	panic(&ContainedFault{Cubicle: tr.callee, Symbol: tr.Symbol(), Cause: cause})
+}
+
+// contain is deferred around the callee invocation of every supervised
+// crossing, after the frame-restoring popFrame defer (so it runs first,
+// while the crossing frame is still live). It recovers isolation faults
+// raised by the callee, rolls back the faulted call's window-state
+// changes, quarantines the faulting cubicle, and converts the panic into
+// a typed ContainedFault delivered to the caller. Foreign panics (plain
+// Go bugs) pass through untouched.
+func (s *Supervisor) contain(t *Thread, tr *Trampoline) {
+	r := recover()
+	if r == nil {
+		// A healthy return clears the callee's consecutive-fault streak so
+		// backoff escalation only tracks back-to-back failures.
+		if c := s.m.cubicle(tr.callee); c.consecFaults != 0 && c.health == Healthy {
+			c.consecFaults = 0
+		}
+		return
+	}
+	m := s.m
+	f := &t.frames[len(t.frames)-1]
+	jmark := f.jmark
+	if cf, ok := r.(*ContainedFault); ok {
+		// A deeper supervised crossing already contained this fault.
+		// Journal entries recorded during the aborted span are discarded
+		// without undoing: they belong to cubicles whose execution was
+		// aborted along with the callee, and windows are persistent state
+		// those cubicles reconcile on their next entry.
+		t.journal = t.journal[:jmark]
+		if m.trc != nil {
+			m.trc.CallExit(t.id, int(f.caller), int(tr.callee), tr.Symbol())
+		}
+		panic(cf)
+	}
+	cause, ok := AsFault(r)
+	if !ok {
+		panic(r) // not an isolation fault; do not contain Go bugs
+	}
+	victim := tr.callee
+	s.rollback(t, jmark, victim)
+	s.quarantine(victim, cause)
+	m.Stats.ContainedFaults++
+	s.containedByClass[faultClass(cause)]++
+	if m.trc != nil {
+		m.trc.Contained(t.id, int(victim), int(f.caller), faultClass(cause))
+		// Close the call span the aborted crossing left open so B/E events
+		// stay balanced and elapsed attribution survives the unwind.
+		m.trc.CallExit(t.id, int(f.caller), int(victim), tr.Symbol())
+	}
+	panic(&ContainedFault{Cubicle: victim, Symbol: tr.Symbol(), Cause: cause})
+}
+
+// rollback undoes, newest first, every journalled window-state change the
+// faulted crossing made on behalf of the victim cubicle. Changes owned by
+// other cubicles within the span are committed state and stay.
+func (s *Supervisor) rollback(t *Thread, jmark int, victim ID) {
+	m := s.m
+	for i := len(t.journal) - 1; i >= jmark; i-- {
+		u := t.journal[i]
+		if u.owner != victim {
+			continue
+		}
+		cub := m.cubicleIfValid(u.owner)
+		if cub == nil || int(u.wid) >= len(cub.windows) || cub.windows[u.wid] == nil {
+			continue
+		}
+		w := cub.windows[u.wid]
+		switch u.kind {
+		case undoCloseWindow:
+			w.Open &^= 1 << uint(u.grantee)
+			if w.pinned != noPin {
+				m.refreshThreadPKRUs()
+			}
+		case undoUnpinWindow:
+			if w.pinned != noPin {
+				s.releasePin(w)
+			}
+		case undoDestroyWindow:
+			s.destroyWindow(cub, w)
+		}
+	}
+	t.journal = t.journal[:jmark]
+}
+
+// destroyWindow removes a window without going through the chargeable
+// untrusted API: the supervisor acts as the monitor here, so no window-op
+// cost or event is recorded (retags of pinned pages still are).
+func (s *Supervisor) destroyWindow(cub *Cubicle, w *Window) {
+	if w.pinned != noPin {
+		s.releasePin(w)
+	}
+	if w.Class != classNone {
+		lst := cub.search[w.Class]
+		for i, idx := range lst {
+			if idx == int(w.ID) {
+				cub.search[w.Class] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+	cub.windows[w.ID] = nil
+}
+
+// releasePin strips a window's dedicated key, returning its pages to the
+// owner's key.
+func (s *Supervisor) releasePin(w *Window) {
+	m := s.m
+	m.retagWindow(w, m.keyFor(w.Owner))
+	m.releasePinKey(w.pinned)
+	w.pinned = noPin
+	for i, pw := range m.pinned {
+		if pw == w {
+			m.pinned = append(m.pinned[:i], m.pinned[i+1:]...)
+			break
+		}
+	}
+	m.refreshThreadPKRUs()
+}
+
+// quarantine moves an isolated cubicle into the Quarantined state with an
+// exponential backoff on the virtual clock. Shared and trusted cubicles
+// are never quarantined: shared code executes as its caller, and a
+// trusted-cubicle fault is a runtime bug.
+func (s *Supervisor) quarantine(id ID, cause error) {
+	c := s.m.cubicleIfValid(id)
+	if c == nil || c.Kind != KindIsolated {
+		return
+	}
+	c.lastFault = cause
+	c.consecFaults++
+	if c.health == Dead {
+		return
+	}
+	backoff := s.backoffFor(c.consecFaults)
+	c.health = Quarantined
+	c.restartAt = s.m.Clock.Cycles() + backoff
+	s.m.Stats.Quarantines++
+	if s.m.trc != nil {
+		s.m.trc.Quarantine(int(id), backoff)
+	}
+}
+
+// backoffFor computes the quarantine backoff for the n-th consecutive
+// fault (n >= 1): BackoffBase * BackoffFactor^(n-1), capped at BackoffMax.
+func (s *Supervisor) backoffFor(n int) uint64 {
+	b := s.policy.BackoffBase
+	if s.policy.BackoffFactor > 1 {
+		for i := 1; i < n; i++ {
+			if b >= s.policy.BackoffMax/s.policy.BackoffFactor {
+				b = s.policy.BackoffMax
+				break
+			}
+			b *= s.policy.BackoffFactor
+		}
+	}
+	if s.policy.BackoffMax > 0 && b > s.policy.BackoffMax {
+		b = s.policy.BackoffMax
+	}
+	return b
+}
+
+// restart reinitialises a quarantined cubicle: its restart budget is
+// checked against the policy window, its windows are destroyed, its heap
+// and stack pages unmapped and the sub-allocator replaced (the loader's
+// lazy per-cubicle setup re-runs on next use), and its components'
+// OnRestart hooks rebuild their Go-side state. Returns false — leaving
+// the cubicle Quarantined or moving it to Dead — when the restart cannot
+// or may not happen.
+func (s *Supervisor) restart(c *Cubicle) bool {
+	m := s.m
+	// Never yank state from under a live frame still executing inside the
+	// victim (e.g. the victim called out and the callee is re-entering).
+	for _, th := range m.threads {
+		for i := range th.frames {
+			if th.frames[i].exec == c.ID {
+				return false
+			}
+		}
+	}
+	now := m.Clock.Cycles()
+	keep := c.restartLog[:0]
+	for _, ts := range c.restartLog {
+		if now-ts < s.policy.RestartWindow {
+			keep = append(keep, ts)
+		}
+	}
+	c.restartLog = keep
+	if s.policy.MaxRestarts > 0 && len(c.restartLog) >= s.policy.MaxRestarts {
+		c.health = Dead
+		s.deaths++
+		return false
+	}
+
+	m.Clock.Charge(s.policy.RestartCost)
+	// Tear down every window the cubicle owns (releasing pinned keys) and
+	// reset the descriptor arrays.
+	for _, w := range c.windows {
+		if w != nil {
+			s.destroyWindow(c, w)
+		}
+	}
+	c.windows = c.windows[:0]
+	for cls := range c.search {
+		c.search[cls] = nil
+	}
+	// Release the cubicle's heap and stack pages and give it a fresh
+	// sub-allocator; threads re-create their per-cubicle stacks lazily.
+	s.reclaimPages(c)
+	c.heap = newSubAllocator(m, c.ID)
+	for _, th := range m.threads {
+		delete(th.stacks, c.ID)
+	}
+	// Component re-initialisation hooks registered at load time.
+	for _, fn := range m.restartHooks[c.ID] {
+		fn()
+	}
+	c.health = Healthy
+	c.restarts++
+	c.restartAt = 0
+	c.restartLog = append(c.restartLog, now)
+	m.Stats.Restarts++
+	if m.trc != nil {
+		m.trc.Restart(int(c.ID), c.restarts)
+	}
+	return true
+}
+
+// reclaimPages unmaps every heap and stack page owned by the cubicle.
+// Code and global pages survive a restart: the image is immutable and
+// re-verified state, exactly as after the original load.
+func (s *Supervisor) reclaimPages(c *Cubicle) {
+	m := s.m
+	var addrs []vm.Addr
+	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
+		if ID(p.Owner) == c.ID && (p.Type == vm.PageHeap || p.Type == vm.PageStack) {
+			addrs = append(addrs, vm.PageAddr(pn))
+		}
+	})
+	for _, a := range addrs {
+		if err := m.AS.Unmap(a, 1); err != nil {
+			panic("cubicle: restart unmap failed: " + err.Error())
+		}
+	}
+}
+
+// watchdog raises a BudgetFault when the innermost crossing on thread t
+// has consumed more virtual cycles than the policy's CrossingBudget. It
+// runs at monitor entries (traps, explicit work, new crossings), which is
+// where the simulator's monitor regains control from component code.
+func (s *Supervisor) watchdog(t *Thread) {
+	b := s.policy.CrossingBudget
+	if b == 0 {
+		return
+	}
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		f := &t.frames[i]
+		if !f.crossing {
+			continue
+		}
+		if used := s.m.Clock.Cycles() - f.entryCycles; used > b {
+			panic(&BudgetFault{Cubicle: f.exec, Used: used, Budget: b,
+				Reason: "crossing exceeded its watchdog cycle budget"})
+		}
+		return
+	}
+}

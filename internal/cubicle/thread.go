@@ -28,6 +28,12 @@ type frame struct {
 	entrySP   vm.Addr
 	savedPKRU mpk.PKRU
 	crossing  bool // true if the call crossed cubicles via a trampoline
+	// jmark is the length of the thread's containment journal at call
+	// entry: entries past it were made by this call and are rolled back if
+	// it faults under supervision.
+	jmark int
+	// entryCycles is the virtual clock at call entry, for the watchdog.
+	entryCycles uint64
 }
 
 // Thread is one execution context. Unikraft multiplexes user-level threads
@@ -41,6 +47,10 @@ type Thread struct {
 	pkru   mpk.PKRU
 	stacks map[ID]*stack
 	frames []frame
+	// journal records window-state changes for containment rollback; it is
+	// only appended to while a supervisor is attached and is truncated when
+	// the thread unwinds to depth zero (everything below is committed).
+	journal []undoEntry
 }
 
 // NewThread creates a thread that starts executing in the monitor cubicle
@@ -123,11 +133,13 @@ func (t *Thread) pushFrame(callee ID, crossing bool) {
 	}
 	s := t.stackFor(t.cur)
 	t.frames = append(t.frames, frame{
-		caller:    caller,
-		exec:      t.cur,
-		entrySP:   s.sp,
-		savedPKRU: t.pkru,
-		crossing:  crossing,
+		caller:      caller,
+		exec:        t.cur,
+		entrySP:     s.sp,
+		savedPKRU:   t.pkru,
+		crossing:    crossing,
+		jmark:       len(t.journal),
+		entryCycles: t.m.Clock.Cycles(),
 	})
 }
 
@@ -150,4 +162,9 @@ func (t *Thread) popFrame() {
 		}
 	}
 	t.pkru = f.savedPKRU
+	if len(t.frames) == 0 && len(t.journal) > 0 {
+		// Unwound to the outermost level: everything journalled below is
+		// committed, nothing can roll it back anymore.
+		t.journal = t.journal[:0]
+	}
 }

@@ -27,6 +27,10 @@ func StatsFromTrace(trc *trace.Tracer) Stats {
 	s.StackBytesCopied = c.StackBytesCopied
 	s.BulkBytesCopied = c.BulkBytesCopied
 	s.KeyEvictions = c.KeyEvictions
+	s.ContainedFaults = c.ContainedFaults
+	s.Quarantines = c.Quarantines
+	s.Restarts = c.Restarts
+	s.InjectedFaults = c.InjectedFaults
 	for e, n := range c.Calls {
 		s.Calls[Edge{From: ID(e.From), To: ID(e.To)}] = n
 	}

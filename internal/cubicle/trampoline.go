@@ -163,6 +163,11 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		panic(&CFIFault{Cubicle: t.cur, Target: tr.Symbol(),
 			Reason: fmt.Sprintf("handle was resolved for cubicle %d", h.caller)})
 	}
+	if m.sup != nil {
+		// Health gate: quarantined/dead callees fail fast before any call
+		// accounting; an expired quarantine restarts the callee in place.
+		m.sup.admit(t, tr)
+	}
 	m.Stats.CallsTotal++
 	m.Stats.Calls[Edge{From: t.cur, To: tr.callee}]++
 
@@ -182,6 +187,11 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	}
 	t.pushFrame(tr.callee, true)
 	defer t.popFrame()
+	if m.sup != nil {
+		// Registered after popFrame so it runs first (LIFO), while the
+		// crossing frame is still live for rollback and attribution.
+		defer m.sup.contain(t, tr)
+	}
 	if tr.stackBytes > 0 {
 		// The trampoline reserves space for in-stack arguments on the
 		// callee stack (the copy itself is charged above).
@@ -189,6 +199,9 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	}
 	if m.Mode.MPKEnabled() {
 		m.wrpkru(t, m.pkruFor(tr.callee))
+	}
+	if m.inj != nil {
+		m.injectAtCrossing(t, tr)
 	}
 
 	rets := tr.fn(e, args)

@@ -75,6 +75,13 @@ func (m *Monitor) chargeWindowOp(c ID, op string, wid WID) {
 			m.trc.WindowOp(int(c), op, int(wid))
 		}
 	}
+	if m.inj != nil {
+		if k := m.inj.AtWindowOp(m.cubicle(c).Name, op); k != InjectNone {
+			m.noteInjected(c, "window_op")
+			panic(&ProtectionFault{Cubicle: c, Owner: c,
+				Reason: "injected fault at window op"})
+		}
+	}
 }
 
 // windowInit implements cubicle_window_init for cubicle c.
@@ -174,17 +181,20 @@ func (m *Monitor) windowRemove(c ID, wid WID, ptr vm.Addr) {
 }
 
 // windowOpen implements cubicle_window_open: allow cubicle cid to access
-// the window's contents.
-func (m *Monitor) windowOpen(c ID, wid WID, cid ID) {
+// the window's contents. It reports whether the grant is new, so the
+// containment journal only records transitions it must undo.
+func (m *Monitor) windowOpen(c ID, wid WID, cid ID) bool {
 	m.chargeWindowOp(c, "open", wid)
 	w := m.window(c, wid, "window_open")
 	if cid < 0 || cid >= MaxCubicles || int(cid) >= len(m.cubicles) {
 		panic(&APIError{Cubicle: c, Op: "window_open", Reason: fmt.Sprintf("no such cubicle %d", cid)})
 	}
+	newGrant := w.Open&(1<<uint(cid)) == 0
 	w.Open |= 1 << uint(cid)
 	if w.pinned != noPin {
 		m.refreshThreadPKRUs()
 	}
+	return newGrant
 }
 
 // windowClose implements cubicle_window_close. Closing does not retag any

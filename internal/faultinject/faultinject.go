@@ -1,0 +1,165 @@
+// Package faultinject provides deterministic, seeded fault injection for
+// the cubicle runtime. An Injector implements cubicle.Injector: at each
+// of the monitor's injection sites (crossing entry, window-management
+// calls, trap-and-map retags) it draws one number from a splitmix64
+// stream and compares it against the configured per-site probabilities.
+// With a fixed seed and a deterministic workload, the exact sequence of
+// injected faults is reproducible run to run — which is what lets the
+// chaos siege test and the -chaos-seed CLI smoke assert hard invariants
+// over a randomised failure schedule.
+package faultinject
+
+import (
+	"strings"
+	"sync"
+
+	"cubicleos/internal/cubicle"
+)
+
+// Config selects the injection sites, their probabilities (each in
+// [0, 1]) and the target filter. The crossing-site probabilities form a
+// cumulative ladder over one draw, so their sum must stay ≤ 1.
+type Config struct {
+	// Seed initialises the PRNG stream.
+	Seed uint64
+	// Target restricts injection to cubicles whose name starts with this
+	// prefix; empty targets every cubicle.
+	Target string
+
+	// Probabilities at cross-cubicle call entry.
+	ProtAtCrossing   float64
+	CFIAtCrossing    float64
+	BudgetAtCrossing float64
+	LeakAtCrossing   float64
+	// Probability of a protection fault per window-management API call.
+	ProtAtWindowOp float64
+	// Probability of a protection fault per trap-and-map retag.
+	ProtAtRetag float64
+}
+
+// Injector is a deterministic cubicle.Injector. It starts disarmed so
+// that boot wiring and provisioning run fault-free; call Arm when the
+// workload under test begins. All methods are safe for concurrent use,
+// though the simulator's cooperative threading never races them.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	state uint64
+	armed bool
+
+	// Site counters: decisions drawn and injections fired, exposed for
+	// tests and tooling.
+	Crossings uint64
+	WindowOps uint64
+	Retags    uint64
+	Fired     uint64
+}
+
+// New returns a disarmed injector for the given config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, state: cfg.Seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Arm enables injection.
+func (j *Injector) Arm() {
+	j.mu.Lock()
+	j.armed = true
+	j.mu.Unlock()
+}
+
+// Disarm disables injection without disturbing the PRNG stream position.
+func (j *Injector) Disarm() {
+	j.mu.Lock()
+	j.armed = false
+	j.mu.Unlock()
+}
+
+// Armed reports whether injection is enabled.
+func (j *Injector) Armed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.armed
+}
+
+// next advances the splitmix64 stream.
+func (j *Injector) next() uint64 {
+	j.state += 0x9e3779b97f4a7c15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// draw returns a uniform float64 in [0, 1).
+func (j *Injector) draw() float64 {
+	return float64(j.next()>>11) / (1 << 53)
+}
+
+func (j *Injector) match(name string) bool {
+	return j.cfg.Target == "" || strings.HasPrefix(name, j.cfg.Target)
+}
+
+// AtCrossing implements cubicle.Injector. One draw decides among the four
+// crossing fault kinds via a cumulative probability ladder; sites that do
+// not match the target filter consume no draw, so narrowing the target
+// does not shift the decision stream of the targeted cubicle.
+func (j *Injector) AtCrossing(callee, symbol string) cubicle.InjectKind {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.armed || !j.match(callee) {
+		return cubicle.InjectNone
+	}
+	j.Crossings++
+	u := j.draw()
+	p := j.cfg.ProtAtCrossing
+	if u < p {
+		j.Fired++
+		return cubicle.InjectProt
+	}
+	p += j.cfg.CFIAtCrossing
+	if u < p {
+		j.Fired++
+		return cubicle.InjectCFI
+	}
+	p += j.cfg.BudgetAtCrossing
+	if u < p {
+		j.Fired++
+		return cubicle.InjectBudget
+	}
+	p += j.cfg.LeakAtCrossing
+	if u < p {
+		j.Fired++
+		return cubicle.InjectLeak
+	}
+	return cubicle.InjectNone
+}
+
+// AtWindowOp implements cubicle.Injector.
+func (j *Injector) AtWindowOp(owner, op string) cubicle.InjectKind {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.armed || !j.match(owner) || j.cfg.ProtAtWindowOp <= 0 {
+		return cubicle.InjectNone
+	}
+	j.WindowOps++
+	if j.draw() < j.cfg.ProtAtWindowOp {
+		j.Fired++
+		return cubicle.InjectProt
+	}
+	return cubicle.InjectNone
+}
+
+// AtRetag implements cubicle.Injector.
+func (j *Injector) AtRetag(cub string) cubicle.InjectKind {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.armed || !j.match(cub) || j.cfg.ProtAtRetag <= 0 {
+		return cubicle.InjectNone
+	}
+	j.Retags++
+	if j.draw() < j.cfg.ProtAtRetag {
+		j.Fired++
+		return cubicle.InjectProt
+	}
+	return cubicle.InjectNone
+}

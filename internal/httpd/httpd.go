@@ -61,6 +61,7 @@ type conn struct {
 	headOnly bool // HEAD request: headers only
 	path     string
 	status   int
+	wrote    uint64 // response bytes accepted by LWIP (headers included)
 }
 
 // Server is the NGINX component state.
@@ -80,7 +81,10 @@ type Server struct {
 
 	// Requests counts completed requests.
 	Requests uint64
-	inited   bool
+	// Errors503 counts connections degraded with 503 (or truncated)
+	// because a handler crossing hit a contained fault.
+	Errors503 uint64
+	inited    bool
 }
 
 // New creates the server; deployment wiring must call SetDeps.
@@ -141,20 +145,66 @@ func (s *Server) closeConn(e *cubicle.Env, c *conn) {
 
 // step drives the server: polls the stack, accepts connections, advances
 // every connection's state machine. Returns an activity count.
+//
+// Every crossing out of NGINX is wrapped in CatchContained: a fault in a
+// dependency cubicle degrades the affected connection (503 or truncation)
+// instead of crashing the server — the paper's isolation claim turned
+// into availability.
 func (s *Server) step(e *cubicle.Env) uint64 {
-	activity := s.lwip.Poll(e)
-	for {
-		fd, errno := s.lwip.Accept(e, s.lfd)
-		if errno != lwip.EOK {
-			break
+	var activity uint64
+	if cf := cubicle.CatchContained(func() {
+		activity = s.lwip.Poll(e)
+		for {
+			fd, errno := s.lwip.Accept(e, s.lfd)
+			if errno != lwip.EOK {
+				break
+			}
+			s.conns[fd] = s.newConn(e, fd)
+			activity++
 		}
-		s.conns[fd] = s.newConn(e, fd)
-		activity++
+	}); cf != nil {
+		// The network stack itself is unavailable this tick; existing
+		// connections cannot make progress either, so try again later.
+		return activity
 	}
 	for _, c := range s.conns {
-		activity += s.advance(e, c)
+		c := c
+		if cf := cubicle.CatchContained(func() {
+			activity += s.advance(e, c)
+		}); cf != nil {
+			s.fail503(e, c)
+			activity++
+		}
 	}
 	return activity
+}
+
+// fail503 degrades a connection whose handler crossed into a faulted
+// cubicle. If no response bytes reached the wire yet, a 503 is staged so
+// the client gets an answer; once part of a 200 is out, all the server
+// can do is close early (HTTP/1.0 signals truncation by the close).
+func (s *Server) fail503(e *cubicle.Env, c *conn) {
+	s.Errors503++
+	if c.fileFD != 0 {
+		fd := c.fileFD
+		c.fileFD = 0
+		// Best effort: VFSCORE may itself be the faulted cubicle.
+		cubicle.CatchContained(func() { s.vfs.Close(e, fd) })
+	}
+	if c.wrote > 0 {
+		if cf := cubicle.CatchContained(func() { s.closeConn(e, c) }); cf != nil {
+			delete(s.conns, c.fd)
+		}
+		return
+	}
+	c.status = 503
+	if cf := cubicle.CatchContained(func() {
+		s.startResponse(e, c, "503 Service Unavailable", []byte("service unavailable\n"))
+	}); cf != nil {
+		if cf := cubicle.CatchContained(func() { s.closeConn(e, c) }); cf != nil {
+			delete(s.conns, c.fd)
+		}
+	}
 }
 
 // advance progresses one connection.
@@ -257,6 +307,7 @@ func (s *Server) serve(e *cubicle.Env, c *conn) uint64 {
 			}
 			c.pending -= n
 			c.pendOff += n
+			c.wrote += n
 			activity++
 			if c.pending > 0 {
 				return activity // backpressure: partial accept

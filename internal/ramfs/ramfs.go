@@ -58,6 +58,17 @@ func (fs *Module) SetDeps(alloc ualloc.Allocator, libc *ulibc.Client) {
 	fs.libc = libc
 }
 
+// Reset discards all file-system state, restoring the empty post-New
+// image: it is the component's supervisor restart hook. File pages
+// obtained from a foreign allocator are not freed back — the faulted
+// cubicle cannot be trusted to run teardown code, so a restart leaks
+// them, exactly as a crashed process leaks what it never freed.
+func (fs *Module) Reset() {
+	fs.inodes = make(map[uint64]*inode)
+	fs.inodes[1] = &inode{ino: 1, dir: true, children: make(map[string]uint64)}
+	fs.next = 2
+}
+
 // SetOpWork overrides the per-operation path cost.
 func (fs *Module) SetOpWork(c uint64) { fs.opWork = c }
 
@@ -367,8 +378,9 @@ func (fs *Module) rename(e *cubicle.Env, p1, l1, p2, l2 uint64) []uint64 {
 // the backend callback table that VFSCORE invokes.
 func (fs *Module) Component() *cubicle.Component {
 	return &cubicle.Component{
-		Name: Name,
-		Kind: cubicle.KindIsolated,
+		Name:      Name,
+		Kind:      cubicle.KindIsolated,
+		OnRestart: fs.Reset,
 		Exports: []cubicle.ExportDecl{
 			{Name: "ramfs_lookup", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.lookup(e, a[0], a[1]) }},
 			{Name: "ramfs_create", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.create(e, a[0], a[1]) }},

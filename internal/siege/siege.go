@@ -13,6 +13,7 @@ import (
 	"cubicleos/internal/boot"
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/cycles"
+	"cubicleos/internal/faultinject"
 	"cubicleos/internal/httpd"
 	"cubicleos/internal/lwip"
 	"cubicleos/internal/plat"
@@ -41,12 +42,26 @@ type Target struct {
 	RequestFloor uint64
 }
 
+// Options configures a target boot beyond the isolation mode.
+type Options struct {
+	Mode cubicle.Mode
+	// TraceEvents/TraceSamplePeriod enable the observability layer (see
+	// NewTargetTraced).
+	TraceEvents       int
+	TraceSamplePeriod uint64
+	// Supervision enables fault containment with the given restart policy.
+	Supervision *cubicle.RestartPolicy
+	// Chaos attaches a deterministic fault injector (disarmed; arm it via
+	// Target.Sys.Chaos once provisioning is done).
+	Chaos *faultinject.Config
+}
+
 // NewTarget boots the Figure 5 deployment: eight isolated cubicles
 // (NGINX, LWIP, NETDEV, VFSCORE, RAMFS, PLAT, ALLOC, TIME) with LIBC and
 // RANDOM shared, every buffer allocated through ALLOC, in the given
 // isolation mode.
 func NewTarget(mode cubicle.Mode) (*Target, error) {
-	return newTarget(mode, 0, 0)
+	return NewTargetOpts(Options{Mode: mode})
 }
 
 // NewTargetTraced boots the same deployment with the observability layer
@@ -54,19 +69,23 @@ func NewTarget(mode cubicle.Mode) (*Target, error) {
 // samplePeriod is non-zero, the virtual-clock sampling profiler. Inspect
 // the run through Target.Sys.M.Tracer().
 func NewTargetTraced(mode cubicle.Mode, ringCap int, samplePeriod uint64) (*Target, error) {
-	return newTarget(mode, ringCap, samplePeriod)
+	return NewTargetOpts(Options{Mode: mode, TraceEvents: ringCap, TraceSamplePeriod: samplePeriod})
 }
 
-func newTarget(mode cubicle.Mode, traceEvents int, samplePeriod uint64) (*Target, error) {
+// NewTargetOpts boots the deployment with the full option set, including
+// supervision and chaos injection for robustness runs.
+func NewTargetOpts(o Options) (*Target, error) {
 	srv := httpd.New(80)
 	sys, err := boot.NewFS(boot.Config{
-		Mode:              mode,
+		Mode:              o.Mode,
 		Net:               true,
 		RamfsViaAlloc:     true,
 		LwipViaAlloc:      true,
 		Extra:             []*cubicle.Component{srv.Component()},
-		TraceEvents:       traceEvents,
-		TraceSamplePeriod: samplePeriod,
+		TraceEvents:       o.TraceEvents,
+		TraceSamplePeriod: o.TraceSamplePeriod,
+		Supervision:       o.Supervision,
+		Chaos:             o.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -111,8 +130,14 @@ func MustNewTarget(mode cubicle.Mode) *Target {
 	return t
 }
 
-// PutFile provisions a static file on the server.
+// PutFile provisions a static file on the server. Chaos injection, if
+// attached and armed, is suspended for the duration: provisioning is the
+// operator's recovery action, not part of the workload under test.
 func (t *Target) PutFile(path string, data []byte) error {
+	if inj := t.Sys.Chaos; inj != nil && inj.Armed() {
+		inj.Disarm()
+		defer inj.Arm()
+	}
 	var errno uint64
 	err := t.Sys.RunAs(httpd.Name, func(e *cubicle.Env) {
 		errno = t.Srv.Provision(e, path, data)

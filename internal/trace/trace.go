@@ -59,6 +59,19 @@ const (
 	EvCopy
 	// EvMark is an application-level marker (e.g. HTTP request lifecycle).
 	EvMark
+	// EvContained is a fault contained at a cross-cubicle call boundary:
+	// Cubicle is the faulted (or refused) callee, Other the caller the
+	// typed error was delivered to, Name the fault class.
+	EvContained
+	// EvQuarantine is a cubicle entering the Quarantined health state;
+	// Arg is the backoff in virtual cycles before a restart is allowed.
+	EvQuarantine
+	// EvRestart is a supervisor restart of a quarantined cubicle; Arg is
+	// the cubicle's lifetime restart count after this restart.
+	EvRestart
+	// EvInjected is one deterministic fault injection firing; Name is the
+	// injection site/kind label.
+	EvInjected
 
 	numKinds
 )
@@ -77,6 +90,10 @@ var kindNames = [numKinds]string{
 	EvIPC:          "ipc",
 	EvCopy:         "copy",
 	EvMark:         "mark",
+	EvContained:    "contained",
+	EvQuarantine:   "quarantine",
+	EvRestart:      "restart",
+	EvInjected:     "injected",
 }
 
 func (k Kind) String() string {
@@ -282,6 +299,32 @@ func (t *Tracer) Mark(thread, cur int, label string) {
 	t.record(Event{Kind: EvMark, Thread: int32(thread), Cubicle: int32(cur), Name: label})
 }
 
+// Contained records a fault contained at a crossing: callee is the cubicle
+// whose fault was converted into a typed error, caller the cubicle it was
+// delivered to, class the fault class label (a constant string).
+func (t *Tracer) Contained(thread, callee, caller int, class string) {
+	t.record(Event{Kind: EvContained, Thread: int32(thread), Cubicle: int32(callee),
+		Other: int32(caller), Name: class})
+}
+
+// Quarantine records cubicle id entering quarantine with the given backoff
+// in virtual cycles.
+func (t *Tracer) Quarantine(id int, backoff uint64) {
+	t.record(Event{Kind: EvQuarantine, Thread: -1, Cubicle: int32(id), Arg: backoff})
+}
+
+// Restart records a supervisor restart of cubicle id; count is the
+// cubicle's lifetime restart count including this one.
+func (t *Tracer) Restart(id int, count uint64) {
+	t.record(Event{Kind: EvRestart, Thread: -1, Cubicle: int32(id), Arg: count})
+}
+
+// Injected records one deterministic fault injection against cubicle cub
+// at the named site (a constant string).
+func (t *Tracer) Injected(cub int, site string) {
+	t.record(Event{Kind: EvInjected, Thread: -1, Cubicle: int32(cub), Name: site})
+}
+
 // --- Queries -----------------------------------------------------------------
 
 // Count returns the number of events of kind k recorded so far (streaming;
@@ -378,6 +421,10 @@ type Counts struct {
 	BulkBytesCopied   uint64
 	KeyEvictions      uint64
 	IPCMessages       uint64
+	ContainedFaults   uint64
+	Quarantines       uint64
+	Restarts          uint64
+	InjectedFaults    uint64
 	Calls             map[Edge]uint64
 }
 
@@ -396,6 +443,10 @@ func (t *Tracer) Counts() Counts {
 		BulkBytesCopied:   t.weights[EvCopy],
 		KeyEvictions:      t.counts[EvKeyEviction],
 		IPCMessages:       t.counts[EvIPC],
+		ContainedFaults:   t.counts[EvContained],
+		Quarantines:       t.counts[EvQuarantine],
+		Restarts:          t.counts[EvRestart],
+		InjectedFaults:    t.counts[EvInjected],
 		Calls:             t.EdgeCalls(),
 	}
 }

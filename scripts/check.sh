@@ -10,9 +10,15 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+go test -race ./internal/faultinject/...
 
 go run ./cmd/cubicle-trace -format chrome -requests 5 -check >/dev/null
 go run ./cmd/cubicle-trace -format prom -requests 5 -check >/dev/null
 go run ./cmd/cubicle-trace -format json -requests 5 -check >/dev/null
+
+# Chaos smoke: deterministic fault injection into RAMFS under supervision.
+# The run must contain every injected fault, recover to 200 after disarm,
+# and keep the trace/stats invariants (-check) over the chaotic schedule.
+go run ./cmd/cubicle-trace -format json -requests 40 -chaos-seed 7 -check >/dev/null
 
 echo "check.sh: all green"
