@@ -72,6 +72,10 @@ type counters struct {
 	Quarantines       uint64      `json:"quarantines"`
 	Restarts          uint64      `json:"restarts"`
 	InjectedFaults    uint64      `json:"injected_faults"`
+	Sheds             uint64      `json:"sheds"`
+	DeadlineFaults    uint64      `json:"deadline_faults"`
+	QuotaFaults       uint64      `json:"quota_faults"`
+	Retries           uint64      `json:"retries"`
 	Edges             []edgeCount `json:"call_edges"`
 	VirtualCycles     uint64      `json:"virtual_cycles"`
 	VirtualMs         float64     `json:"virtual_ms"`
@@ -143,6 +147,10 @@ func buildReport(m *cubicleos.Monitor) *report {
 		Quarantines:       st.Quarantines,
 		Restarts:          st.Restarts,
 		InjectedFaults:    st.InjectedFaults,
+		Sheds:             st.Sheds,
+		DeadlineFaults:    st.DeadlineFaults,
+		QuotaFaults:       st.QuotaFaults,
+		Retries:           st.Retries,
 		VirtualCycles:     m.Clock.Cycles(),
 		VirtualMs:         float64(m.Clock.Duration().Microseconds()) / 1000,
 	}
@@ -255,6 +263,10 @@ func main() {
 	fmt.Printf("  bulk bytes copied     %10d\n", st.BulkBytesCopied)
 	fmt.Printf("  contained faults      %10d (%d injected)\n", st.ContainedFaults, st.InjectedFaults)
 	fmt.Printf("  quarantines           %10d (%d restarts)\n", st.Quarantines, st.Restarts)
+	fmt.Printf("  load sheds            %10d\n", st.Sheds)
+	fmt.Printf("  deadline faults       %10d\n", st.DeadlineFaults)
+	fmt.Printf("  quota faults          %10d\n", st.QuotaFaults)
+	fmt.Printf("  crossing retries      %10d\n", st.Retries)
 	fmt.Printf("  virtual time          %10d cycles (%.3f ms at 2.2 GHz)\n",
 		m.Clock.Cycles(), float64(m.Clock.Duration().Microseconds())/1000)
 }

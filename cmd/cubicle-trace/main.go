@@ -219,6 +219,18 @@ func validate(tgt *siege.Target, format string, output []byte) {
 	if got, want := derived.InjectedFaults, m.Stats.InjectedFaults; got != want {
 		fail("trace-derived injected faults %d != stats %d", got, want)
 	}
+	if got, want := derived.Sheds, m.Stats.Sheds; got != want {
+		fail("trace-derived sheds %d != stats %d", got, want)
+	}
+	if got, want := derived.DeadlineFaults, m.Stats.DeadlineFaults; got != want {
+		fail("trace-derived deadline faults %d != stats %d", got, want)
+	}
+	if got, want := derived.QuotaFaults, m.Stats.QuotaFaults; got != want {
+		fail("trace-derived quota faults %d != stats %d", got, want)
+	}
+	if got, want := derived.Retries, m.Stats.Retries; got != want {
+		fail("trace-derived retries %d != stats %d", got, want)
+	}
 	for e, n := range m.Stats.Calls {
 		if derived.Calls[e] != n {
 			fail("edge %d->%d: trace %d != stats %d", e.From, e.To, derived.Calls[e], n)

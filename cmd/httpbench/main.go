@@ -2,21 +2,124 @@
 // §6.3 evaluation (Figure 7): it provisions files of each size into the
 // server's RAMFS, fetches them with the siege-style client, and prints
 // latency per transfer size for the chosen isolation mode.
+//
+// With -openloop it instead runs an open-loop offered-load sweep across
+// the saturation knee, governed (admission control + bounded buffers)
+// versus ungoverned, printing goodput, shed rate, tail latencies, peak
+// connections and the memory the overload left behind. -assert-degrade
+// exits non-zero unless the governed server degrades gracefully — the
+// overload smoke check scripts/check.sh runs in CI.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"cubicleos"
+	"cubicleos/internal/httpd"
 	"cubicleos/internal/siege"
 )
+
+// openLoopSweep compares the ungoverned and governed servers at each
+// offered rate and optionally asserts the graceful-degradation shape.
+func openLoopSweep(rateList string, requests int, assert bool) {
+	var rates []float64
+	for _, s := range strings.Split(rateList, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || r <= 0 {
+			log.Fatalf("bad rate %q in -rates", s)
+		}
+		rates = append(rates, r)
+	}
+	mk := func(governed bool) func() (*siege.Target, error) {
+		return func() (*siege.Target, error) {
+			o := siege.Options{Mode: cubicleos.ModeFull}
+			if governed {
+				pol := cubicleos.DefaultRestartPolicy()
+				pol.CrossingBudget = 0
+				o.Supervision = &pol
+				o.Governance = &httpd.Governance{
+					MaxConns: 16, RetryAfter: 1, Retry: cubicleos.DefaultRetryPolicy(),
+				}
+				o.WireCap = 256
+				o.ReapClosed = true
+			}
+			tgt, err := siege.NewTargetOpts(o)
+			if err != nil {
+				return nil, err
+			}
+			return tgt, tgt.PutFile("/index.html", make([]byte, 4096))
+		}
+	}
+	opts := siege.OpenLoopOptions{Path: "/index.html", Requests: requests}
+	ungov, err := siege.OpenLoopSweep(rates, mk(false), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gov, err := siege.OpenLoopSweep(rates, mk(true), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %9s %8s %5s %5s %8s %8s %9s %10s\n",
+		"config", "offered", "goodput", "ok", "shed", "p50", "p99", "maxconns", "arena KiB")
+	row := func(name string, st *siege.OpenLoopStats) {
+		fmt.Printf("%-10s %9.0f %8.0f %5d %5d %8s %8s %9d %10d\n",
+			name, st.OfferedRPS, st.GoodputRPS, st.OK, st.Shed,
+			st.P50.Round(10_000).String(), st.P99.Round(10_000).String(),
+			st.MaxConns, st.ArenaBytes/1024)
+	}
+	for i := range rates {
+		row("ungoverned", ungov[i])
+		row("governed", gov[i])
+	}
+	if !assert {
+		return
+	}
+	// Graceful degradation: at the highest offered rate the governed server
+	// must shed explicitly (no silent drops), hold its connection bound, and
+	// cost less memory than the ungoverned pile-up; below the knee (lowest
+	// rate) governance must be invisible.
+	lo, hi := 0, len(rates)-1
+	fail := func(f string, a ...any) { log.Fatalf("assert-degrade: "+f, a...) }
+	if gov[lo].Shed != 0 || gov[lo].OK != ungov[lo].OK {
+		fail("governance not invisible below the knee: ok=%d/%d shed=%d",
+			gov[lo].OK, ungov[lo].OK, gov[lo].Shed)
+	}
+	if gov[hi].Shed == 0 {
+		fail("governed server shed nothing at %.0f rps", rates[hi])
+	}
+	if gov[hi].OK == 0 {
+		fail("governed server completed nothing at %.0f rps", rates[hi])
+	}
+	if gov[hi].Dropped != 0 {
+		fail("governed server silently dropped %d connections", gov[hi].Dropped)
+	}
+	if gov[hi].MaxConns > 16 {
+		fail("admission control leaked: %d concurrent connections", gov[hi].MaxConns)
+	}
+	if gov[hi].ArenaBytes >= ungov[hi].ArenaBytes {
+		fail("governed arena %d KiB not below ungoverned %d KiB",
+			gov[hi].ArenaBytes/1024, ungov[hi].ArenaBytes/1024)
+	}
+	fmt.Println("assert-degrade ok: explicit sheds, bounded connections and memory, no silent drops")
+}
 
 func main() {
 	mode := flag.String("mode", "both", "isolation mode: unikraft, full, both")
 	repeats := flag.Int("repeats", 2, "measured requests per size (after one warm-up)")
+	openloop := flag.Bool("openloop", false, "run the open-loop overload sweep instead of the size sweep")
+	rateList := flag.String("rates", "1000,2000,4000,8000", "offered rates (rps) for -openloop")
+	requests := flag.Int("requests", 120, "arrivals per rate for -openloop")
+	assertDegrade := flag.Bool("assert-degrade", false, "with -openloop: exit non-zero unless degradation is graceful")
 	flag.Parse()
+
+	if *openloop {
+		openLoopSweep(*rateList, *requests, *assertDegrade)
+		return
+	}
 
 	sizes := []int{1 << 10, 2 << 10, 8 << 10, 32 << 10, 64 << 10, 128 << 10,
 		512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}

@@ -5,6 +5,8 @@
 package boot
 
 import (
+	"fmt"
+
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/cycles"
 	"cubicleos/internal/faultinject"
@@ -68,6 +70,19 @@ type Config struct {
 	// boot wiring completes. The injector starts disarmed; arm it via
 	// System.Chaos once provisioning is done.
 	Chaos *faultinject.Config
+	// MemQuotas caps named cubicles' monitor page footprints in bytes;
+	// a cubicle exceeding its cap gets a contained QuotaFault instead of
+	// more pages. Group names are valid keys when Groups fuses cubicles.
+	MemQuotas map[string]uint64
+	// AllocClientQuota caps each ALLOC client's arena footprint in bytes
+	// (0 = unbounded, the seed behaviour).
+	AllocClientQuota uint64
+	// WireCap bounds the NETDEV wire queues in frames per direction
+	// (0 = unbounded). A full queue drops or backpressures explicitly.
+	WireCap int
+	// LwipReapClosed enables reclamation of fully closed LWIP sockets,
+	// bounding the stack's memory under connection churn.
+	LwipReapClosed bool
 }
 
 // System is a booted deployment.
@@ -186,6 +201,20 @@ func NewFS(cfg Config) (*System, error) {
 			lalloc = ualloc.NewLocal()
 		}
 		s.Lwip.SetDeps(netdev.NewClient(m, lwipID), lalloc, cubs[netdev.Name].ID)
+	}
+	// Resource governance: applied after load so quotas see the booted
+	// cubicle IDs but before any workload pages are mapped.
+	for name, q := range cfg.MemQuotas {
+		c, ok := cubs[name]
+		if !ok {
+			return nil, fmt.Errorf("boot: MemQuotas names unknown cubicle %q", name)
+		}
+		m.SetMemQuota(c.ID, q)
+	}
+	s.Alloc.ClientQuota = cfg.AllocClientQuota
+	if cfg.Net {
+		s.Netdev.Wire().Cap = cfg.WireCap
+		s.Lwip.ReapClosed = cfg.LwipReapClosed
 	}
 	if cfg.Chaos != nil {
 		// Attached last so no boot wiring draws from the PRNG stream; it

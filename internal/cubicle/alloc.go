@@ -99,7 +99,8 @@ func (a *subAllocator) alloc(n uint64) vm.Addr {
 		}
 		a.grow(n + align)
 	}
-	panic(fmt.Sprintf("cubicle: allocator for cubicle %d failed to grow", a.owner))
+	panic(&APIError{Cubicle: a.owner, Op: "heap_alloc",
+		Reason: fmt.Sprintf("allocator failed to satisfy %d bytes after growing", n)})
 }
 
 // free releases a block previously returned by alloc.

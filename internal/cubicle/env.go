@@ -61,6 +61,11 @@ func (e *Env) Work(n uint64) {
 		// callee burns cycles without otherwise entering the monitor.
 		e.M.sup.watchdog(e.T)
 	}
+	if e.T.deadline != 0 {
+		// Deadline checkpoint: delegated work past the request deadline is
+		// abandoned here rather than computed for nobody.
+		e.M.checkDeadline(e.T)
+	}
 }
 
 // --- Checked memory access -------------------------------------------------

@@ -106,6 +106,10 @@ func faultClass(err error) string {
 		return "api"
 	case *BudgetFault:
 		return "budget"
+	case *QuotaFault:
+		return "quota"
+	case *DeadlineFault:
+		return "deadline"
 	}
 	switch err {
 	case ErrQuarantined:

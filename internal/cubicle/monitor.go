@@ -47,6 +47,10 @@ type Monitor struct {
 	// restartHooks are per-cubicle component re-initialisation callbacks
 	// the loader registers from Component.OnRestart.
 	restartHooks map[ID][]func()
+	// memQuota caps the page bytes MapOwned will grant per cubicle
+	// (absent = unlimited); memUsed tracks the bytes currently granted.
+	memQuota map[ID]uint64
+	memUsed  map[ID]uint64
 
 	cubicles    []*Cubicle
 	byName      map[string]*Cubicle
@@ -70,16 +74,18 @@ type Monitor struct {
 // NewMonitor creates a monitor for a system running in the given mode.
 func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
 	m := &Monitor{
-		AS:         vm.NewAddrSpace(),
-		Clock:      &cycles.Clock{},
-		Costs:      costs,
-		Mode:       mode,
-		Stats:      newStats(),
-		byName:     make(map[string]*Cubicle),
-		compOf:     make(map[string]*Cubicle),
+		AS:           vm.NewAddrSpace(),
+		Clock:        &cycles.Clock{},
+		Costs:        costs,
+		Mode:         mode,
+		Stats:        newStats(),
+		byName:       make(map[string]*Cubicle),
+		compOf:       make(map[string]*Cubicle),
 		guardPages:   make(map[uint64]guardInfo),
 		keyOf:        make(map[ID]mpk.Key),
 		restartHooks: make(map[ID][]func()),
+		memQuota:     make(map[ID]uint64),
+		memUsed:      make(map[ID]uint64),
 	}
 	for i := range m.keyHolder {
 		m.keyHolder[i] = -1
@@ -431,8 +437,27 @@ func (m *Monitor) wrpkru(t *Thread, v mpk.PKRU) {
 // page-granting primitive used by the loader and the sub-allocators;
 // pages are strictly assigned an owner and type at allocation time (§5.3).
 func (m *Monitor) MapOwned(id ID, npages int, typ vm.PageType, perm vm.Perm) vm.Addr {
+	bytes := uint64(npages) * vm.PageSize
+	// Stack pages are exempt from the quota: they are crossing
+	// infrastructure allocated lazily in pushFrame, BEFORE the crossing's
+	// containment is armed — a fault there could not be attributed or
+	// rolled back. The overload vector the quota exists for is heap and
+	// buffer growth; per-thread stacks are small and bounded.
+	if typ != vm.PageStack {
+		if q := m.memQuota[id]; q != 0 && m.memUsed[id]+bytes > q {
+			m.noteQuota(id, "pages", m.memUsed[id]+bytes, q)
+			panic(&QuotaFault{Cubicle: id, Resource: "pages", Used: m.memUsed[id] + bytes, Limit: q})
+		}
+	}
 	key := m.keyFor(id)
-	return m.AS.Map(npages, int(id), typ, perm, uint8(key))
+	addr, err := m.AS.Map(npages, int(id), typ, perm, uint8(key))
+	if err != nil {
+		panic(&APIError{Cubicle: id, Op: "map", Reason: err.Error()})
+	}
+	if typ != vm.PageStack {
+		m.memUsed[id] += bytes
+	}
+	return addr
 }
 
 // SetPagePerm is deliberately absent from the untrusted API: CubicleOS

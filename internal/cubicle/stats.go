@@ -50,6 +50,16 @@ type Stats struct {
 	Restarts uint64
 	// InjectedFaults counts deterministic fault injections that fired.
 	InjectedFaults uint64
+	// Sheds counts requests refused by admission control (429/503).
+	Sheds uint64
+	// DeadlineFaults counts crossings or work quanta abandoned because the
+	// request deadline had passed.
+	DeadlineFaults uint64
+	// QuotaFaults counts memory-quota refusals.
+	QuotaFaults uint64
+	// Retries counts bounded-retry attempts after transient contained
+	// faults.
+	Retries uint64
 }
 
 // newStats returns an initialised Stats.

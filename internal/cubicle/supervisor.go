@@ -186,9 +186,23 @@ func (s *Supervisor) contain(t *Thread, tr *Trampoline) {
 	if !ok {
 		panic(r) // not an isolation fault; do not contain Go bugs
 	}
+	// Quota and deadline faults are transient overload conditions, not
+	// component bugs: the crossing is rolled back and the typed error
+	// delivered, but the callee stays Healthy — quarantining ALLOC because
+	// a client hit its arena cap would turn load shedding into an outage.
 	victim := tr.callee
-	s.rollback(t, jmark, victim)
-	s.quarantine(victim, cause)
+	transient := false
+	switch q := cause.(type) {
+	case *QuotaFault:
+		victim = q.Cubicle // attribute to the cubicle whose quota ran out
+		transient = true
+	case *DeadlineFault:
+		transient = true
+	}
+	s.rollback(t, jmark, tr.callee)
+	if !transient {
+		s.quarantine(victim, cause)
+	}
 	m.Stats.ContainedFaults++
 	s.containedByClass[faultClass(cause)]++
 	if m.trc != nil {
@@ -381,15 +395,25 @@ func (s *Supervisor) restart(c *Cubicle) bool {
 func (s *Supervisor) reclaimPages(c *Cubicle) {
 	m := s.m
 	var addrs []vm.Addr
+	charged := uint64(0) // stack pages are never charged to the quota
 	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
 		if ID(p.Owner) == c.ID && (p.Type == vm.PageHeap || p.Type == vm.PageStack) {
 			addrs = append(addrs, vm.PageAddr(pn))
+			if p.Type != vm.PageStack {
+				charged += vm.PageSize
+			}
 		}
 	})
 	for _, a := range addrs {
 		if err := m.AS.Unmap(a, 1); err != nil {
 			panic("cubicle: restart unmap failed: " + err.Error())
 		}
+	}
+	// Credit the reclaimed pages back to the cubicle's memory quota.
+	if m.memUsed[c.ID] >= charged {
+		m.memUsed[c.ID] -= charged
+	} else {
+		m.memUsed[c.ID] = 0
 	}
 }
 

@@ -136,6 +136,82 @@ func TestSupervisorDeathAfterRestartExhaustion(t *testing.T) {
 	}
 }
 
+// TestSupervisorDeathHappensExactlyOnce: exhausting the restart budget
+// transitions Quarantined→Dead exactly once — further faults, calls and
+// virtual time must neither resurrect the cubicle nor record more deaths,
+// so the health surfaced by cubicle-inspect stays consistent forever.
+func TestSupervisorDeathHappensExactlyOnce(t *testing.T) {
+	policy := DefaultRestartPolicy()
+	policy.MaxRestarts = 1
+	policy.RestartWindow = 1 << 62
+	ts := bootFaulty(t, policy, nil)
+	appBuf := ts.heapIn(t, "APP", 8)
+	svc := ts.cubs["SVC"]
+
+	faultSVC(t, ts, appBuf)
+	ts.m.Clock.Charge(policy.BackoffMax)
+	if _, cf := callSVCOk(t, ts); cf != nil {
+		t.Fatalf("first restart refused: %v", cf)
+	}
+	faultSVC(t, ts, appBuf)
+	ts.m.Clock.Charge(policy.BackoffMax)
+	if _, cf := callSVCOk(t, ts); cf == nil || !errors.Is(cf, ErrDead) {
+		t.Fatalf("call after exhaustion: got %v, want ErrDead", cf)
+	}
+	sup := ts.m.Supervisor()
+	if svc.Health() != Dead || sup.Deaths() != 1 {
+		t.Fatalf("health=%v deaths=%d, want Dead/1", svc.Health(), sup.Deaths())
+	}
+	// Hammer the corpse: every poke is refused with ErrDead, the death
+	// counter never moves again, and health never leaves Dead.
+	for i := 0; i < 5; i++ {
+		ts.m.Clock.Charge(policy.BackoffMax * 10)
+		if _, cf := callSVCOk(t, ts); cf == nil || !errors.Is(cf, ErrDead) {
+			t.Fatalf("poke %d: got %v, want ErrDead", i, cf)
+		}
+	}
+	if sup.Deaths() != 1 {
+		t.Errorf("Deaths() = %d after repeated pokes, want still 1", sup.Deaths())
+	}
+	if svc.Health() != Dead {
+		t.Errorf("health = %v after repeated pokes, want still Dead", svc.Health())
+	}
+	if svc.Restarts() != 1 {
+		t.Errorf("Restarts() = %d, want 1 (the single consumed budget)", svc.Restarts())
+	}
+}
+
+// TestSupervisorRestartWindowSlides: restarts age out of the sliding
+// window, so a cubicle that faults rarely never accumulates enough
+// strikes to die, no matter how long the system runs.
+func TestSupervisorRestartWindowSlides(t *testing.T) {
+	policy := DefaultRestartPolicy()
+	policy.MaxRestarts = 2
+	policy.RestartWindow = 1_000_000
+	ts := bootFaulty(t, policy, nil)
+	appBuf := ts.heapIn(t, "APP", 8)
+	svc := ts.cubs["SVC"]
+
+	for i := 0; i < 5; i++ {
+		faultSVC(t, ts, appBuf)
+		ts.m.Clock.Charge(policy.BackoffMax)
+		if _, cf := callSVCOk(t, ts); cf != nil {
+			t.Fatalf("restart %d refused: %v", i+1, cf)
+		}
+		// Let the strike age past the window before the next fault.
+		ts.m.Clock.Charge(policy.RestartWindow * 2)
+	}
+	if svc.Health() != Healthy {
+		t.Errorf("health = %v after spaced faults, want Healthy", svc.Health())
+	}
+	if svc.Restarts() != 5 {
+		t.Errorf("Restarts() = %d, want 5", svc.Restarts())
+	}
+	if ts.m.Supervisor().Deaths() != 0 {
+		t.Errorf("Deaths() = %d, want 0 — spaced faults must never kill", ts.m.Supervisor().Deaths())
+	}
+}
+
 func TestSupervisorBackoffEscalatesOnVirtualClock(t *testing.T) {
 	policy := DefaultRestartPolicy()
 	ts := bootFaulty(t, policy, nil)

@@ -51,6 +51,11 @@ type Thread struct {
 	// only appended to while a supervisor is attached and is truncated when
 	// the thread unwinds to depth zero (everything below is committed).
 	journal []undoEntry
+	// deadline is the armed request deadline in virtual cycles (0 = none);
+	// deadlineFrame is the frame depth at arming time — only crossings
+	// below it fault, so the arming cubicle always regains control.
+	deadline      uint64
+	deadlineFrame int
 }
 
 // NewThread creates a thread that starts executing in the monitor cubicle

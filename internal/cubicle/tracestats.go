@@ -31,6 +31,10 @@ func StatsFromTrace(trc *trace.Tracer) Stats {
 	s.Quarantines = c.Quarantines
 	s.Restarts = c.Restarts
 	s.InjectedFaults = c.InjectedFaults
+	s.Sheds = c.Sheds
+	s.DeadlineFaults = c.DeadlineFaults
+	s.QuotaFaults = c.QuotaFaults
+	s.Retries = c.Retries
 	for e, n := range c.Calls {
 		s.Calls[Edge{From: ID(e.From), To: ID(e.To)}] = n
 	}

@@ -65,6 +65,16 @@ func (c *Clock) SetWorkScale(f float64) {
 // Cycles returns the number of cycles charged so far.
 func (c *Clock) Cycles() uint64 { return c.cycles }
 
+// AdvanceTo moves the clock forward to target if it is behind it. Open-loop
+// load generation uses it to model idle wall-clock time between scheduled
+// arrivals; the clock never moves backwards.
+func (c *Clock) AdvanceTo(target uint64) {
+	if target <= c.cycles {
+		return
+	}
+	c.Charge(target - c.cycles)
+}
+
 // Reset sets the clock back to zero.
 func (c *Clock) Reset() { c.cycles = 0 }
 

@@ -28,9 +28,10 @@ const Name = "NGINX"
 
 // Buffer sizes.
 const (
-	reqBufSize = 4096
-	ioBufSize  = 32 << 10
-	logBufSize = 512
+	reqBufSize  = 4096
+	ioBufSize   = 32 << 10
+	logBufSize  = 512
+	shedBufSize = 256
 )
 
 // parseWork models request-line parsing and header handling.
@@ -62,6 +63,30 @@ type conn struct {
 	path     string
 	status   int
 	wrote    uint64 // response bytes accepted by LWIP (headers included)
+	// deadline is the absolute virtual-cycle instant this connection's
+	// downstream work expires (0 = none); expired marks a connection that
+	// already missed it, so the 503 answering the miss is not itself
+	// aborted by the stale deadline.
+	deadline uint64
+	expired  bool
+}
+
+// Governance configures the server's overload protection. The zero value
+// disables every mechanism, which is the ungoverned seed behaviour.
+type Governance struct {
+	// MaxConns is the admission limit on concurrent connections; beyond
+	// it new connections are shed with 429 (0 = unbounded).
+	MaxConns int
+	// RequestDeadline is the virtual-cycle budget attached to each
+	// connection's downstream crossings per step; expired work is
+	// abandoned via DeadlineFault and answered with 503 (0 = none).
+	RequestDeadline uint64
+	// RetryAfter is the whole-second hint advertised in the Retry-After
+	// header of shed responses.
+	RetryAfter uint64
+	// Retry bounds re-attempts of transient allocation faults before a
+	// connection is shed (zero value = single attempt, no backoff).
+	Retry cubicle.RetryPolicy
 }
 
 // Server is the NGINX component state.
@@ -74,23 +99,37 @@ type Server struct {
 
 	lwipID, vfsID, ramfsID, platID cubicle.ID
 
-	port   uint16
-	lfd    uint64
-	conns  map[uint64]*conn
-	logBuf vm.Addr
+	port    uint16
+	lfd     uint64
+	conns   map[uint64]*conn
+	logBuf  vm.Addr
+	shedBuf vm.Addr
+	gov     Governance
 
 	// Requests counts completed requests.
 	Requests uint64
 	// Errors503 counts connections degraded with 503 (or truncated)
 	// because a handler crossing hit a contained fault.
 	Errors503 uint64
-	inited    bool
+	// Shed429 counts connections refused at admission (MaxConns).
+	Shed429 uint64
+	// Shed503 counts connections shed for transient resource exhaustion
+	// (quota or deadline) rather than a component fault.
+	Shed503 uint64
+	inited  bool
 }
 
 // New creates the server; deployment wiring must call SetDeps.
 func New(port uint16) *Server {
 	return &Server{port: port, conns: make(map[uint64]*conn)}
 }
+
+// SetGovernance installs overload-protection limits. Call before the
+// first step; the zero value switches everything off.
+func (s *Server) SetGovernance(g Governance) { s.gov = g }
+
+// Conns returns the number of live connections (admission-control gauge).
+func (s *Server) Conns() int { return len(s.conns) }
 
 // SetDeps wires the server's clients and allocator strategy, plus the
 // cubicle IDs it opens windows for.
@@ -119,15 +158,27 @@ func (s *Server) initServer(e *cubicle.Env) uint64 {
 	return 0
 }
 
-// newConn sets up per-connection buffers and their windows.
+// newConn sets up per-connection buffers and their windows. If a later
+// allocation faults, the earlier ones are released before the fault
+// re-raises, so a shed connection leaves no arena residue behind.
 func (s *Server) newConn(e *cubicle.Env, fd uint64) *conn {
 	c := &conn{fd: fd, status: 200}
 	c.reqBuf = s.alloc.Malloc(e, reqBufSize)
-	s.alloc.Share(e, c.reqBuf, reqBufSize, s.lwipID)
-	c.ioBuf = s.alloc.Malloc(e, ioBufSize)
-	s.alloc.Share(e, c.ioBuf, ioBufSize, s.lwipID)
-	s.alloc.Share(e, c.ioBuf, ioBufSize, s.vfsID)
-	s.alloc.Share(e, c.ioBuf, ioBufSize, s.ramfsID)
+	if cf := cubicle.CatchContained(func() {
+		s.alloc.Share(e, c.reqBuf, reqBufSize, s.lwipID)
+		c.ioBuf = s.alloc.Malloc(e, ioBufSize)
+		s.alloc.Share(e, c.ioBuf, ioBufSize, s.lwipID)
+		s.alloc.Share(e, c.ioBuf, ioBufSize, s.vfsID)
+		s.alloc.Share(e, c.ioBuf, ioBufSize, s.ramfsID)
+	}); cf != nil {
+		cubicle.CatchContained(func() {
+			s.alloc.Free(e, c.reqBuf)
+			if c.ioBuf != 0 {
+				s.alloc.Free(e, c.ioBuf)
+			}
+		})
+		panic(cf)
+	}
 	return c
 }
 
@@ -159,7 +210,30 @@ func (s *Server) step(e *cubicle.Env) uint64 {
 			if errno != lwip.EOK {
 				break
 			}
-			s.conns[fd] = s.newConn(e, fd)
+			if s.gov.MaxConns > 0 && len(s.conns) >= s.gov.MaxConns {
+				// Admission control: refuse at the door while the
+				// house is full instead of queueing unbounded work.
+				s.shed(e, fd, 429, "conns")
+				activity++
+				continue
+			}
+			var c *conn
+			if cf := cubicle.RetryContained(e, s.gov.Retry, func() {
+				c = s.newConn(e, fd)
+			}); cf != nil {
+				if !cubicle.IsTransient(cf) {
+					panic(cf) // real component fault: outer catch backs off
+				}
+				// Allocation quota exhausted even after backoff: shed
+				// this connection rather than the whole server.
+				s.shed(e, fd, 503, "quota")
+				activity++
+				continue
+			}
+			if s.gov.RequestDeadline != 0 {
+				c.deadline = e.Now() + s.gov.RequestDeadline
+			}
+			s.conns[fd] = c
 			activity++
 		}
 	}); cf != nil {
@@ -169,22 +243,69 @@ func (s *Server) step(e *cubicle.Env) uint64 {
 	}
 	for _, c := range s.conns {
 		c := c
-		if cf := cubicle.CatchContained(func() {
+		armed := c.deadline != 0 && !c.expired
+		if armed {
+			e.SetDeadline(c.deadline)
+		}
+		cf := cubicle.CatchContained(func() {
 			activity += s.advance(e, c)
-		}); cf != nil {
-			s.fail503(e, c)
+		})
+		if armed {
+			e.ClearDeadline()
+		}
+		if cf != nil {
+			s.fail503(e, c, cf)
 			activity++
 		}
 	}
 	return activity
 }
 
+// shed answers a connection the server refuses to serve — 429 at the
+// admission limit, 503 on resource exhaustion — with a Retry-After hint,
+// then closes it. The response goes through a persistent single shed
+// buffer so refusing load never allocates per-connection memory.
+func (s *Server) shed(e *cubicle.Env, fd uint64, status uint64, reason string) {
+	if s.shedBuf == 0 {
+		s.shedBuf = s.alloc.Malloc(e, shedBufSize)
+		s.alloc.Share(e, s.shedBuf, shedBufSize, s.lwipID)
+	}
+	text := "429 Too Many Requests"
+	if status == 503 {
+		text = "503 Service Unavailable"
+		s.Shed503++
+	} else {
+		s.Shed429++
+	}
+	body := "overloaded\n"
+	resp := fmt.Sprintf("HTTP/1.0 %s\r\nServer: cubicle-nginx\r\nRetry-After: %d\r\nContent-Length: %d\r\n\r\n%s",
+		text, s.gov.RetryAfter, len(body), body)
+	e.Write(s.shedBuf, []byte(resp))
+	e.NoteShed(reason, status)
+	// Best effort: under wire backpressure the refusal itself may drop,
+	// and the close still frees the socket.
+	s.lwip.Send(e, fd, s.shedBuf, uint64(len(resp)))
+	s.lwip.Close(e, fd)
+}
+
 // fail503 degrades a connection whose handler crossed into a faulted
 // cubicle. If no response bytes reached the wire yet, a 503 is staged so
 // the client gets an answer; once part of a 200 is out, all the server
 // can do is close early (HTTP/1.0 signals truncation by the close).
-func (s *Server) fail503(e *cubicle.Env, c *conn) {
+// Transient causes (quota, deadline) count as sheds, not component errors.
+func (s *Server) fail503(e *cubicle.Env, c *conn, cf *cubicle.ContainedFault) {
 	s.Errors503++
+	if cf != nil && cubicle.IsTransient(cf) {
+		s.Shed503++
+		reason := "quota"
+		if _, ok := cf.Cause.(*cubicle.DeadlineFault); ok {
+			reason = "deadline"
+			// The deadline already did its job; answering the miss with
+			// a 503 must not be aborted by the same stale deadline.
+			c.expired = true
+		}
+		e.NoteShed(reason, 503)
+	}
 	if c.fileFD != 0 {
 		fd := c.fileFD
 		c.fileFD = 0

@@ -106,8 +106,19 @@ type ring struct {
 	len   uint64
 }
 
-// write copies n bytes from src (simulated memory) into the ring.
-func (r *ring) write(e *cubicle.Env, src vm.Addr, n uint64) {
+// write copies up to n bytes from src (simulated memory) into the ring,
+// clamped to the free space; returns bytes written. A zero-capacity ring
+// accepts nothing (and must not divide by its capacity).
+func (r *ring) write(e *cubicle.Env, src vm.Addr, n uint64) uint64 {
+	if r.cap == 0 {
+		return 0
+	}
+	if sp := r.space(); n > sp {
+		n = sp
+	}
+	if n == 0 {
+		return 0
+	}
 	off := (r.start + r.len) % r.cap
 	first := r.cap - off
 	if first > n {
@@ -118,6 +129,7 @@ func (r *ring) write(e *cubicle.Env, src vm.Addr, n uint64) {
 		e.Memcpy(r.buf, src.Add(first), n-first)
 	}
 	r.len += n
+	return n
 }
 
 // read copies up to n bytes from the ring into dst; returns bytes moved.
@@ -160,8 +172,15 @@ func (r *ring) peek(e *cubicle.Env, dst vm.Addr, n uint64) uint64 {
 	return n
 }
 
-// consume drops n bytes from the ring head.
+// consume drops up to n bytes from the ring head (clamped to the fill, so
+// an over-consume cannot underflow the accounting).
 func (r *ring) consume(n uint64) {
+	if n > r.len {
+		n = r.len
+	}
+	if n == 0 {
+		return
+	}
 	r.start = (r.start + n) % r.cap
 	r.len -= n
 }
@@ -184,6 +203,9 @@ type sock struct {
 	backlog    int
 	finRcvd    bool
 	finQueued  bool
+	// synAckPending marks a SYN-ACK refused by a full device queue, to be
+	// retried by pump once the backpressure clears.
+	synAckPending bool
 }
 
 func (s *sock) inflight() uint32 { return s.sndNxt - s.sndUna }
@@ -198,6 +220,10 @@ type Module struct {
 	nextFD    uint64
 	listeners map[uint16]*sock
 	conns     map[connKey]*sock
+	// order lists sockets in creation order so poll pumps them
+	// deterministically (map iteration order would make frame ordering —
+	// and therefore the virtual clock — vary run to run).
+	order []*sock
 
 	nd    *netdev.Client
 	alloc ualloc.Allocator
@@ -209,8 +235,18 @@ type Module struct {
 	SendBufCap uint64
 	RecvBufCap uint64
 
+	// ReapClosed, when set, frees a socket's buffers and forgets it once
+	// its FIN is acknowledged with nothing in flight. Off by default: the
+	// seed behaviour keeps sockets forever, which is exactly the unbounded
+	// memory growth the overload experiment demonstrates.
+	ReapClosed bool
+
 	// SegmentsTx / SegmentsRx count TCP segments for the reports.
 	SegmentsTx, SegmentsRx uint64
+	// TxBackpressure counts segment transmits refused by the device queue;
+	// Reaped counts sockets reclaimed by ReapClosed.
+	TxBackpressure uint64
+	Reaped         uint64
 }
 
 // New creates the stack; deployment wiring must call SetDeps.
@@ -250,14 +286,33 @@ func (l *Module) newSock(e *cubicle.Env) *sock {
 	s.rx = ring{buf: l.alloc.Malloc(e, l.RecvBufCap), cap: l.RecvBufCap}
 	s.tx = ring{buf: l.alloc.Malloc(e, l.SendBufCap), cap: l.SendBufCap}
 	l.socks[s.fd] = s
+	l.order = append(l.order, s)
 	return s
 }
 
+// reap frees a socket's buffers and forgets it. Only fully closed
+// connections (FIN sent and acknowledged, nothing in flight) are reaped.
+func (l *Module) reap(e *cubicle.Env, s *sock) {
+	l.alloc.Free(e, s.rx.buf)
+	l.alloc.Free(e, s.tx.buf)
+	delete(l.socks, s.fd)
+	delete(l.conns, connKey{local: s.localPort, remote: s.remotePort})
+	for i, o := range l.order {
+		if o == s {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	l.Reaped++
+}
+
 // sendFrame builds a frame in the staging buffer and hands it to NETDEV.
-// payloadRing, when non-nil, supplies the payload bytes from the socket's
-// send ring (without consuming them — the caller consumes after the frame
-// is out, modelling the DMA completing before buffer reuse).
-func (l *Module) sendFrame(e *cubicle.Env, s *sock, flags uint8, payload uint64) {
+// The payload bytes come from the socket's send ring without consuming
+// them — the caller consumes after the frame is out, modelling the DMA
+// completing before buffer reuse. Returns false when the device refused
+// the frame (bounded transmit queue full); the caller must leave its
+// state unchanged so the segment is retried on a later pump.
+func (l *Module) sendFrame(e *cubicle.Env, s *sock, flags uint8, payload uint64) bool {
 	e.Work(stackWork)
 	h := Header{
 		SrcPort: s.localPort, DstPort: s.remotePort,
@@ -270,8 +325,12 @@ func (l *Module) sendFrame(e *cubicle.Env, s *sock, flags uint8, payload uint64)
 	if payload > 0 {
 		s.tx.peek(e, l.stage.Add(HdrSize), payload)
 	}
-	l.nd.Tx(e, l.stage, HdrSize+payload)
+	if _, errno := l.nd.Tx(e, l.stage, HdrSize+payload); errno != EOK {
+		l.TxBackpressure++
+		return false
+	}
 	l.SegmentsTx++
+	return true
 }
 
 // poll drives the stack: drains received frames, delivers data, sends
@@ -292,9 +351,21 @@ func (l *Module) poll(e *cubicle.Env) uint64 {
 		hdr := DecodeHeader(e.ReadBytes(l.stage, HdrSize))
 		l.handleFrame(e, hdr)
 	}
-	// Transmit path.
-	for _, s := range l.socks {
+	// Transmit path, in deterministic creation order.
+	for _, s := range l.order {
 		activity += l.pump(e, s)
+	}
+	if l.ReapClosed {
+		// Reclaim fully closed connections: FIN sent and acknowledged,
+		// nothing left to deliver or retransmit.
+		for i := 0; i < len(l.order); {
+			s := l.order[i]
+			if s.state == stFinSent && s.inflight() == 0 && s.tx.len == 0 && !s.needAck {
+				l.reap(e, s)
+				continue // reap spliced l.order; same index is the next sock
+			}
+			i++
+		}
 	}
 	return activity
 }
@@ -320,10 +391,15 @@ func (l *Module) handleFrame(e *cubicle.Env, h Header) {
 		c.peerWnd = h.Wnd
 		l.conns[key] = c
 		ls.acceptQ = append(ls.acceptQ, c.fd)
-		// SYN-ACK consumes one sequence number.
-		l.sendFrame(e, c, FlagSYN|FlagACK, 0)
-		c.sndNxt++
-		c.sndUna = c.sndNxt - 1
+		// SYN-ACK consumes one sequence number. If the device queue is
+		// full it is retried from pump; the connection is already
+		// established on our side either way.
+		if l.sendFrame(e, c, FlagSYN|FlagACK, 0) {
+			c.sndNxt++
+			c.sndUna = c.sndNxt - 1
+		} else {
+			c.synAckPending = true
+		}
 		return
 	}
 	if h.Flags&FlagACK != 0 {
@@ -363,6 +439,16 @@ func (l *Module) pump(e *cubicle.Env, s *sock) uint64 {
 		return 0
 	}
 	sent := uint64(0)
+	if s.synAckPending {
+		// Retry the handshake reply the device queue refused earlier.
+		if !l.sendFrame(e, s, FlagSYN|FlagACK, 0) {
+			return sent
+		}
+		s.synAckPending = false
+		s.sndNxt++
+		s.sndUna = s.sndNxt - 1
+		sent++
+	}
 	for s.tx.len > 0 {
 		wnd := uint64(0)
 		if uint64(s.inflight()) < uint64(s.peerWnd) {
@@ -378,21 +464,29 @@ func (l *Module) pump(e *cubicle.Env, s *sock) uint64 {
 		if seg == 0 {
 			break
 		}
-		l.sendFrame(e, s, FlagACK, seg)
+		if !l.sendFrame(e, s, FlagACK, seg) {
+			// Device backpressure: leave the segment in the ring and the
+			// sequence space untouched; a later pump retries it.
+			return sent
+		}
 		s.tx.consume(seg)
 		s.sndNxt += uint32(seg)
 		s.needAck = false
 		sent++
 	}
 	if s.finQueued && s.tx.len == 0 && s.state != stFinSent {
-		l.sendFrame(e, s, FlagFIN|FlagACK, 0)
+		if !l.sendFrame(e, s, FlagFIN|FlagACK, 0) {
+			return sent
+		}
 		s.sndNxt++
 		s.state = stFinSent
 		s.needAck = false
 		sent++
 	}
 	if s.needAck {
-		l.sendFrame(e, s, FlagACK, 0)
+		if !l.sendFrame(e, s, FlagACK, 0) {
+			return sent
+		}
 		s.needAck = false
 		sent++
 	}

@@ -108,7 +108,10 @@ func TestCheckRespectsPageTablePerms(t *testing.T) {
 
 func TestPkeyMprotect(t *testing.T) {
 	as := vm.NewAddrSpace()
-	addr := as.Map(3, 0, vm.PageHeap, vm.PermRead, 2)
+	addr, err := as.Map(3, 0, vm.PageHeap, vm.PermRead, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := PkeyMprotect(as, addr, 2, 9); err != nil {
 		t.Fatal(err)
 	}

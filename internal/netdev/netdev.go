@@ -27,14 +27,28 @@ const driverWork = 1400
 type Wire struct {
 	toHost   [][]byte
 	toDevice [][]byte
+	// Cap bounds each direction's queue in frames (0 = unbounded, the
+	// seed behaviour). A full receive queue drops host frames like a NIC
+	// ring overflow; a full transmit queue pushes EAGAIN back into the
+	// stack.
+	Cap int
 	// FramesOut / FramesIn count frames for the experiment reports.
 	FramesOut, FramesIn uint64
 	// BytesOut / BytesIn count payload bytes.
 	BytesOut, BytesIn uint64
+	// DropsIn counts host frames dropped at a full receive queue;
+	// DropsOut counts device transmits refused at a full send queue.
+	DropsIn, DropsOut uint64
 }
 
-// HostSend injects a frame from the host side (load generator).
+// HostSend injects a frame from the host side (load generator). When the
+// bounded receive queue is full the frame is dropped — the silicon has no
+// flow control to the wire, exactly like a NIC ring overflow.
 func (w *Wire) HostSend(frame []byte) {
+	if w.Cap > 0 && len(w.toDevice) >= w.Cap {
+		w.DropsIn++
+		return
+	}
 	f := make([]byte, len(frame))
 	copy(f, frame)
 	w.toDevice = append(w.toDevice, f)
@@ -82,6 +96,12 @@ func (d *Module) tx(e *cubicle.Env, ptr, n uint64) []uint64 {
 	e.Work(driverWork)
 	if n == 0 || n > MTU {
 		return []uint64{0, 22} // EINVAL
+	}
+	if d.wire.Cap > 0 && len(d.wire.toHost) >= d.wire.Cap {
+		// Bounded transmit queue: explicit backpressure to the stack
+		// instead of unbounded growth.
+		d.wire.DropsOut++
+		return []uint64{0, 11} // EAGAIN
 	}
 	d.ensureStaging(e)
 	e.Memcpy(d.staging, vm.Addr(ptr), n)

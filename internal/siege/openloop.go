@@ -1,0 +1,219 @@
+// Open-loop load generation: requests arrive on a fixed virtual-clock
+// schedule regardless of whether earlier ones completed, the way real
+// traffic behaves. Closed-loop drivers (Fetch, FetchConcurrent) can never
+// push a server past saturation — the client waits, so the queue cannot
+// grow; an open-loop sweep across offered rates is what exposes the
+// saturation knee and how the system degrades beyond it.
+
+package siege
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cubicleos/internal/cycles"
+	"cubicleos/internal/lwip"
+)
+
+// OpenLoopOptions configures one open-loop run.
+type OpenLoopOptions struct {
+	// Path is the file requested by every arrival.
+	Path string
+	// Rate is the offered load in requests per virtual second.
+	Rate float64
+	// Requests is the number of scheduled arrivals.
+	Requests int
+	// MaxSteps bounds driver iterations as a safety net (0 = default).
+	MaxSteps int
+	// IdleStepLimit breaks the drain phase when this many consecutive
+	// steps make no progress; stragglers count as dropped (0 = default).
+	IdleStepLimit int
+}
+
+// OpenLoopStats summarises one open-loop run at a fixed offered rate.
+type OpenLoopStats struct {
+	OfferedRPS float64
+	Arrivals   int
+	// OK counts 200 responses; Shed counts explicit refusals (429/503);
+	// Errors counts other statuses; Dropped counts connections that never
+	// completed (lost SYN, server never answered).
+	OK, Shed, Errors, Dropped int
+	// GoodputRPS is completed 200s per virtual second of the run.
+	GoodputRPS float64
+	// P50/P99/P999 are download latencies of the 200 responses.
+	P50, P99, P999 time.Duration
+	// MaxConns is the high-water mark of concurrent server connections.
+	MaxConns int
+	// ArenaBytes is ALLOC's total arena footprint at the end of the run —
+	// the memory the overload left behind.
+	ArenaBytes uint64
+	// Elapsed is the virtual wall-clock span of the run.
+	Elapsed time.Duration
+}
+
+// OpenLoop offers o.Requests arrivals at o.Rate requests per virtual
+// second and drives the system until every arrival completes, is shed, or
+// stalls. The clock jumps over idle gaps between arrivals, so a run below
+// saturation measures unloaded latency and a run above it measures the
+// queue the overload builds.
+func (t *Target) OpenLoop(o OpenLoopOptions) (*OpenLoopStats, error) {
+	if o.Rate <= 0 || o.Requests <= 0 {
+		return nil, fmt.Errorf("siege: open loop needs positive rate and request count")
+	}
+	maxSteps := o.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 5_000_000
+	}
+	idleLimit := o.IdleStepLimit
+	if idleLimit == 0 {
+		idleLimit = 20_000
+	}
+	clock := t.Sys.M.Clock
+	interval := uint64(float64(cycles.FrequencyHz) / o.Rate)
+	if interval == 0 {
+		interval = 1
+	}
+	type flight struct {
+		conn    *lwip.PeerConn
+		startAt uint64
+		doneAt  uint64
+		sent    bool
+		done    bool
+	}
+	req := []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", o.Path))
+	start := clock.Cycles()
+	next := start
+	var flights []*flight
+	launched, open, idle, maxConns := 0, 0, 0, 0
+	for step := 0; step < maxSteps; step++ {
+		for launched < o.Requests && clock.Cycles() >= next {
+			flights = append(flights, &flight{conn: t.Peer.Connect(80), startAt: clock.Cycles()})
+			launched++
+			open++
+			next += interval
+		}
+		t.stepH.Call(t.Sys.Env)
+		t.Peer.Pump()
+		progress := false
+		for _, f := range flights {
+			if f.done {
+				continue
+			}
+			if f.conn.Established && !f.sent {
+				f.conn.Send(req)
+				f.sent = true
+				progress = true
+			}
+			if f.conn.FinRcvd {
+				f.done = true
+				f.doneAt = clock.Cycles()
+				open--
+				progress = true
+			}
+		}
+		if c := t.Srv.Conns(); c > maxConns {
+			maxConns = c
+		}
+		if launched == o.Requests && open == 0 {
+			break
+		}
+		if open == 0 && launched < o.Requests {
+			// Nothing in flight: idle until the next scheduled arrival.
+			clock.AdvanceTo(next)
+			continue
+		}
+		if launched == o.Requests && !progress {
+			// Drain phase: give stalled connections a bounded chance.
+			if idle++; idle > idleLimit {
+				break
+			}
+		} else {
+			idle = 0
+		}
+	}
+	st := &OpenLoopStats{
+		OfferedRPS: o.Rate,
+		Arrivals:   launched,
+		MaxConns:   maxConns,
+		ArenaBytes: t.Sys.Alloc.TotalArenaBytes(),
+	}
+	var lats []uint64
+	for _, f := range flights {
+		if !f.done {
+			st.Dropped++
+			continue
+		}
+		raw := string(f.conn.Received())
+		head, _, ok := strings.Cut(raw, "\r\n\r\n")
+		if !ok {
+			st.Dropped++
+			continue
+		}
+		fields := strings.Fields(strings.SplitN(head, "\r\n", 2)[0])
+		if len(fields) < 2 {
+			st.Dropped++
+			continue
+		}
+		status, err := strconv.Atoi(fields[1])
+		if err != nil {
+			st.Dropped++
+			continue
+		}
+		switch {
+		case status == 200:
+			st.OK++
+			lats = append(lats, f.doneAt-f.startAt+t.RequestFloor)
+		case status == 429 || status == 503:
+			st.Shed++
+		default:
+			st.Errors++
+		}
+	}
+	elapsed := clock.Cycles() - start
+	st.Elapsed = cycles.Duration(elapsed)
+	if elapsed > 0 {
+		st.GoodputRPS = float64(st.OK) * float64(cycles.FrequencyHz) / float64(elapsed)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.P50 = percentile(lats, 0.50)
+	st.P99 = percentile(lats, 0.99)
+	st.P999 = percentile(lats, 0.999)
+	return st, nil
+}
+
+// percentile returns the p-quantile of sorted cycle latencies as a
+// duration (nearest-rank; zero when empty).
+func percentile(sorted []uint64, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return cycles.Duration(sorted[i])
+}
+
+// OpenLoopSweep runs an offered-load sweep: one fresh target per rate
+// (built by mk, which provisions the workload) so runs do not inherit each
+// other's residue, each driven through OpenLoop with o.Rate overridden.
+func OpenLoopSweep(rates []float64, mk func() (*Target, error), o OpenLoopOptions) ([]*OpenLoopStats, error) {
+	out := make([]*OpenLoopStats, 0, len(rates))
+	for _, r := range rates {
+		t, err := mk()
+		if err != nil {
+			return nil, fmt.Errorf("siege: sweep boot at %.0f rps: %w", r, err)
+		}
+		ro := o
+		ro.Rate = r
+		st, err := t.OpenLoop(ro)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -54,6 +54,15 @@ type Options struct {
 	// Chaos attaches a deterministic fault injector (disarmed; arm it via
 	// Target.Sys.Chaos once provisioning is done).
 	Chaos *faultinject.Config
+	// Governance, when non-nil, arms the server's overload protection
+	// (admission control, request deadlines, shed responses).
+	Governance *httpd.Governance
+	// MemQuotas / AllocClientQuota / WireCap / ReapClosed pass through to
+	// boot.Config — the resource-governance side of overload protection.
+	MemQuotas        map[string]uint64
+	AllocClientQuota uint64
+	WireCap          int
+	ReapClosed       bool
 }
 
 // NewTarget boots the Figure 5 deployment: eight isolated cubicles
@@ -86,6 +95,10 @@ func NewTargetOpts(o Options) (*Target, error) {
 		TraceSamplePeriod: o.TraceSamplePeriod,
 		Supervision:       o.Supervision,
 		Chaos:             o.Chaos,
+		MemQuotas:         o.MemQuotas,
+		AllocClientQuota:  o.AllocClientQuota,
+		WireCap:           o.WireCap,
+		LwipReapClosed:    o.ReapClosed,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +127,9 @@ func NewTargetOpts(o Options) (*Target, error) {
 		initH:        m.MustResolve(cubicle.MonitorID, httpd.Name, "nginx_init"),
 		stepH:        m.MustResolve(cubicle.MonitorID, httpd.Name, "nginx_step"),
 		RequestFloor: DefaultRequestFloor,
+	}
+	if o.Governance != nil {
+		srv.SetGovernance(*o.Governance)
 	}
 	if errno := t.initH.Call(sys.Env)[0]; errno != 0 {
 		return nil, fmt.Errorf("siege: nginx_init failed with errno %d", errno)

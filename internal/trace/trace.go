@@ -72,6 +72,23 @@ const (
 	// EvInjected is one deterministic fault injection firing; Name is the
 	// injection site/kind label.
 	EvInjected
+	// EvShed is a request refused by admission control: Cubicle is the
+	// shedding cubicle, Name the reason label (e.g. conn_limit, quota),
+	// Arg the HTTP status sent back (429/503).
+	EvShed
+	// EvDeadline is a crossing or work quantum abandoned because the
+	// thread's virtual-clock deadline had passed; Cubicle is where the
+	// expiry was detected, Arg the deadline, Cost how far past it the
+	// clock was.
+	EvDeadline
+	// EvQuota is a memory-quota refusal: Cubicle is the cubicle whose
+	// quota was exhausted, Name the resource label, Arg the attempted
+	// usage, Cost the limit.
+	EvQuota
+	// EvRetry is one bounded-retry attempt after a transient contained
+	// fault; Cubicle is the retrying caller, Arg the attempt number,
+	// Cost the virtual-cycle backoff charged before it.
+	EvRetry
 
 	numKinds
 )
@@ -94,6 +111,10 @@ var kindNames = [numKinds]string{
 	EvQuarantine:   "quarantine",
 	EvRestart:      "restart",
 	EvInjected:     "injected",
+	EvShed:         "shed",
+	EvDeadline:     "deadline",
+	EvQuota:        "quota",
+	EvRetry:        "retry",
 }
 
 func (k Kind) String() string {
@@ -325,6 +346,37 @@ func (t *Tracer) Injected(cub int, site string) {
 	t.record(Event{Kind: EvInjected, Thread: -1, Cubicle: int32(cub), Name: site})
 }
 
+// Shed records a request refused by admission control in cubicle cub;
+// reason is a constant label and status the HTTP status sent back.
+func (t *Tracer) Shed(cub int, reason string, status uint64) {
+	t.record(Event{Kind: EvShed, Thread: -1, Cubicle: int32(cub), Arg: status, Name: reason})
+}
+
+// DeadlineMiss records work abandoned in cubicle cub because the thread's
+// deadline had passed; now is the clock at detection time.
+func (t *Tracer) DeadlineMiss(thread, cub int, deadline, now uint64) {
+	var over uint64
+	if now > deadline {
+		over = now - deadline
+	}
+	t.record(Event{Kind: EvDeadline, Thread: int32(thread), Cubicle: int32(cub),
+		Arg: deadline, Cost: over})
+}
+
+// QuotaHit records a memory-quota refusal for cubicle cub on the named
+// resource (a constant string); used is the attempted usage, limit the cap.
+func (t *Tracer) QuotaHit(cub int, resource string, used, limit uint64) {
+	t.record(Event{Kind: EvQuota, Thread: -1, Cubicle: int32(cub),
+		Arg: used, Cost: limit, Name: resource})
+}
+
+// Retry records one bounded-retry attempt by cubicle cub after a transient
+// contained fault; backoff is the virtual-cycle penalty charged before it.
+func (t *Tracer) Retry(cub int, attempt, backoff uint64) {
+	t.record(Event{Kind: EvRetry, Thread: -1, Cubicle: int32(cub),
+		Arg: attempt, Cost: backoff})
+}
+
 // --- Queries -----------------------------------------------------------------
 
 // Count returns the number of events of kind k recorded so far (streaming;
@@ -425,6 +477,10 @@ type Counts struct {
 	Quarantines       uint64
 	Restarts          uint64
 	InjectedFaults    uint64
+	Sheds             uint64
+	DeadlineFaults    uint64
+	QuotaFaults       uint64
+	Retries           uint64
 	Calls             map[Edge]uint64
 }
 
@@ -447,6 +503,10 @@ func (t *Tracer) Counts() Counts {
 		Quarantines:       t.counts[EvQuarantine],
 		Restarts:          t.counts[EvRestart],
 		InjectedFaults:    t.counts[EvInjected],
+		Sheds:             t.counts[EvShed],
+		DeadlineFaults:    t.counts[EvDeadline],
+		QuotaFaults:       t.counts[EvQuota],
+		Retries:           t.counts[EvRetry],
 		Calls:             t.EdgeCalls(),
 	}
 }

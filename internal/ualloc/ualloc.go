@@ -43,6 +43,10 @@ type clientState struct {
 	free   []block
 	sizes  map[vm.Addr]uint64
 	shares map[vm.Addr]*shareState
+	// arena is the client's arena footprint in bytes. Arenas are never
+	// returned to the monitor, so this is also the client's high-water
+	// mark — the quantity ClientQuota caps.
+	arena uint64
 }
 
 type shareState struct {
@@ -54,6 +58,10 @@ type shareState struct {
 // Module is the ALLOC component state.
 type Module struct {
 	clients map[cubicle.ID]*clientState
+	// ClientQuota caps each client's arena footprint in bytes (0 =
+	// unlimited). Exceeding it raises a *cubicle.QuotaFault attributed to
+	// the client — a transient, contained overload signal, not a crash.
+	ClientQuota uint64
 }
 
 // New creates the ALLOC module.
@@ -130,15 +138,37 @@ func (a *Module) malloc(e *cubicle.Env, size uint64) vm.Addr {
 		if size+vm.PageSize > uint64(grow) {
 			grow = int((size + 2*vm.PageSize - 1) &^ (vm.PageSize - 1))
 		}
+		if q := a.ClientQuota; q != 0 && cs.arena+uint64(grow) > q {
+			e.RaiseQuota(caller, "arena", cs.arena+uint64(grow), q)
+		}
 		arena := e.HeapAlloc(uint64(grow))
 		e.WindowAdd(cs.window, arena, uint64(grow))
 		if !cs.opened {
 			e.WindowOpen(cs.window, caller)
 			cs.opened = true
 		}
+		cs.arena += uint64(grow)
 		cs.insertFree(block{addr: arena, size: uint64(grow)})
 	}
-	panic(fmt.Sprintf("ualloc: arena growth failed for cubicle %d", caller))
+	panic(&cubicle.APIError{Cubicle: caller, Op: "alloc_malloc",
+		Reason: fmt.Sprintf("arena growth failed to satisfy %d bytes", size)})
+}
+
+// ClientArenaBytes returns the arena footprint of one client cubicle.
+func (a *Module) ClientArenaBytes(id cubicle.ID) uint64 {
+	if cs, ok := a.clients[id]; ok {
+		return cs.arena
+	}
+	return 0
+}
+
+// TotalArenaBytes returns the arena footprint across all clients.
+func (a *Module) TotalArenaBytes() uint64 {
+	var n uint64
+	for _, cs := range a.clients {
+		n += cs.arena
+	}
+	return n
 }
 
 // freeAlloc releases an allocation of the calling cubicle.

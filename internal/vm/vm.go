@@ -131,22 +131,24 @@ func (as *AddrSpace) MappedPages() int {
 
 // Map allocates npages contiguous pages with the given metadata and
 // returns the address of the first. The key is the MPK tag initially
-// assigned to every page.
-func (as *AddrSpace) Map(npages int, owner int, typ PageType, perm Perm, key uint8) Addr {
+// assigned to every page. A non-positive page count is an error the
+// caller must surface as a typed fault, not a raw panic: Map requests
+// originate from (simulated) untrusted allocation paths.
+func (as *AddrSpace) Map(npages int, owner int, typ PageType, perm Perm, key uint8) (Addr, error) {
 	if npages <= 0 {
-		panic("vm: Map with non-positive page count")
+		return 0, fmt.Errorf("vm: Map with non-positive page count %d", npages)
 	}
 	if npages == 1 && len(as.free) > 0 {
 		pn := as.free[len(as.free)-1]
 		as.free = as.free[:len(as.free)-1]
 		as.pages[pn] = &Page{Key: key, Perm: perm, Owner: owner, Type: typ}
-		return Addr(pn << PageShift)
+		return Addr(pn << PageShift), nil
 	}
 	pn := uint64(len(as.pages))
 	for i := 0; i < npages; i++ {
 		as.pages = append(as.pages, &Page{Key: key, Perm: perm, Owner: owner, Type: typ})
 	}
-	return Addr(pn << PageShift)
+	return Addr(pn << PageShift), nil
 }
 
 // Unmap releases npages pages starting at addr, which must be page-aligned

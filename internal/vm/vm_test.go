@@ -6,6 +6,15 @@ import (
 	"testing/quick"
 )
 
+// mustMap is Map for tests whose requests are valid by construction.
+func mustMap(as *AddrSpace, npages, owner int, typ PageType, perm Perm, key uint8) Addr {
+	a, err := as.Map(npages, owner, typ, perm, key)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
 func TestAddrHelpers(t *testing.T) {
 	a := Addr(0x3025)
 	if a.PageNum() != 3 {
@@ -46,7 +55,7 @@ func TestPageTypeString(t *testing.T) {
 
 func TestMapAssignsMetadata(t *testing.T) {
 	as := NewAddrSpace()
-	addr := as.Map(3, 7, PageHeap, PermRead|PermWrite, 5)
+	addr := mustMap(as, 3, 7, PageHeap, PermRead|PermWrite, 5)
 	if addr == 0 {
 		t.Fatal("Map returned null address")
 	}
@@ -67,7 +76,7 @@ func TestMapAssignsMetadata(t *testing.T) {
 func TestAddrZeroNeverMapped(t *testing.T) {
 	as := NewAddrSpace()
 	for i := 0; i < 10; i++ {
-		if a := as.Map(1, 0, PageHeap, PermRead, 0); a == 0 {
+		if a := mustMap(as, 1, 0, PageHeap, PermRead, 0); a == 0 {
 			t.Fatal("Map returned address 0")
 		}
 	}
@@ -78,15 +87,15 @@ func TestAddrZeroNeverMapped(t *testing.T) {
 
 func TestUnmapAndReuse(t *testing.T) {
 	as := NewAddrSpace()
-	a := as.Map(1, 1, PageHeap, PermRead, 1)
-	b := as.Map(1, 1, PageHeap, PermRead, 1)
+	a := mustMap(as, 1, 1, PageHeap, PermRead, 1)
+	b := mustMap(as, 1, 1, PageHeap, PermRead, 1)
 	if err := as.Unmap(a, 1); err != nil {
 		t.Fatal(err)
 	}
 	if as.Page(a) != nil {
 		t.Fatal("unmapped page still present")
 	}
-	c := as.Map(1, 2, PageStack, PermWrite, 3)
+	c := mustMap(as, 1, 2, PageStack, PermWrite, 3)
 	if c != a {
 		t.Errorf("freed page not reused: got %#x want %#x", uint64(c), uint64(a))
 	}
@@ -99,7 +108,7 @@ func TestUnmapAndReuse(t *testing.T) {
 
 func TestUnmapErrors(t *testing.T) {
 	as := NewAddrSpace()
-	a := as.Map(1, 0, PageHeap, PermRead, 0)
+	a := mustMap(as, 1, 0, PageHeap, PermRead, 0)
 	if err := as.Unmap(a.Add(1), 1); err == nil {
 		t.Error("Unmap of unaligned address succeeded")
 	}
@@ -117,7 +126,7 @@ func TestUnmapErrors(t *testing.T) {
 
 func TestReadWriteCrossPage(t *testing.T) {
 	as := NewAddrSpace()
-	addr := as.Map(2, 0, PageHeap, PermRead|PermWrite, 0)
+	addr := mustMap(as, 2, 0, PageHeap, PermRead|PermWrite, 0)
 	data := make([]byte, PageSize+123)
 	for i := range data {
 		data[i] = byte(i * 7)
@@ -137,7 +146,7 @@ func TestReadWriteCrossPage(t *testing.T) {
 
 func TestReadWriteUnmapped(t *testing.T) {
 	as := NewAddrSpace()
-	addr := as.Map(1, 0, PageHeap, PermRead|PermWrite, 0)
+	addr := mustMap(as, 1, 0, PageHeap, PermRead|PermWrite, 0)
 	buf := make([]byte, 16)
 	if err := as.ReadAt(addr.Add(PageSize-8), buf); err == nil {
 		t.Error("read running off the mapping succeeded")
@@ -149,7 +158,7 @@ func TestReadWriteUnmapped(t *testing.T) {
 
 func TestU64RoundTrip(t *testing.T) {
 	as := NewAddrSpace()
-	addr := as.Map(2, 0, PageHeap, PermRead|PermWrite, 0)
+	addr := mustMap(as, 2, 0, PageHeap, PermRead|PermWrite, 0)
 	f := func(off uint16, v uint64) bool {
 		a := addr.Add(uint64(off) % (2*PageSize - 8)) // keep the 8-byte word inside the mapping
 		if err := as.WriteU64(a, v); err != nil {
@@ -165,7 +174,7 @@ func TestU64RoundTrip(t *testing.T) {
 
 func TestCheckMapped(t *testing.T) {
 	as := NewAddrSpace()
-	addr := as.Map(2, 0, PageHeap, PermRead, 0)
+	addr := mustMap(as, 2, 0, PageHeap, PermRead, 0)
 	if err := as.CheckMapped(addr, 2*PageSize); err != nil {
 		t.Errorf("fully mapped range reported error: %v", err)
 	}
@@ -203,8 +212,8 @@ func TestPagesFor(t *testing.T) {
 
 func TestForEachPage(t *testing.T) {
 	as := NewAddrSpace()
-	a := as.Map(2, 0, PageHeap, PermRead, 4)
-	as.Map(1, 1, PageStack, PermRead, 5)
+	a := mustMap(as, 2, 0, PageHeap, PermRead, 4)
+	mustMap(as, 1, 1, PageStack, PermRead, 5)
 	if err := as.Unmap(a, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +234,7 @@ func TestMappedPages(t *testing.T) {
 	if as.MappedPages() != 0 {
 		t.Fatal("fresh address space has mapped pages")
 	}
-	a := as.Map(5, 0, PageHeap, PermRead, 0)
+	a := mustMap(as, 5, 0, PageHeap, PermRead, 0)
 	if as.MappedPages() != 5 {
 		t.Errorf("MappedPages = %d, want 5", as.MappedPages())
 	}
@@ -237,11 +246,14 @@ func TestMappedPages(t *testing.T) {
 	}
 }
 
-func TestMapPanicsOnZeroPages(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Map(0 pages) did not panic")
+func TestMapRejectsNonPositivePages(t *testing.T) {
+	as := NewAddrSpace()
+	for _, n := range []int{0, -1} {
+		if _, err := as.Map(n, 0, PageHeap, PermRead, 0); err == nil {
+			t.Errorf("Map(%d pages) did not error", n)
 		}
-	}()
-	NewAddrSpace().Map(0, 0, PageHeap, PermRead, 0)
+	}
+	if as.MappedPages() != 0 {
+		t.Error("failed Map left pages mapped")
+	}
 }

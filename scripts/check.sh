@@ -21,4 +21,9 @@ go run ./cmd/cubicle-trace -format json -requests 5 -check >/dev/null
 # and keep the trace/stats invariants (-check) over the chaotic schedule.
 go run ./cmd/cubicle-trace -format json -requests 40 -chaos-seed 7 -check >/dev/null
 
+# Overload smoke: open-loop sweep below and past the saturation knee.
+# -assert-degrade exits non-zero unless the governed server sheds
+# explicitly, keeps connections and memory bounded, and drops nothing.
+go run ./cmd/httpbench -openloop -rates 1000,8000 -requests 120 -assert-degrade >/dev/null
+
 echo "check.sh: all green"
