@@ -76,6 +76,9 @@ type counters struct {
 	DeadlineFaults    uint64      `json:"deadline_faults"`
 	QuotaFaults       uint64      `json:"quota_faults"`
 	Retries           uint64      `json:"retries"`
+	TLBHits           uint64      `json:"tlb_hits"`
+	TLBMisses         uint64      `json:"tlb_misses"`
+	TLBInvalidations  uint64      `json:"tlb_invalidations"`
 	Edges             []edgeCount `json:"call_edges"`
 	VirtualCycles     uint64      `json:"virtual_cycles"`
 	VirtualMs         float64     `json:"virtual_ms"`
@@ -151,6 +154,9 @@ func buildReport(m *cubicleos.Monitor) *report {
 		DeadlineFaults:    st.DeadlineFaults,
 		QuotaFaults:       st.QuotaFaults,
 		Retries:           st.Retries,
+		TLBHits:           st.TLBHits,
+		TLBMisses:         st.TLBMisses,
+		TLBInvalidations:  st.TLBInvalidations,
 		VirtualCycles:     m.Clock.Cycles(),
 		VirtualMs:         float64(m.Clock.Duration().Microseconds()) / 1000,
 	}
@@ -267,6 +273,8 @@ func main() {
 	fmt.Printf("  deadline faults       %10d\n", st.DeadlineFaults)
 	fmt.Printf("  quota faults          %10d\n", st.QuotaFaults)
 	fmt.Printf("  crossing retries      %10d\n", st.Retries)
+	fmt.Printf("  span-TLB hits         %10d (%d misses, %d invalidations)\n",
+		st.TLBHits, st.TLBMisses, st.TLBInvalidations)
 	fmt.Printf("  virtual time          %10d cycles (%.3f ms at 2.2 GHz)\n",
 		m.Clock.Cycles(), float64(m.Clock.Duration().Microseconds())/1000)
 }

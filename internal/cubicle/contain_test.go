@@ -15,7 +15,7 @@ import (
 //	MID — a middleman that opens a window of its own, then calls SVC.
 //
 // restarts, if non-nil, is incremented by SVC's OnRestart hook.
-func bootFaulty(t *testing.T, policy RestartPolicy, restarts *int) *testSystem {
+func bootFaulty(t testing.TB, policy RestartPolicy, restarts *int) *testSystem {
 	t.Helper()
 	ts := &testSystem{}
 	b := NewBuilder()

@@ -1,6 +1,8 @@
 package cubicle
 
 import (
+	"encoding/binary"
+
 	"cubicleos/internal/mpk"
 	"cubicleos/internal/vm"
 )
@@ -69,13 +71,23 @@ func (e *Env) Work(n uint64) {
 }
 
 // --- Checked memory access -------------------------------------------------
+//
+// Every accessor below resolves the span through the per-thread TLB
+// (tlb.go): the common case — a span within one already-validated page — is
+// a single cache probe plus a direct copy from the backing array, with zero
+// virtual-time side effects, exactly like the walk it replaces.
 
 // Read copies len(b) bytes at addr into b, after access checks.
 func (e *Env) Read(addr vm.Addr, b []byte) {
-	if len(b) == 0 {
+	n := uint64(len(b))
+	if n == 0 {
 		return
 	}
-	e.M.checkAccess(e.T, mpk.AccessRead, addr, len(b))
+	if v, ok := e.M.fastView(e.T, mpk.AccessRead, addr, n); ok {
+		copy(b, v)
+		return
+	}
+	e.M.resolveSpan(e.T, mpk.AccessRead, addr, n)
 	if err := e.M.AS.ReadAt(addr, b); err != nil {
 		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessRead, Cubicle: e.T.cur,
 			Owner: vm.NoOwner, Reason: err.Error()})
@@ -84,11 +96,54 @@ func (e *Env) Read(addr vm.Addr, b []byte) {
 
 // Write copies b to memory at addr, after access checks.
 func (e *Env) Write(addr vm.Addr, b []byte) {
-	if len(b) == 0 {
+	n := uint64(len(b))
+	if n == 0 {
 		return
 	}
-	e.M.checkAccess(e.T, mpk.AccessWrite, addr, len(b))
+	if v, ok := e.M.fastView(e.T, mpk.AccessWrite, addr, n); ok {
+		copy(v, b)
+		return
+	}
+	e.M.resolveSpan(e.T, mpk.AccessWrite, addr, n)
 	if err := e.M.AS.WriteAt(addr, b); err != nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessWrite, Cubicle: e.T.cur,
+			Owner: vm.NoOwner, Reason: err.Error()})
+	}
+}
+
+// View checks read access to [addr, addr+n) and passes fn zero-copy views
+// of its bytes, one chunk per page crossed, in address order (off is the
+// chunk's offset from addr). The slices alias simulated memory: they are
+// valid only for the duration of the call and must not be written or
+// retained. This is the bulk read primitive for component hot loops — no
+// intermediate buffer, no per-byte walk.
+func (e *Env) View(addr vm.Addr, n uint64, fn func(off uint64, chunk []byte)) {
+	if n == 0 {
+		return
+	}
+	if v, ok := e.M.fastView(e.T, mpk.AccessRead, addr, n); ok {
+		fn(0, v)
+		return
+	}
+	e.M.resolveSpan(e.T, mpk.AccessRead, addr, n)
+	if err := e.M.AS.Span(addr, n, fn); err != nil {
+		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessRead, Cubicle: e.T.cur,
+			Owner: vm.NoOwner, Reason: err.Error()})
+	}
+}
+
+// MutableView is View for writing: fn receives writable zero-copy chunks
+// of [addr, addr+n) after a write access check.
+func (e *Env) MutableView(addr vm.Addr, n uint64, fn func(off uint64, chunk []byte)) {
+	if n == 0 {
+		return
+	}
+	if v, ok := e.M.fastView(e.T, mpk.AccessWrite, addr, n); ok {
+		fn(0, v)
+		return
+	}
+	e.M.resolveSpan(e.T, mpk.AccessWrite, addr, n)
+	if err := e.M.AS.Span(addr, n, fn); err != nil {
 		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessWrite, Cubicle: e.T.cur,
 			Owner: vm.NoOwner, Reason: err.Error()})
 	}
@@ -103,7 +158,10 @@ func (e *Env) ReadBytes(addr vm.Addr, n uint64) []byte {
 
 // ReadU64 reads a 64-bit little-endian word.
 func (e *Env) ReadU64(addr vm.Addr) uint64 {
-	e.M.checkAccess(e.T, mpk.AccessRead, addr, 8)
+	if v, ok := e.M.fastView(e.T, mpk.AccessRead, addr, 8); ok {
+		return binary.LittleEndian.Uint64(v)
+	}
+	e.M.resolveSpan(e.T, mpk.AccessRead, addr, 8)
 	v, err := e.M.AS.ReadU64(addr)
 	if err != nil {
 		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessRead, Cubicle: e.T.cur,
@@ -114,7 +172,11 @@ func (e *Env) ReadU64(addr vm.Addr) uint64 {
 
 // WriteU64 writes a 64-bit little-endian word.
 func (e *Env) WriteU64(addr vm.Addr, v uint64) {
-	e.M.checkAccess(e.T, mpk.AccessWrite, addr, 8)
+	if b, ok := e.M.fastView(e.T, mpk.AccessWrite, addr, 8); ok {
+		binary.LittleEndian.PutUint64(b, v)
+		return
+	}
+	e.M.resolveSpan(e.T, mpk.AccessWrite, addr, 8)
 	if err := e.M.AS.WriteU64(addr, v); err != nil {
 		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessWrite, Cubicle: e.T.cur,
 			Owner: vm.NoOwner, Reason: err.Error()})
@@ -123,6 +185,9 @@ func (e *Env) WriteU64(addr vm.Addr, v uint64) {
 
 // LoadByte reads one byte.
 func (e *Env) LoadByte(addr vm.Addr) byte {
+	if v, ok := e.M.fastView(e.T, mpk.AccessRead, addr, 1); ok {
+		return v[0]
+	}
 	var b [1]byte
 	e.Read(addr, b[:])
 	return b[0]
@@ -130,6 +195,10 @@ func (e *Env) LoadByte(addr vm.Addr) byte {
 
 // StoreByte writes one byte.
 func (e *Env) StoreByte(addr vm.Addr, v byte) {
+	if b, ok := e.M.fastView(e.T, mpk.AccessWrite, addr, 1); ok {
+		b[0] = v
+		return
+	}
 	b := [1]byte{v}
 	e.Write(addr, b[:])
 }
@@ -158,20 +227,41 @@ func (e *Env) TraceMark(label string) {
 // Memcpy copies n bytes from src to dst with access checks on both sides
 // and streaming cost accounting. This is the LIBC memcpy of Figure 2 ❹:
 // when called from another cubicle it executes with that cubicle's
-// privileges, so the checks run against the caller's PKRU.
+// privileges, so the checks run against the caller's PKRU. The whole source
+// span is checked before the whole destination span, then the bytes move
+// page-chunk by page-chunk between the backing arrays — no intermediate
+// buffer. Overlapping ranges keep the old copy-through-a-buffer semantics
+// (memmove).
 func (e *Env) Memcpy(dst, src vm.Addr, n uint64) {
 	if n == 0 {
 		return
 	}
-	e.M.checkAccess(e.T, mpk.AccessRead, src, int(n))
-	e.M.checkAccess(e.T, mpk.AccessWrite, dst, int(n))
+	e.M.resolveSpan(e.T, mpk.AccessRead, src, n)
+	e.M.resolveSpan(e.T, mpk.AccessWrite, dst, n)
 	e.chargeCopy(n)
-	buf := make([]byte, n)
-	if err := e.M.AS.ReadAt(src, buf); err != nil {
-		panic(err)
+	if uint64(src) < uint64(dst)+n && uint64(dst) < uint64(src)+n {
+		buf := make([]byte, n)
+		if err := e.M.AS.ReadAt(src, buf); err != nil {
+			panic(err)
+		}
+		if err := e.M.AS.WriteAt(dst, buf); err != nil {
+			panic(err)
+		}
+		return
 	}
-	if err := e.M.AS.WriteAt(dst, buf); err != nil {
-		panic(err)
+	for done := uint64(0); done < n; {
+		sa, da := src.Add(done), dst.Add(done)
+		sp, dp := e.M.AS.Page(sa), e.M.AS.Page(da)
+		so, do := sa.PageOff(), da.PageOff()
+		k := n - done
+		if r := vm.PageSize - so; k > r {
+			k = r
+		}
+		if r := vm.PageSize - do; k > r {
+			k = r
+		}
+		copy(dp.Data[do:do+k], sp.Data[so:so+k])
+		done += k
 	}
 }
 
@@ -180,14 +270,21 @@ func (e *Env) Memset(dst vm.Addr, c byte, n uint64) {
 	if n == 0 {
 		return
 	}
-	e.M.checkAccess(e.T, mpk.AccessWrite, dst, int(n))
+	e.M.resolveSpan(e.T, mpk.AccessWrite, dst, n)
 	e.chargeCopy(n)
-	buf := make([]byte, n)
-	for i := range buf {
-		buf[i] = c
-	}
-	if err := e.M.AS.WriteAt(dst, buf); err != nil {
-		panic(err)
+	for done := uint64(0); done < n; {
+		da := dst.Add(done)
+		p := e.M.AS.Page(da)
+		off := da.PageOff()
+		k := n - done
+		if r := vm.PageSize - off; k > r {
+			k = r
+		}
+		chunk := p.Data[off : off+k]
+		for i := range chunk {
+			chunk[i] = c
+		}
+		done += k
 	}
 }
 

@@ -25,7 +25,7 @@ type testSystem struct {
 //
 //	BAR exports "bar(ptr, idx)" which stores 0xAA at ptr[idx] (Figure 1).
 //	LIBC exports "memcpy(dst, src, n)".
-func bootPair(t *testing.T, mode Mode) *testSystem {
+func bootPair(t testing.TB, mode Mode) *testSystem {
 	t.Helper()
 	ts := &testSystem{}
 	b := NewBuilder()
@@ -72,7 +72,7 @@ func bootPair(t *testing.T, mode Mode) *testSystem {
 // enter runs fn with the thread switched into the named cubicle via a
 // synthetic entry trampoline, the way application main functions are
 // entered at boot.
-func (ts *testSystem) enter(t *testing.T, name string, fn func(e *Env)) {
+func (ts *testSystem) enter(t testing.TB, name string, fn func(e *Env)) {
 	t.Helper()
 	cub := ts.cubs[name]
 	if cub == nil {
@@ -90,7 +90,7 @@ func (ts *testSystem) enter(t *testing.T, name string, fn func(e *Env)) {
 }
 
 // mustFault asserts that fn raises an isolation fault and returns it.
-func mustFault(t *testing.T, fn func()) error {
+func mustFault(t testing.TB, fn func()) error {
 	t.Helper()
 	err := Catch(fn)
 	if err == nil {
@@ -101,7 +101,7 @@ func mustFault(t *testing.T, fn func()) error {
 
 // heapIn allocates n bytes on the named cubicle's heap and returns the
 // address (running as that cubicle).
-func (ts *testSystem) heapIn(t *testing.T, name string, n uint64) vm.Addr {
+func (ts *testSystem) heapIn(t testing.TB, name string, n uint64) vm.Addr {
 	t.Helper()
 	var addr vm.Addr
 	ts.enter(t, name, func(e *Env) { addr = e.HeapAlloc(n) })

@@ -52,6 +52,11 @@ type Monitor struct {
 	memQuota map[ID]uint64
 	memUsed  map[ID]uint64
 
+	// tlbOn gates the per-thread span TLB (see tlb.go). On by default;
+	// tests and the differential-fuzz oracle disable it to force the naive
+	// page walk on every access.
+	tlbOn bool
+
 	cubicles    []*Cubicle
 	byName      map[string]*Cubicle
 	compOf      map[string]*Cubicle // component name -> hosting cubicle
@@ -86,6 +91,7 @@ func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
 		restartHooks: make(map[ID][]func()),
 		memQuota:     make(map[ID]uint64),
 		memUsed:      make(map[ID]uint64),
+		tlbOn:        true,
 	}
 	for i := range m.keyHolder {
 		m.keyHolder[i] = -1
@@ -111,6 +117,9 @@ func (m *Monitor) EnableTracing(ringCap int) *trace.Tracer {
 			return c.Name
 		}
 		return ""
+	})
+	m.trc.SetTLBCounters(func() (uint64, uint64, uint64) {
+		return m.Stats.TLBHits, m.Stats.TLBMisses, m.Stats.TLBInvalidations
 	})
 	return m.trc
 }
@@ -274,42 +283,69 @@ func (m *Monitor) pkruFor(id ID) mpk.PKRU {
 	return p
 }
 
-// checkAccess validates an n-byte access of the given kind at addr by
-// thread t, running the trap-and-map protocol of §5.3 / Figure 4 on any
-// page whose key the thread's PKRU denies. It panics with a
-// ProtectionFault if the access is not authorised.
-func (m *Monitor) checkAccess(t *Thread, kind mpk.AccessKind, addr vm.Addr, n int) {
-	if n <= 0 {
+// resolveSpan validates an n-byte access of the given kind at addr by
+// thread t and leaves the thread's software TLB primed with the touched
+// pages. A TLB hit skips the page walk entirely; a miss runs the full
+// legacy logic — page lookup, page-table permission check, PKRU check and,
+// on denial, the watchdog checkpoint and the trap-and-map protocol of §5.3
+// / Figure 4 — before filling the entry. It panics with a ProtectionFault
+// if the access is not authorised. The length is a full 64-bit byte count
+// (n = 0 checks one byte); ranges that would wrap the address space fault
+// instead of silently truncating.
+func (m *Monitor) resolveSpan(t *Thread, kind mpk.AccessKind, addr vm.Addr, n uint64) {
+	if n == 0 {
 		n = 1
 	}
 	if addr == 0 {
 		panic(&ProtectionFault{Addr: addr, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
 			Reason: "null pointer dereference"})
 	}
-	first, last := vm.PagesIn(addr, uint64(n))
-	for pn := first; pn <= last; pn++ {
-		pa := vm.PageAddr(pn)
-		p := m.AS.Page(pa)
-		if p == nil {
-			panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
-				Reason: "unmapped page"})
-		}
-		// Page-table permissions are checked regardless of MPK; the
-		// trap-and-map handler never changes page permissions, only keys.
-		if !pageTablePerm(kind, p.Perm) {
-			panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: ID(p.Owner),
-				PageType: p.Type, Reason: fmt.Sprintf("page-table permission %s denies %s", p.Perm, kind)})
-		}
-		if t.pkru.Check(kind, p.Perm, mpk.Key(p.Key)) {
-			continue // fast path: no trap
-		}
-		if m.sup != nil {
-			// Monitor entry is a watchdog checkpoint: a runaway callee that
-			// keeps touching memory is caught here.
-			m.sup.watchdog(t)
-		}
-		m.trapAndMap(t, kind, pa, p)
+	if uint64(addr)+n < uint64(addr) {
+		panic(&ProtectionFault{Addr: addr, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
+			Reason: "access range wraps the address space"})
 	}
+	first, last := vm.PagesIn(addr, n)
+	for pn := first; pn <= last; pn++ {
+		if m.tlbOn {
+			if m.tlbLookup(t, pn, kind) != nil {
+				continue // TLB hit: the walk below would charge nothing anyway
+			}
+			p := m.checkPageSlow(t, kind, pn)
+			m.tlbFill(t, pn, p)
+			continue
+		}
+		m.checkPageSlow(t, kind, pn)
+	}
+}
+
+// checkPageSlow is the TLB-miss path of resolveSpan: the legacy per-page
+// access check, byte-for-byte identical in its virtual-time behaviour (the
+// allowed path charges nothing; denial pays the watchdog checkpoint and
+// trap-and-map). It returns the page, whose metadata reflects any retag the
+// trap performed.
+func (m *Monitor) checkPageSlow(t *Thread, kind mpk.AccessKind, pn uint64) *vm.Page {
+	pa := vm.PageAddr(pn)
+	p := m.AS.Page(pa)
+	if p == nil {
+		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
+			Reason: "unmapped page"})
+	}
+	// Page-table permissions are checked regardless of MPK; the
+	// trap-and-map handler never changes page permissions, only keys.
+	if !pageTablePerm(kind, p.Perm) {
+		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: ID(p.Owner),
+			PageType: p.Type, Reason: fmt.Sprintf("page-table permission %s denies %s", p.Perm, kind)})
+	}
+	if t.pkru.Check(kind, p.Perm, mpk.Key(p.Key)) {
+		return p // fast path: no trap
+	}
+	if m.sup != nil {
+		// Monitor entry is a watchdog checkpoint: a runaway callee that
+		// keeps touching memory is caught here.
+		m.sup.watchdog(t)
+	}
+	m.trapAndMap(t, kind, pa, p)
+	return p
 }
 
 func pageTablePerm(kind mpk.AccessKind, perm vm.Perm) bool {

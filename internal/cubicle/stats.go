@@ -60,6 +60,20 @@ type Stats struct {
 	// Retries counts bounded-retry attempts after transient contained
 	// faults.
 	Retries uint64
+	// TLBHits counts checked accesses served from the per-thread span TLB
+	// without a page walk. Unlike the counters above these three are
+	// wall-clock diagnostics of the simulator itself, not architectural
+	// events: they are maintained directly by the monitor (a hit is far too
+	// frequent to record as a trace event) and mirrored into the
+	// trace-derived view by StatsFromTrace.
+	TLBHits uint64
+	// TLBMisses counts page checks that ran the full walk (cold, conflict
+	// or invalidated TLB slot).
+	TLBMisses uint64
+	// TLBInvalidations counts TLB entries observed stale at lookup — the
+	// slot held the right page but its (PKRU, epoch) validation tuple no
+	// longer matched after a wrpkru, retag, map/unmap or restart.
+	TLBInvalidations uint64
 }
 
 // newStats returns an initialised Stats.

@@ -56,6 +56,13 @@ type Thread struct {
 	// below it fault, so the arming cubicle always regains control.
 	deadline      uint64
 	deadlineFrame int
+	// tlb is the thread's direct-mapped span TLB (see tlb.go). Entries cache
+	// only the pn→page translation, validated against the address-space
+	// epoch; permissions are re-checked against the live (PKRU, key, perm)
+	// state on every lookup, so no explicit flush exists. MPK permissions
+	// being per-thread (the PKRU is a per-thread register) is exactly why
+	// the cache is per-thread too.
+	tlb [tlbSize]tlbEntry
 }
 
 // NewThread creates a thread that starts executing in the monitor cubicle

@@ -1,0 +1,107 @@
+package cubicle
+
+import (
+	"cubicleos/internal/mpk"
+	"cubicleos/internal/vm"
+)
+
+// This file implements the per-thread software TLB behind resolveSpan, in
+// the spirit of the userspace permission caches that libmpk (key
+// virtualisation) and ERIM (inlined PKRU gates) use to keep the
+// common-case MPK check to a handful of instructions. The cache
+// accelerates the simulator's wall clock only — a hit performs the exact
+// zero-charge fast path that the full walk would have taken, so the
+// virtual clock, Stats events and trace stream are unaffected by its
+// presence.
+//
+// Like a hardware TLB, an entry caches only the *translation*: page
+// number pn resolves to this vm.Page. The permission decision is
+// recomputed on every access from live state — the thread's current PKRU
+// register and the page's current (Perm, Key) — exactly as the MPK
+// hardware re-evaluates PKRU against the page's tag on every load and
+// store. That split is what makes the cache sound and fast at once:
+//
+//   - wrpkru, the trampoline-return PKRU restore (popFrame) and pinned
+//     windows rewriting thread PKRUs all take effect immediately, because
+//     t.pkru is read at lookup time, never cached;
+//   - trap-and-map retags, tag-virtualisation evictions, pinned-range
+//     retags and containment rollback's unpin retags take effect
+//     immediately, because p.Key and p.Perm are read at lookup time. A
+//     retag therefore does NOT flush the cache — the hot ping-pong pages
+//     of a cross-cubicle workload keep their translations;
+//   - only a change to the translation itself — vm.Map and vm.Unmap, as
+//     on cubicle-restart page reclaim — invalidates, via the address
+//     space epoch stamped into the entry at fill time. A stale epoch
+//     means the pn→page binding may have been torn down or the page
+//     frame recycled, so the dangling pointer is never dereferenced.
+//
+// A lookup whose translation is stale, or whose live permission check
+// denies the access (the cached page was retagged away, or the PKRU
+// changed), counts as a TLB invalidation observed and falls back to the
+// full walk — which may trap-and-map, after which the translation is
+// typically still valid and the very next access hits. Denials are never
+// served from the cache.
+const (
+	tlbBits = 6
+	tlbSize = 1 << tlbBits // entries per thread
+	tlbMask = tlbSize - 1
+)
+
+// tlbEntry caches one page translation. The zero value is invalid: page
+// number 0 is reserved by the address space.
+type tlbEntry struct {
+	pn    uint64 // page number (0 = empty slot)
+	epoch uint64 // address-space epoch at fill time
+	p     *vm.Page
+}
+
+// tlbLookup returns the cached page for pn if the thread's TLB holds a
+// current translation and the live permission check allows the access,
+// counting the hit. On a miss it counts why (a matching entry that is
+// stale or no longer grants the access is an invalidation observed) and
+// returns nil.
+func (m *Monitor) tlbLookup(t *Thread, pn uint64, kind mpk.AccessKind) *vm.Page {
+	e := &t.tlb[pn&tlbMask]
+	if e.pn == pn {
+		if e.epoch == m.AS.Epoch() && t.pkru.Check(kind, e.p.Perm, mpk.Key(e.p.Key)) {
+			m.Stats.TLBHits++
+			return e.p
+		}
+		m.Stats.TLBInvalidations++
+	}
+	m.Stats.TLBMisses++
+	return nil
+}
+
+// tlbFill caches page pn's translation after a successful slow-path
+// check. The epoch is read fresh: the slow path may just have mapped a
+// stack or heap arena.
+func (m *Monitor) tlbFill(t *Thread, pn uint64, p *vm.Page) {
+	t.tlb[pn&tlbMask] = tlbEntry{pn: pn, epoch: m.AS.Epoch(), p: p}
+}
+
+// SetTLBEnabled turns the span TLB on or off. It defaults to on; tests and
+// the differential fuzz oracle disable it to force every access through the
+// naive page walk. Virtual time, Stats events and trace output are
+// identical either way — only wall-clock speed and the TLB counters differ.
+func (m *Monitor) SetTLBEnabled(on bool) { m.tlbOn = on }
+
+// fastView returns a direct view of [addr, addr+n) when the whole span lies
+// on a single page with a current translation whose live permission check
+// allows the access. It is the one-lookup fast path of the checked
+// accessors; ok=false sends the caller to resolveSpan. Like resolveSpan's
+// no-trap path it has zero virtual-time side effects.
+func (m *Monitor) fastView(t *Thread, kind mpk.AccessKind, addr vm.Addr, n uint64) ([]byte, bool) {
+	off := addr.PageOff()
+	if addr == 0 || !m.tlbOn || off+n > vm.PageSize || n == 0 {
+		return nil, false
+	}
+	pn := addr.PageNum()
+	e := &t.tlb[pn&tlbMask]
+	if e.pn != pn || e.epoch != m.AS.Epoch() ||
+		!t.pkru.Check(kind, e.p.Perm, mpk.Key(e.p.Key)) {
+		return nil, false
+	}
+	m.Stats.TLBHits++
+	return e.p.Data[off : off+n], true
+}

@@ -35,6 +35,12 @@ func StatsFromTrace(trc *trace.Tracer) Stats {
 	s.DeadlineFaults = c.DeadlineFaults
 	s.QuotaFaults = c.QuotaFaults
 	s.Retries = c.Retries
+	// The TLB counters are wall-clock diagnostics mirrored from the
+	// monitor's live gauges (see trace.Counts): too frequent to be events,
+	// still part of the cross-checked view.
+	s.TLBHits = c.TLBHits
+	s.TLBMisses = c.TLBMisses
+	s.TLBInvalidations = c.TLBInvalidations
 	for e, n := range c.Calls {
 		s.Calls[Edge{From: ID(e.From), To: ID(e.To)}] = n
 	}

@@ -252,5 +252,5 @@ func (m *Monitor) ExecuteAt(t *Thread, addr vm.Addr) {
 				Reason: fmt.Sprintf("guard page belongs to cubicle %d", gi.caller)})
 		}
 	}
-	m.checkAccess(t, mpk.AccessExec, addr, 1)
+	m.resolveSpan(t, mpk.AccessExec, addr, 1)
 }

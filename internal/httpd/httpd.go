@@ -11,6 +11,7 @@
 package httpd
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -347,8 +348,12 @@ func (s *Server) advance(e *cubicle.Env, c *conn) uint64 {
 			}
 			return 0
 		}
-		c.req = append(c.req, e.ReadBytes(c.reqBuf, n)...)
-		if idx := strings.Index(string(c.req), "\r\n\r\n"); idx >= 0 {
+		// Append straight from the zero-copy view of the receive buffer —
+		// no intermediate []byte per read, no string copy for the scan.
+		e.View(c.reqBuf, n, func(_ uint64, chunk []byte) {
+			c.req = append(c.req, chunk...)
+		})
+		if idx := bytes.Index(c.req, []byte("\r\n\r\n")); idx >= 0 {
 			s.parseRequest(e, c)
 			return 1
 		}

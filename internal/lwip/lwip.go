@@ -348,8 +348,11 @@ func (l *Module) poll(e *cubicle.Env) uint64 {
 		activity++
 		l.SegmentsRx++
 		e.Work(stackWork)
-		hdr := DecodeHeader(e.ReadBytes(l.stage, HdrSize))
-		l.handleFrame(e, hdr)
+		// Decode the staged frame header through a stack buffer: the
+		// checked read is a single span-TLB probe, no heap allocation.
+		var hb [HdrSize]byte
+		e.Read(l.stage, hb[:])
+		l.handleFrame(e, DecodeHeader(hb[:]))
 	}
 	// Transmit path, in deterministic creation order.
 	for _, s := range l.order {

@@ -111,7 +111,10 @@ func (fs *Module) walk(path string) (*inode, string, *inode, uint64) {
 }
 
 func (fs *Module) readPath(e *cubicle.Env, ptr, n uint64) string {
-	return string(e.ReadBytes(vm.Addr(ptr), n))
+	var sb strings.Builder
+	sb.Grow(int(n))
+	e.View(vm.Addr(ptr), n, func(_ uint64, chunk []byte) { sb.Write(chunk) })
+	return sb.String()
 }
 
 func errRet(errno uint64) []uint64 { return []uint64{0, errno} }

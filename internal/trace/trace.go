@@ -166,6 +166,10 @@ type Tracer struct {
 	// open call spans per thread, for elapsed-cycle computation.
 	open map[int32][]openCall
 
+	// tlbCounters, when set, supplies the monitor's span-TLB gauges for
+	// Counts (see SetTLBCounters).
+	tlbCounters func() (hits, misses, invalidations uint64)
+
 	prof profiler
 }
 
@@ -481,11 +485,30 @@ type Counts struct {
 	DeadlineFaults    uint64
 	QuotaFaults       uint64
 	Retries           uint64
-	Calls             map[Edge]uint64
+	// TLBHits/TLBMisses/TLBInvalidations are the monitor's span-TLB
+	// counters. They are not event-derived: a TLB hit is the hot path the
+	// tracer exists to stay off of, so recording one event per hit would
+	// defeat the cache. Instead the monitor registers a live source via
+	// SetTLBCounters and Counts reads it at derivation time, keeping the
+	// Stats-equality invariant exact.
+	TLBHits          uint64
+	TLBMisses        uint64
+	TLBInvalidations uint64
+	Calls            map[Edge]uint64
+}
+
+// SetTLBCounters installs the source of the monitor-maintained span-TLB
+// counters mirrored into Counts (hits, misses, invalidations).
+func (t *Tracer) SetTLBCounters(fn func() (hits, misses, invalidations uint64)) {
+	t.tlbCounters = fn
 }
 
 // Counts derives the flat counters from the event stream.
 func (t *Tracer) Counts() Counts {
+	var tlbHits, tlbMisses, tlbInval uint64
+	if t.tlbCounters != nil {
+		tlbHits, tlbMisses, tlbInval = t.tlbCounters()
+	}
 	return Counts{
 		CallsTotal:        t.counts[EvCallEnter],
 		SharedCalls:       t.counts[EvSharedCall],
@@ -507,6 +530,9 @@ func (t *Tracer) Counts() Counts {
 		DeadlineFaults:    t.counts[EvDeadline],
 		QuotaFaults:       t.counts[EvQuota],
 		Retries:           t.counts[EvRetry],
+		TLBHits:           tlbHits,
+		TLBMisses:         tlbMisses,
+		TLBInvalidations:  tlbInval,
 		Calls:             t.EdgeCalls(),
 	}
 }

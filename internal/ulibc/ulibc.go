@@ -6,6 +6,8 @@
 package ulibc
 
 import (
+	"bytes"
+
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/vm"
 )
@@ -41,47 +43,101 @@ func memset(e *cubicle.Env, args []uint64) []uint64 {
 }
 
 // memcmp(a, b, n) returns 0/1/^0 like C memcmp (sign as two's complement
-// in a uint64).
+// in a uint64). It compares paired zero-copy views page chunk by page
+// chunk instead of materialising both ranges.
 func memcmp(e *cubicle.Env, args []uint64) []uint64 {
-	a := e.ReadBytes(vm.Addr(args[0]), args[2])
-	b := e.ReadBytes(vm.Addr(args[1]), args[2])
-	for i := range a {
-		if a[i] != b[i] {
-			if a[i] < b[i] {
-				return []uint64{^uint64(0)}
-			}
-			return []uint64{1}
-		}
+	a, b, n := vm.Addr(args[0]), vm.Addr(args[1]), args[2]
+	r := 0
+	// No early exit on a difference: C memcmp may stop, but the legacy
+	// implementation access-checked both full ranges, and keeping that
+	// behaviour keeps the trap accounting identical.
+	for done := uint64(0); done < n; {
+		k := chunkLen(a.Add(done), b.Add(done), n-done)
+		e.View(a.Add(done), k, func(_ uint64, ca []byte) {
+			e.View(b.Add(done), k, func(_ uint64, cb []byte) {
+				if r == 0 {
+					r = bytes.Compare(ca, cb)
+				}
+			})
+		})
+		done += k
+	}
+	switch {
+	case r < 0:
+		return []uint64{^uint64(0)}
+	case r > 0:
+		return []uint64{1}
 	}
 	return []uint64{0}
 }
 
-// strlen(p) returns the length of the NUL-terminated string at p.
+// chunkLen clamps n so that [a, a+n) and [b, b+n) each stay on one page.
+func chunkLen(a, b vm.Addr, n uint64) uint64 {
+	if r := vm.PageSize - a.PageOff(); n > r {
+		n = r
+	}
+	if r := vm.PageSize - b.PageOff(); n > r {
+		n = r
+	}
+	return n
+}
+
+// strlen(p) returns the length of the NUL-terminated string at p. The scan
+// runs a page-sized zero-copy view at a time — access checks are
+// page-granular, so it touches exactly the pages the byte-wise scan would.
 func strlen(e *cubicle.Env, args []uint64) []uint64 {
 	addr := vm.Addr(args[0])
 	var n uint64
 	for {
-		if e.LoadByte(addr.Add(n)) == 0 {
-			return []uint64{n}
+		a := addr.Add(n)
+		k := vm.PageSize - a.PageOff()
+		found := -1
+		e.View(a, k, func(_ uint64, chunk []byte) {
+			found = bytes.IndexByte(chunk, 0)
+		})
+		if found >= 0 {
+			return []uint64{n + uint64(found)}
 		}
-		n++
+		n += k
 	}
 }
 
-// strncmp(a, b, n) compares at most n bytes of two NUL-terminated strings.
+// strncmp(a, b, n) compares at most n bytes of two NUL-terminated strings,
+// chunked over paired views like memcmp.
 func strncmp(e *cubicle.Env, args []uint64) []uint64 {
 	a, b := vm.Addr(args[0]), vm.Addr(args[1])
-	for i := uint64(0); i < args[2]; i++ {
-		ca, cb := e.LoadByte(a.Add(i)), e.LoadByte(b.Add(i))
-		if ca != cb {
-			if ca < cb {
-				return []uint64{^uint64(0)}
-			}
-			return []uint64{1}
-		}
-		if ca == 0 {
+	r := 0
+	for done := uint64(0); done < args[2] && r == 0; {
+		k := chunkLen(a.Add(done), b.Add(done), args[2]-done)
+		stop := false
+		e.View(a.Add(done), k, func(_ uint64, ca []byte) {
+			e.View(b.Add(done), k, func(_ uint64, cb []byte) {
+				for i := range ca {
+					if ca[i] != cb[i] {
+						if ca[i] < cb[i] {
+							r = -1
+						} else {
+							r = 1
+						}
+						return
+					}
+					if ca[i] == 0 {
+						stop = true
+						return
+					}
+				}
+			})
+		})
+		if stop {
 			break
 		}
+		done += k
+	}
+	switch {
+	case r < 0:
+		return []uint64{^uint64(0)}
+	case r > 0:
+		return []uint64{1}
 	}
 	return []uint64{0}
 }

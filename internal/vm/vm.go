@@ -15,7 +15,10 @@
 // before delegating to the raw operations here.
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PageShift is log2 of the page size.
 const PageShift = 12
@@ -110,13 +113,32 @@ type Page struct {
 // always invalid.
 type AddrSpace struct {
 	pages []*Page
-	free  []uint64 // freed single pages available for reuse
+	free  []uint64 // freed page numbers available for reuse
+	pool  []*Page  // retired Page objects, recycled to keep GC churn flat
+	// epoch counts translation mutations (map, unmap). Any cached pn→page
+	// binding — notably the per-thread software TLBs of the cubicle
+	// runtime — is valid only for the epoch it was filled in; a bump
+	// invalidates every such cache. In-place metadata changes (retags,
+	// permission changes) do not bump: caches must re-check permissions
+	// against live page state instead.
+	epoch uint64
 }
 
 // NewAddrSpace returns an empty address space.
 func NewAddrSpace() *AddrSpace {
 	return &AddrSpace{pages: make([]*Page, 1)} // page 0 reserved
 }
+
+// Epoch returns the current translation epoch. It increases monotonically
+// and never wraps in practice (a 64-bit counter of map/unmap events).
+func (as *AddrSpace) Epoch() uint64 { return as.epoch }
+
+// BumpEpoch advances the translation epoch. Map and Unmap bump it
+// internally; software TLBs stamp the epoch into their entries, so a bump
+// drops every cached pn→page binding at once. In-place metadata changes
+// (retags, permission changes) deliberately do NOT bump: caches re-check
+// permissions against live page state on every lookup.
+func (as *AddrSpace) BumpEpoch() { as.epoch++ }
 
 // MappedPages returns the number of currently mapped pages.
 func (as *AddrSpace) MappedPages() int {
@@ -138,17 +160,67 @@ func (as *AddrSpace) Map(npages int, owner int, typ PageType, perm Perm, key uin
 	if npages <= 0 {
 		return 0, fmt.Errorf("vm: Map with non-positive page count %d", npages)
 	}
+	as.epoch++
 	if npages == 1 && len(as.free) > 0 {
 		pn := as.free[len(as.free)-1]
 		as.free = as.free[:len(as.free)-1]
-		as.pages[pn] = &Page{Key: key, Perm: perm, Owner: owner, Type: typ}
+		as.pages[pn] = as.newPage(owner, typ, perm, key)
+		return Addr(pn << PageShift), nil
+	}
+	if pn, ok := as.takeRun(npages); ok {
+		for i := 0; i < npages; i++ {
+			as.pages[pn+uint64(i)] = as.newPage(owner, typ, perm, key)
+		}
 		return Addr(pn << PageShift), nil
 	}
 	pn := uint64(len(as.pages))
 	for i := 0; i < npages; i++ {
-		as.pages = append(as.pages, &Page{Key: key, Perm: perm, Owner: owner, Type: typ})
+		as.pages = append(as.pages, as.newPage(owner, typ, perm, key))
 	}
 	return Addr(pn << PageShift), nil
+}
+
+// newPage returns a zeroed page with the given metadata, recycling a
+// retired Page object when one is available. Mapped pages are always
+// zero-filled, so reuse is invisible to the guest; recycling keeps the
+// allocator's wall-clock cost flat under stack/heap churn (every thread
+// maps fresh stacks, every restart reclaims a heap) instead of growing
+// the GC heap without bound.
+func (as *AddrSpace) newPage(owner int, typ PageType, perm Perm, key uint8) *Page {
+	if n := len(as.pool); n > 0 {
+		p := as.pool[n-1]
+		as.pool = as.pool[:n-1]
+		*p = Page{Key: key, Perm: perm, Owner: owner, Type: typ}
+		return p
+	}
+	return &Page{Key: key, Perm: perm, Owner: owner, Type: typ}
+}
+
+// takeRun removes a contiguous run of npages free page numbers from the
+// free list and returns its first page, preferring reuse over growing the
+// page table. Multi-page requests are overwhelmingly the fixed-size stack
+// and heap arenas that thread exit and cubicle restart free as whole
+// runs, so a matching run is the common case.
+func (as *AddrSpace) takeRun(npages int) (uint64, bool) {
+	if npages < 2 || len(as.free) < npages {
+		return 0, false
+	}
+	sort.Slice(as.free, func(i, j int) bool { return as.free[i] < as.free[j] })
+	run := 1
+	for i := 1; i < len(as.free); i++ {
+		if as.free[i] == as.free[i-1]+1 {
+			run++
+		} else {
+			run = 1
+		}
+		if run == npages {
+			start := i - npages + 1
+			pn := as.free[start]
+			as.free = append(as.free[:start], as.free[i+1:]...)
+			return pn, true
+		}
+	}
+	return 0, false
 }
 
 // Unmap releases npages pages starting at addr, which must be page-aligned
@@ -164,9 +236,11 @@ func (as *AddrSpace) Unmap(addr Addr, npages int) error {
 		}
 	}
 	for i := uint64(0); i < uint64(npages); i++ {
+		as.pool = append(as.pool, as.pages[pn+i])
 		as.pages[pn+i] = nil
 		as.free = append(as.free, pn+i)
 	}
+	as.epoch++
 	return nil
 }
 
@@ -189,16 +263,18 @@ func (as *AddrSpace) Page(addr Addr) *Page {
 }
 
 // errRange describes an access that touches unmapped memory.
-func (as *AddrSpace) errRange(op string, addr Addr, n int) error {
+func (as *AddrSpace) errRange(op string, addr Addr, n uint64) error {
 	return fmt.Errorf("vm: %s of %d bytes at %#x touches unmapped memory", op, n, uint64(addr))
 }
 
-// CheckMapped reports an error unless [addr, addr+n) is fully mapped.
-func (as *AddrSpace) CheckMapped(addr Addr, n int) error {
-	if addr == 0 {
+// CheckMapped reports an error unless [addr, addr+n) is fully mapped. The
+// length is a full 64-bit byte count: ranges that would wrap the address
+// space are rejected rather than silently truncated.
+func (as *AddrSpace) CheckMapped(addr Addr, n uint64) error {
+	if addr == 0 || uint64(addr)+n < uint64(addr) {
 		return as.errRange("access", addr, n)
 	}
-	for off := uint64(0); off < uint64(n); {
+	for off := uint64(0); off < n; {
 		p := as.Page(addr.Add(off))
 		if p == nil {
 			return as.errRange("access", addr, n)
@@ -211,13 +287,46 @@ func (as *AddrSpace) CheckMapped(addr Addr, n int) error {
 	return nil
 }
 
+// Span resolves the contiguous range [addr, addr+n) into direct views of
+// the backing pages, calling fn once per chunk in address order (one chunk
+// per page crossed; a chunk never spans pages). off is the chunk's byte
+// offset from addr. The slices alias page memory — they are zero-copy and
+// valid only until the page is unmapped; callers that hold them across
+// metadata mutations must revalidate against Epoch. Span itself performs no
+// permission checking (package doc): it is the raw backing-resolution
+// primitive underneath the checked View accessors of the cubicle runtime.
+//
+// If the range wraps the 64-bit address space or touches an unmapped page,
+// Span returns an error; fn has then been called for every chunk preceding
+// the offending page.
+func (as *AddrSpace) Span(addr Addr, n uint64, fn func(off uint64, chunk []byte)) error {
+	if addr == 0 || uint64(addr)+n < uint64(addr) {
+		return as.errRange("span", addr, n)
+	}
+	for off := uint64(0); off < n; {
+		a := addr.Add(off)
+		p := as.Page(a)
+		if p == nil {
+			return as.errRange("span", addr, n)
+		}
+		po := a.PageOff()
+		k := PageSize - po
+		if rem := n - off; k > rem {
+			k = rem
+		}
+		fn(off, p.Data[po:po+k])
+		off += k
+	}
+	return nil
+}
+
 // ReadAt copies len(b) bytes starting at addr into b. It is a raw
 // (unchecked) operation for trusted code.
 func (as *AddrSpace) ReadAt(addr Addr, b []byte) error {
 	for done := 0; done < len(b); {
 		p := as.Page(addr.Add(uint64(done)))
 		if p == nil {
-			return as.errRange("read", addr, len(b))
+			return as.errRange("read", addr, uint64(len(b)))
 		}
 		off := addr.Add(uint64(done)).PageOff()
 		n := copy(b[done:], p.Data[off:])
@@ -232,7 +341,7 @@ func (as *AddrSpace) WriteAt(addr Addr, b []byte) error {
 	for done := 0; done < len(b); {
 		p := as.Page(addr.Add(uint64(done)))
 		if p == nil {
-			return as.errRange("write", addr, len(b))
+			return as.errRange("write", addr, uint64(len(b)))
 		}
 		off := addr.Add(uint64(done)).PageOff()
 		n := copy(p.Data[off:], b[done:])

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Wall-clock benchmark baseline for the simulator's hot paths, emitted as
+# BENCH_simulator.json so the trajectory is diffable across PRs.
+#
+# Covered series:
+#   Fastpath{LoadByte,StoreByte,ReadU64,Memcpy4K,Memset4K}  per-byte/word
+#       checked access, span TLB vs naive per-page walk (internal/cubicle)
+#   FastpathHTTPD          full HTTP request loop, tracing off, TLB vs naive
+#   Fig7Nginx/65536B       the paper's figure workload (wall + virtual time)
+#   CallTracing{Disabled,Enabled}  crossing cost with the tracer off/on
+#
+# Virtual-time metrics (vcycles/op, vms/op) are identical whatever the
+# wall-clock numbers do — that invariant is enforced by the differential
+# fuzz test and the figure golden tests, not by this script.
+#
+# Usage: scripts/bench.sh [-quick]
+#   -quick  one iteration per bench (CI smoke: compiles and runs each
+#           bench body once; the JSON is written to /dev/null)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+HTTPTIME="500x"
+OUT="BENCH_simulator.json"
+if [ "${1:-}" = "-quick" ]; then
+    BENCHTIME=1x
+    HTTPTIME=1x
+    OUT=/dev/null
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'Fastpath' -benchtime "$BENCHTIME" ./internal/cubicle/ | tee -a "$TMP"
+go test -run '^$' -bench 'FastpathHTTPD' -benchtime "$HTTPTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'Fig7Nginx/65536B' -benchtime "$HTTPTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'CallTracing' -benchtime "$BENCHTIME" ./internal/cubicle/ | tee -a "$TMP"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n \"generated_by\": \"scripts/bench.sh\",\n"
+    printf " \"benchtime\": \"%s\",\n \"benches\": [\n", benchtime
+    sep = ""
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf ", \"%s\": %s", $(i + 1), $i
+    }
+    printf "}"
+    sep = ",\n"
+}
+END { printf "\n ]\n}\n" }
+' "$TMP" > "$OUT"
+
+[ "$OUT" = /dev/null ] || echo "bench.sh: wrote $OUT"

@@ -12,6 +12,13 @@ go build ./...
 go test -race ./...
 go test -race ./internal/faultinject/...
 
+# Span fast-path gates: the TLB-vs-naive differential fuzz seeds (run as
+# unit tests), a race pass over the cubicle runtime, and a bench smoke
+# that compiles and runs every hot-path bench body once.
+go test -race -run FuzzSpanTLBDifferential ./internal/cubicle/
+go test -race ./internal/cubicle/...
+./scripts/bench.sh -quick >/dev/null
+
 go run ./cmd/cubicle-trace -format chrome -requests 5 -check >/dev/null
 go run ./cmd/cubicle-trace -format prom -requests 5 -check >/dev/null
 go run ./cmd/cubicle-trace -format json -requests 5 -check >/dev/null
