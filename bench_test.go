@@ -111,6 +111,42 @@ func BenchmarkFig7Nginx(b *testing.B) {
 	}
 }
 
+// --- SMP: sharded open-loop siege across core counts ---------------------------
+
+// BenchmarkSMPSiege drives the parallel open-loop driver at 1, 2 and 4
+// simulated cores — one booted system per core, stepped by real worker
+// goroutines under GVT quantum barriers. wallrps is the wall-clock
+// throughput figure that scales with host parallelism; the virtual-time
+// metrics (gvtcycles, ok) are deterministic per configuration and must
+// not move between runs or machines.
+func BenchmarkSMPSiege(b *testing.B) {
+	mk := func(core int) (*siege.Target, error) {
+		tgt, err := siege.NewTarget(cubicleos.ModeFull)
+		if err != nil {
+			return nil, err
+		}
+		return tgt, tgt.PutFile("/index.html", make([]byte, 4096))
+	}
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cores-%d", cores), func(b *testing.B) {
+			o := siege.OpenLoopOptions{Path: "/index.html", Rate: 2000, Requests: 40}
+			var last *siege.ParallelStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := siege.ParallelOpenLoop(cores, mk, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = ps
+			}
+			b.StopTimer()
+			b.ReportMetric(last.WallRPS, "wallrps")
+			b.ReportMetric(float64(last.GVT), "gvtcycles")
+			b.ReportMetric(float64(last.OK), "ok")
+		})
+	}
+}
+
 // --- Figures 5 and 8: call-count graphs ----------------------------------------
 
 func BenchmarkFig5CallCounts(b *testing.B) {

@@ -23,9 +23,8 @@ import (
 	"cubicleos/internal/siege"
 )
 
-// openLoopSweep compares the ungoverned and governed servers at each
-// offered rate and optionally asserts the graceful-degradation shape.
-func openLoopSweep(rateList string, requests int, assert bool) {
+// parseRates parses the -rates flag into offered loads.
+func parseRates(rateList string) []float64 {
 	var rates []float64
 	for _, s := range strings.Split(rateList, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -34,6 +33,13 @@ func openLoopSweep(rateList string, requests int, assert bool) {
 		}
 		rates = append(rates, r)
 	}
+	return rates
+}
+
+// openLoopSweep compares the ungoverned and governed servers at each
+// offered rate and optionally asserts the graceful-degradation shape.
+func openLoopSweep(rateList string, requests int, assert bool) {
+	rates := parseRates(rateList)
 	mk := func(governed bool) func() (*siege.Target, error) {
 		return func() (*siege.Target, error) {
 			o := siege.Options{Mode: cubicleos.ModeFull}
@@ -107,6 +113,70 @@ func openLoopSweep(rateList string, requests int, assert bool) {
 	fmt.Println("assert-degrade ok: explicit sheds, bounded connections and memory, no silent drops")
 }
 
+// parallelSweep runs the open-loop sweep through the SMP driver: each
+// offered rate is sharded across N cores, one booted system per core,
+// stepped by real worker goroutines under GVT quantum barriers. The
+// virtual-time columns match the single-core driver's semantics; the
+// wall columns show host-parallel scaling. With assertScale > 0 a 1-core
+// reference sweep runs afterwards and the command exits non-zero unless
+// aggregate wall-clock throughput reached assertScale× the reference.
+func parallelSweep(rateList string, requests, cores int, assertScale float64) {
+	rates := parseRates(rateList)
+	mk := func(core int) (*siege.Target, error) {
+		tgt, err := siege.NewTarget(cubicleos.ModeFull)
+		if err != nil {
+			return nil, err
+		}
+		return tgt, tgt.PutFile("/index.html", make([]byte, 4096))
+	}
+	sweep := func(n int) []*siege.ParallelStats {
+		out := make([]*siege.ParallelStats, 0, len(rates))
+		for _, r := range rates {
+			o := siege.OpenLoopOptions{Path: "/index.html", Rate: r, Requests: requests}
+			ps, err := siege.ParallelOpenLoop(n, mk, o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, ps)
+		}
+		return out
+	}
+	res := sweep(cores)
+	fmt.Printf("cores=%d  requests=%d per rate\n", cores, requests)
+	fmt.Printf("%9s %8s %5s %5s %8s %8s %7s %9s %9s\n",
+		"offered", "goodput", "ok", "shed", "p50", "p99", "quanta", "wall ms", "wall rps")
+	for _, ps := range res {
+		fmt.Printf("%9.0f %8.0f %5d %5d %8s %8s %7d %9.1f %9.0f\n",
+			ps.OfferedRPS, ps.GoodputRPS, ps.OK, ps.Shed,
+			ps.P50.Round(10_000).String(), ps.P99.Round(10_000).String(),
+			ps.Quanta, ps.WallSeconds*1000, ps.WallRPS)
+	}
+	if assertScale <= 0 {
+		return
+	}
+	ref := sweep(1)
+	var okN, ok1 int
+	var wallN, wall1 float64
+	for i := range rates {
+		okN += res[i].OK
+		ok1 += ref[i].OK
+		wallN += res[i].WallSeconds
+		wall1 += ref[i].WallSeconds
+	}
+	if okN == 0 || ok1 == 0 || wallN <= 0 || wall1 <= 0 {
+		log.Fatalf("assert-scale: degenerate sweep (ok=%d/%d wall=%.3f/%.3f)", okN, ok1, wallN, wall1)
+	}
+	rpsN, rps1 := float64(okN)/wallN, float64(ok1)/wall1
+	scale := rpsN / rps1
+	fmt.Printf("wall-clock scaling: %.0f rps on %d cores vs %.0f rps on 1 core = %.2fx\n",
+		rpsN, cores, rps1, scale)
+	if scale < assertScale {
+		log.Fatalf("assert-scale: %d-core wall throughput only %.2fx the 1-core reference, want >= %.2fx",
+			cores, scale, assertScale)
+	}
+	fmt.Printf("assert-scale ok: >= %.2fx\n", assertScale)
+}
+
 func main() {
 	mode := flag.String("mode", "both", "isolation mode: unikraft, full, both")
 	repeats := flag.Int("repeats", 2, "measured requests per size (after one warm-up)")
@@ -114,8 +184,14 @@ func main() {
 	rateList := flag.String("rates", "1000,2000,4000,8000", "offered rates (rps) for -openloop")
 	requests := flag.Int("requests", 120, "arrivals per rate for -openloop")
 	assertDegrade := flag.Bool("assert-degrade", false, "with -openloop: exit non-zero unless degradation is graceful")
+	cores := flag.Int("cores", 0, "shard the open-loop sweep across N simulated cores (SMP driver)")
+	assertScale := flag.Float64("assert-scale", 0, "with -cores: exit non-zero unless wall throughput >= X times a 1-core reference")
 	flag.Parse()
 
+	if *cores > 0 {
+		parallelSweep(*rateList, *requests, *cores, *assertScale)
+		return
+	}
 	if *openloop {
 		openLoopSweep(*rateList, *requests, *assertDegrade)
 		return

@@ -83,6 +83,11 @@ type Config struct {
 	// LwipReapClosed enables reclamation of fully closed LWIP sockets,
 	// bounding the stack's memory under connection churn.
 	LwipReapClosed bool
+	// SMPCores, when > 1, gives the simulated machine that many cores:
+	// per-core virtual clocks, a GVT machine over them, and libmpk-style
+	// TLB shootdowns on every retag. The default (0 or 1) keeps the
+	// single-core monitor, whose figures are byte-identical to the seed.
+	SMPCores int
 }
 
 // System is a booted deployment.
@@ -125,6 +130,9 @@ func NewFS(cfg Config) (*System, error) {
 		Rand:  urandom.New(cfg.Seed),
 	}
 	m := cubicle.NewMonitor(cfg.Mode, costs)
+	if cfg.SMPCores > 1 {
+		m.EnableSMP(cfg.SMPCores)
+	}
 	if cfg.TraceEvents > 0 {
 		trc := m.EnableTracing(cfg.TraceEvents)
 		if cfg.TraceSamplePeriod > 0 {

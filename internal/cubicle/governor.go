@@ -83,8 +83,8 @@ func (e *Env) ClearDeadline() {
 // Deadline returns the armed deadline, or 0.
 func (e *Env) Deadline() uint64 { return e.T.deadline }
 
-// Now returns the virtual clock.
-func (e *Env) Now() uint64 { return e.M.Clock.Cycles() }
+// Now returns the virtual clock of the thread's core.
+func (e *Env) Now() uint64 { return e.T.clk.Cycles() }
 
 // checkDeadline raises a DeadlineFault when thread t's armed deadline has
 // passed. It only fires below the frame that armed the deadline, so the
@@ -93,7 +93,7 @@ func (m *Monitor) checkDeadline(t *Thread) {
 	if t.deadline == 0 || len(t.frames) <= t.deadlineFrame {
 		return
 	}
-	now := m.Clock.Cycles()
+	now := t.clk.Cycles()
 	if now < t.deadline {
 		return
 	}
@@ -108,6 +108,8 @@ func (m *Monitor) checkDeadline(t *Thread) {
 // NoteShed records one request refused by admission control in the current
 // cubicle; reason is a constant label, status the HTTP status sent back.
 func (e *Env) NoteShed(reason string, status uint64) {
+	e.M.enter(e.T)
+	defer e.M.exit(e.T)
 	e.M.noteShed(e.T.cur, reason, status)
 }
 
@@ -116,6 +118,8 @@ func (e *Env) NoteShed(reason string, status uint64) {
 // (e.g. the ALLOC per-client arena quota) use it so the fault carries the
 // client at fault, not the enforcing component.
 func (e *Env) RaiseQuota(victim ID, resource string, used, limit uint64) {
+	e.M.enter(e.T)
+	defer e.M.exit(e.T)
 	e.M.noteQuota(victim, resource, used, limit)
 	panic(&QuotaFault{Cubicle: victim, Resource: resource, Used: used, Limit: limit})
 }
@@ -212,8 +216,10 @@ func RetryContained(e *Env, p RetryPolicy, fn func()) *ContainedFault {
 		if p.BackoffMax > 0 && backoff > p.BackoffMax {
 			backoff = p.BackoffMax
 		}
-		e.M.Clock.Charge(backoff)
+		e.M.enter(e.T)
+		e.T.clk.Charge(backoff)
 		e.M.noteRetry(e.T.cur, attempt, backoff)
+		e.M.exit(e.T)
 		if p.BackoffFactor > 1 {
 			backoff *= p.BackoffFactor
 		}

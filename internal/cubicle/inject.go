@@ -23,17 +23,19 @@ const (
 // deterministic for a given workload. The monitor consults the injector
 // at three sites: cross-cubicle call entry, window-management API calls,
 // and trap-and-map retags. Methods take component/cubicle names so the
-// implementation needs no dependency on this package's ID space.
+// implementation needs no dependency on this package's ID space, plus the
+// simulated core of the acting thread so SMP deployments can draw from
+// per-core decision streams (core 0 reproduces the single-core stream).
 type Injector interface {
 	// AtCrossing is consulted after the crossing switched into the callee;
 	// the injected fault is attributed to — and contained against — the
 	// callee cubicle.
-	AtCrossing(callee, symbol string) InjectKind
+	AtCrossing(core int, callee, symbol string) InjectKind
 	// AtWindowOp is consulted on window-management calls by cubicle owner.
-	AtWindowOp(owner, op string) InjectKind
+	AtWindowOp(core int, owner, op string) InjectKind
 	// AtRetag is consulted when the trap-and-map handler is about to retag
 	// a page for the named cubicle.
-	AtRetag(cubicle string) InjectKind
+	AtRetag(core int, cubicle string) InjectKind
 }
 
 // SetInjector attaches (or, with nil, detaches) a deterministic fault
@@ -55,7 +57,7 @@ func (m *Monitor) noteInjected(id ID, site string) {
 // crossing. It runs with the callee's frame pushed, so containment
 // attributes the fault to the callee exactly as a real one.
 func (m *Monitor) injectAtCrossing(t *Thread, tr *Trampoline) {
-	kind := m.inj.AtCrossing(m.cubicle(tr.callee).Name, tr.sym)
+	kind := m.inj.AtCrossing(t.core, m.cubicle(tr.callee).Name, tr.sym)
 	if kind == InjectNone {
 		return
 	}
@@ -75,7 +77,7 @@ func (m *Monitor) injectAtCrossing(t *Thread, tr *Trampoline) {
 		// The callee "creates" a window and crashes before destroying it;
 		// windowInit journals the creation, and the regression tests assert
 		// that rollback leaves no extra window behind.
-		wid := m.windowInit(tr.callee)
+		wid := m.windowInit(t, tr.callee)
 		if m.sup != nil {
 			t.journal = append(t.journal, undoEntry{kind: undoDestroyWindow,
 				owner: tr.callee, wid: wid})

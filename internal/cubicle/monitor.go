@@ -57,6 +57,15 @@ type Monitor struct {
 	// page walk on every access.
 	tlbOn bool
 
+	// SMP state (see smp.go). smpN is the simulated core count (0/1 =
+	// single-core, every SMP hook a no-op); coreClks[0] aliases Clock;
+	// machine is the GVT view over the core clocks; lk is the monitor's
+	// reentrant big lock.
+	smpN     int
+	coreClks []*cycles.Clock
+	machine  *cycles.Machine
+	lk       smpLock
+
 	cubicles    []*Cubicle
 	byName      map[string]*Cubicle
 	compOf      map[string]*Cubicle // component name -> hosting cubicle
@@ -121,6 +130,9 @@ func (m *Monitor) EnableTracing(ringCap int) *trace.Tracer {
 	m.trc.SetTLBCounters(func() (uint64, uint64, uint64) {
 		return m.Stats.TLBHits, m.Stats.TLBMisses, m.Stats.TLBInvalidations
 	})
+	if m.smpN > 1 {
+		m.installCoreResolver()
+	}
 	return m.trc
 }
 
@@ -215,7 +227,7 @@ func (m *Monitor) acquireKey(id ID) mpk.Key {
 	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
 		if mpk.Key(p.Key) == victim {
 			p.Key = uint8(monitorKey)
-			m.noteRetag(victimID, vm.PageAddr(pn), monitorKey)
+			m.noteRetag(nil, victimID, vm.PageAddr(pn), monitorKey)
 		}
 	})
 	if c := m.cubicleIfValid(victimID); c != nil {
@@ -370,15 +382,16 @@ func pageTablePerm(kind mpk.AccessKind, perm vm.Perm) bool {
 //	❺ if allowed, retag the page's MPK key to the faulting cubicle.
 func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.Page) {
 	m.Stats.Faults++
-	trapStart := m.Clock.Cycles()
-	m.Clock.Charge(m.Costs.TrapEntry + m.Costs.PageMetaLookup)
+	clk := m.clkOf(t)
+	trapStart := clk.Cycles()
+	clk.Charge(m.Costs.TrapEntry + m.Costs.PageMetaLookup)
 
 	cur := t.cur
 	owner := ID(p.Owner)
 	deny := func(reason string) {
 		m.Stats.DeniedFaults++
 		if m.trc != nil {
-			m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), m.Clock.Cycles()-trapStart)
+			m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), clk.Cycles()-trapStart)
 			m.trc.DeniedFault(t.id, int(cur), int(owner), uint64(pa))
 		}
 		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: cur, Owner: owner,
@@ -409,7 +422,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 					continue
 				}
 				searchSteps++
-				m.Clock.Charge(m.Costs.WindowSearchEntry)
+				clk.Charge(m.Costs.WindowSearchEntry)
 				if w.covers(pa) && w.IsOpenFor(cur) {
 					allowed = true
 					break
@@ -427,7 +440,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 		deny("no open window authorises the access")
 	}
 	if m.inj != nil {
-		if k := m.inj.AtRetag(m.cubicle(cur).Name); k != InjectNone {
+		if k := m.inj.AtRetag(t.core, m.cubicle(cur).Name); k != InjectNone {
 			// An injected retag failure presents as a denied trap so the
 			// fault/denial accounting stays consistent with real denials.
 			m.noteInjected(cur, "retag")
@@ -440,27 +453,30 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 	if err := mpk.PkeyMprotect(m.AS, pa, 1, key); err != nil {
 		panic(fmt.Sprintf("cubicle: retag failed: %v", err))
 	}
-	m.noteRetag(cur, pa, key)
+	m.noteRetag(t, cur, pa, key)
 	if m.trc != nil {
-		m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), m.Clock.Cycles()-trapStart)
+		m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), clk.Cycles()-trapStart)
 	}
 }
 
 // noteRetag charges and records one page retag (the caller has already
-// changed the page's key).
-func (m *Monitor) noteRetag(cub ID, addr vm.Addr, key mpk.Key) {
-	m.Clock.Charge(m.Costs.PkeyMprotect)
+// changed the page's key), on behalf of thread t (nil for monitor-context
+// retags). On an SMP machine the retag additionally pays the per-core
+// shootdown synchronisation (smp.go).
+func (m *Monitor) noteRetag(t *Thread, cub ID, addr vm.Addr, key mpk.Key) {
+	m.clkOf(t).Charge(m.Costs.PkeyMprotect)
 	m.Stats.Retags++
 	if m.trc != nil {
-		m.trc.Retag(int(cub), uint64(addr), uint8(key))
+		m.trc.Retag(tidOf(t), int(cub), uint64(addr), uint8(key))
 	}
+	m.shootdown(t, cub, addr.PageNum())
 }
 
 // wrpkru models one execution of the wrpkru instruction on thread t.
 func (m *Monitor) wrpkru(t *Thread, v mpk.PKRU) {
 	t.pkru = v
 	if m.Mode.MPKEnabled() {
-		m.Clock.Charge(m.Costs.WRPKRU)
+		t.clk.Charge(m.Costs.WRPKRU)
 		m.Stats.WRPKRUs++
 		if m.trc != nil {
 			m.trc.WRPKRU(t.id, int(t.cur), uint64(v))

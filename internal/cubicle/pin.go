@@ -25,8 +25,8 @@ const noPin = mpk.Key(0xFF)
 
 // pinWindow assigns window wid of cubicle c a dedicated key. It reports
 // whether the window was newly pinned (for the containment journal).
-func (m *Monitor) pinWindow(c ID, wid WID) bool {
-	m.chargeWindowOp(c, "pin", wid)
+func (m *Monitor) pinWindow(t *Thread, c ID, wid WID) bool {
+	m.chargeWindowOp(t, c, "pin", wid)
 	w := m.window(c, wid, "window_pin")
 	if w.pinned != noPin {
 		return false
@@ -40,7 +40,7 @@ func (m *Monitor) pinWindow(c ID, wid WID) bool {
 	m.pinned = append(m.pinned, w)
 	// Retag every page of the window to the dedicated key — each one a
 	// kernel pkey_mprotect, paid once.
-	m.retagWindow(w, key)
+	m.retagWindow(t, w, key)
 	m.refreshThreadPKRUs()
 	return true
 }
@@ -48,13 +48,13 @@ func (m *Monitor) pinWindow(c ID, wid WID) bool {
 // unpinWindow releases the window's dedicated key; its pages revert to
 // the owner's key and subsequent cross-cubicle accesses go back to
 // trap-and-map.
-func (m *Monitor) unpinWindow(c ID, wid WID) {
-	m.chargeWindowOp(c, "unpin", wid)
+func (m *Monitor) unpinWindow(t *Thread, c ID, wid WID) {
+	m.chargeWindowOp(t, c, "unpin", wid)
 	w := m.window(c, wid, "window_unpin")
 	if w.pinned == noPin {
 		return
 	}
-	m.retagWindow(w, m.keyFor(w.Owner))
+	m.retagWindow(t, w, m.keyFor(w.Owner))
 	m.releasePinKey(w.pinned)
 	w.pinned = noPin
 	for i, pw := range m.pinned {
@@ -67,14 +67,14 @@ func (m *Monitor) unpinWindow(c ID, wid WID) {
 }
 
 // retagWindow sets every page of the window to key.
-func (m *Monitor) retagWindow(w *Window, key mpk.Key) {
+func (m *Monitor) retagWindow(t *Thread, w *Window, key mpk.Key) {
 	for _, r := range w.Ranges {
 		first, last := vm.PagesIn(r.Addr, r.Size)
 		for pn := first; pn <= last; pn++ {
 			if err := mpk.PkeyMprotect(m.AS, vm.PageAddr(pn), 1, key); err != nil {
 				panic(fmt.Sprintf("cubicle: pin retag failed: %v", err))
 			}
-			m.noteRetag(w.Owner, vm.PageAddr(pn), key)
+			m.noteRetag(t, w.Owner, vm.PageAddr(pn), key)
 		}
 	}
 }
@@ -125,11 +125,17 @@ func (m *Monitor) refreshThreadPKRUs() {
 // WindowPin assigns window wid a dedicated MPK key (§8 extension): its
 // contents stop trap-and-mapping for the owner and every grantee.
 func (e *Env) WindowPin(wid WID) {
-	if e.M.pinWindow(e.T.cur, wid) && e.M.sup != nil {
+	e.M.enter(e.T)
+	defer e.M.exit(e.T)
+	if e.M.pinWindow(e.T, e.T.cur, wid) && e.M.sup != nil {
 		e.T.journal = append(e.T.journal, undoEntry{kind: undoUnpinWindow,
 			owner: e.T.cur, wid: wid})
 	}
 }
 
 // WindowUnpin reverts wid to the default lazy trap-and-map behaviour.
-func (e *Env) WindowUnpin(wid WID) { e.M.unpinWindow(e.T.cur, wid) }
+func (e *Env) WindowUnpin(wid WID) {
+	e.M.enter(e.T)
+	defer e.M.exit(e.T)
+	e.M.unpinWindow(e.T, e.T.cur, wid)
+}

@@ -1,0 +1,218 @@
+package cubicle
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cubicleos/internal/cycles"
+)
+
+// This file is the monitor's SMP layer. A multi-core deployment gives the
+// monitor one virtual clock per simulated core; each Thread is placed on a
+// core and charges that core's clock, so threads running on real goroutine
+// workers advance virtual time independently between synchronisation
+// points (the quantum-barrier GVT rule of cycles.Machine).
+//
+// The monitor itself stays a single trusted instance, protected by one
+// reentrant lock in the style of a big kernel lock: every monitor entry —
+// checked memory access, trampoline crossing, window call, allocation —
+// takes it for the duration of the operation. That serialises monitor-side
+// work (correctness first; parallel wall-clock speedups come from the
+// sharded siege driver, where each core runs an independent single-core
+// monitor and the lock compiles to one integer compare). On a single-core
+// monitor every lock operation is a no-op, keeping the pre-SMP fast path
+// and its figures byte-identical.
+//
+// Cross-core clock reads (smpNow, used for supervision timestamps) and
+// cross-thread TLB shootdowns only happen while holding the monitor lock,
+// which provides the happens-before edges the per-core clocks and
+// per-thread TLBs themselves do not.
+
+// smpLock is the monitor's reentrant big lock. Reentrancy is by thread:
+// the owning Thread may re-enter (trampolines nest arbitrarily deep), and
+// the depth counter is only ever touched by the current owner.
+type smpLock struct {
+	mu    sync.Mutex
+	owner atomic.Int64 // thread id + 1; 0 = unowned
+	depth int32
+}
+
+// enter takes the monitor lock on behalf of thread t. No-op on
+// single-core deployments. A Thread must only ever be driven by one
+// goroutine at a time; the owner test relies on it.
+func (m *Monitor) enter(t *Thread) {
+	if m.smpN <= 1 {
+		return
+	}
+	me := int64(t.id) + 1
+	if m.lk.owner.Load() == me {
+		m.lk.depth++
+		return
+	}
+	m.lk.mu.Lock()
+	m.lk.owner.Store(me)
+}
+
+// exit releases one level of the monitor lock taken by enter.
+func (m *Monitor) exit(t *Thread) {
+	if m.smpN <= 1 {
+		return
+	}
+	if m.lk.depth > 0 {
+		m.lk.depth--
+		return
+	}
+	m.lk.owner.Store(0)
+	m.lk.mu.Unlock()
+}
+
+// EnableSMP gives the simulated machine n cores: core 0 keeps the boot
+// clock (m.Clock), cores 1..n-1 get fresh clocks. Call it at boot, before
+// any worker goroutine runs — like EnableTracing it is wiring, not a
+// runtime operation. With n == 1 (the default) every SMP hook is a no-op
+// and behaviour is byte-identical to a pre-SMP monitor.
+func (m *Monitor) EnableSMP(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.smpN = n
+	m.coreClks = make([]*cycles.Clock, n)
+	m.coreClks[0] = m.Clock
+	for i := 1; i < n; i++ {
+		m.coreClks[i] = &cycles.Clock{}
+	}
+	m.machine = cycles.MachineOver(m.coreClks...)
+	if m.trc != nil {
+		m.installCoreResolver()
+	}
+}
+
+// Cores returns the number of simulated cores (1 unless EnableSMP ran).
+func (m *Monitor) Cores() int {
+	if m.smpN < 1 {
+		return 1
+	}
+	return m.smpN
+}
+
+// CoreClock returns core i's virtual clock.
+func (m *Monitor) CoreClock(i int) *cycles.Clock {
+	if m.coreClks == nil {
+		if i == 0 {
+			return m.Clock
+		}
+		panic("cubicle: CoreClock on a single-core monitor")
+	}
+	return m.coreClks[i]
+}
+
+// Machine returns the cycles.Machine over the monitor's core clocks (a
+// single-core machine over the boot clock unless EnableSMP ran). The
+// scheduler drives its quantum barriers.
+func (m *Monitor) Machine() *cycles.Machine {
+	if m.machine == nil {
+		m.machine = cycles.MachineOver(m.Clock)
+	}
+	return m.machine
+}
+
+// SetThreadCore places thread t on the given core: from now on the thread
+// charges that core's clock. Boot-time wiring, before workers run.
+func (m *Monitor) SetThreadCore(t *Thread, core int) {
+	if core < 0 || core >= m.Cores() {
+		panic("cubicle: SetThreadCore core out of range")
+	}
+	t.core = core
+	t.clk = m.CoreClock(core)
+}
+
+// clkOf returns the clock a monitor operation on behalf of thread t
+// charges: the thread's core clock, or the boot clock for monitor-context
+// work (t == nil — supervisor reclamation, key evictions at boot).
+func (m *Monitor) clkOf(t *Thread) *cycles.Clock {
+	if t == nil || t.clk == nil {
+		return m.Clock
+	}
+	return t.clk
+}
+
+// coreOfThread is the simulated core t runs on (0 for monitor context).
+func coreOfThread(t *Thread) int {
+	if t == nil {
+		return 0
+	}
+	return t.core
+}
+
+// tidOf is the trace thread ID of t (-1 for monitor context).
+func tidOf(t *Thread) int {
+	if t == nil {
+		return -1
+	}
+	return t.id
+}
+
+// smpNow is global virtual time as observed from inside the monitor: the
+// boot clock on a single-core machine, the maximum over core clocks on an
+// SMP one (the monitor lock is a synchronisation point, so the max is
+// exactly the GVT rule applied at monitor entry). Supervision timestamps
+// (quarantine backoffs, restart windows) use it so that health decisions
+// are consistent across cores. Callers hold the monitor lock.
+func (m *Monitor) smpNow() uint64 {
+	if m.smpN <= 1 {
+		return m.Clock.Cycles()
+	}
+	max := uint64(0)
+	for _, c := range m.coreClks {
+		if v := c.Cycles(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// shootdown synchronises a page retag across cores, libmpk-style: a safe
+// multi-threaded pkey_mprotect must update every other thread's view of
+// the key state before the retag takes effect, an IPI-like round trip per
+// remote core. The simulator models it by charging ShootdownIPI per
+// remote core to the retagging thread and invalidating the page's entry
+// in every OTHER thread's span TLB (the retagging thread's own entry is
+// revalidated against live state at its next lookup, exactly as before).
+// Single-core machines charge and invalidate nothing, keeping their
+// figures byte-identical to the pre-SMP cost model. Callers hold the
+// monitor lock.
+func (m *Monitor) shootdown(t *Thread, cub ID, pn uint64) {
+	if m.smpN <= 1 {
+		return
+	}
+	var cleared uint64
+	for _, th := range m.threads {
+		if th == t {
+			continue
+		}
+		if e := &th.tlb[pn&tlbMask]; e.pn == pn {
+			*e = tlbEntry{}
+			cleared++
+		}
+	}
+	cost := m.Costs.ShootdownIPI * uint64(m.smpN-1)
+	m.clkOf(t).Charge(cost)
+	m.Stats.TLBShootdowns++
+	m.Stats.TLBShootdownInvalidations += cleared
+	if m.trc != nil {
+		m.trc.Shootdown(tidOf(t), int(cub), cleared, cost)
+	}
+}
+
+// installCoreResolver points the tracer at the monitor's thread placement
+// so events carry core IDs and are stamped with the recording core's
+// clock.
+func (m *Monitor) installCoreResolver() {
+	m.trc.SetCoreOf(func(tid int) (int, *cycles.Clock) {
+		if tid >= 0 && tid < len(m.threads) {
+			th := m.threads[tid]
+			return th.core, th.clk
+		}
+		return 0, nil
+	})
+}

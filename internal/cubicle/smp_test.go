@@ -1,0 +1,273 @@
+package cubicle
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cubicleos/internal/vm"
+)
+
+// newWorker creates a thread placed on the given core with its own Env.
+func newWorker(m *Monitor, core int) *Env {
+	t := m.NewThread()
+	m.SetThreadCore(t, core)
+	return m.NewEnv(t)
+}
+
+// enterOn switches a worker thread into the named cubicle the way the
+// boot loader enters application mains, under the monitor lock.
+func enterOn(ts *testSystem, e *Env, name string) {
+	cub := ts.cubs[name]
+	m := ts.m
+	m.enter(e.T)
+	e.T.pushFrame(cub.ID, true)
+	if m.Mode.MPKEnabled() {
+		m.wrpkru(e.T, m.pkruFor(cub.ID))
+	}
+	m.exit(e.T)
+}
+
+func leaveOn(ts *testSystem, e *Env) {
+	ts.m.enter(e.T)
+	e.T.popFrame()
+	ts.m.exit(e.T)
+}
+
+// TestShootdownInvalidatesRemoteTLBs is the unit contract of the
+// libmpk-style retag sync: on a 2-core monitor a shootdown clears the
+// page's translation in every OTHER thread's span TLB, charges
+// ShootdownIPI per remote core to the retagging thread, and records one
+// shootdown event; the retagging thread's own entry stays (it is
+// revalidated against live state on its next lookup).
+func TestShootdownInvalidatesRemoteTLBs(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	m.EnableSMP(2)
+	e1 := newWorker(m, 1)
+	t0 := ts.env.T // boot thread stays on core 0
+
+	addr := ts.heapIn(t, "FOO", 64)
+	pn := addr.PageNum()
+
+	// Fill both threads' TLBs (both run as the monitor here, which may
+	// read anything).
+	_ = ts.env.LoadByte(addr)
+	_ = e1.LoadByte(addr)
+	if got := e1.T.tlb[pn&tlbMask].pn; got != pn {
+		t.Fatalf("remote TLB not primed: slot holds pn %d, want %d", got, pn)
+	}
+
+	before := t0.clk.Cycles()
+	m.enter(t0)
+	m.shootdown(t0, ts.cubs["FOO"].ID, pn)
+	m.exit(t0)
+
+	if got := e1.T.tlb[pn&tlbMask]; got.pn != 0 {
+		t.Fatalf("remote TLB entry survived the shootdown: %+v", got)
+	}
+	if got := t0.tlb[pn&tlbMask].pn; got != pn {
+		t.Fatalf("shootdown cleared the retagging thread's own entry")
+	}
+	wantCost := m.Costs.ShootdownIPI // one remote core
+	if got := t0.clk.Cycles() - before; got != wantCost {
+		t.Fatalf("shootdown charged %d cycles, want %d", got, wantCost)
+	}
+	if m.Stats.TLBShootdowns != 1 || m.Stats.TLBShootdownInvalidations != 1 {
+		t.Fatalf("shootdown counters = %d/%d, want 1/1",
+			m.Stats.TLBShootdowns, m.Stats.TLBShootdownInvalidations)
+	}
+}
+
+// TestShootdownSingleCoreIsFree pins the byte-identity guarantee: without
+// EnableSMP a shootdown charges nothing, clears nothing and counts
+// nothing — the pre-SMP cost model is untouched.
+func TestShootdownSingleCoreIsFree(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	addr := ts.heapIn(t, "FOO", 64)
+	_ = ts.env.LoadByte(addr)
+	before := m.Clock.Cycles()
+	m.shootdown(ts.env.T, ts.cubs["FOO"].ID, addr.PageNum())
+	if m.Clock.Cycles() != before {
+		t.Fatalf("single-core shootdown charged cycles")
+	}
+	if m.Stats.TLBShootdowns != 0 || m.Stats.TLBShootdownInvalidations != 0 {
+		t.Fatalf("single-core shootdown counted: %d/%d",
+			m.Stats.TLBShootdowns, m.Stats.TLBShootdownInvalidations)
+	}
+	if got := ts.env.T.tlb[addr.PageNum()&tlbMask].pn; got != addr.PageNum() {
+		t.Fatalf("single-core shootdown cleared the local entry")
+	}
+}
+
+// TestSMPRetagShootsDownEndToEnd drives a real trap-and-map retag on core
+// 0 while core 1 holds the page's translation, and asserts the retag
+// carried a shootdown: the remote entry is gone, the counters moved, and
+// the trace recorded the shootdown with the retagging thread's core.
+func TestSMPRetagShootsDownEndToEnd(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	trc := m.EnableTracing(1 << 12)
+	m.EnableSMP(2)
+	e1 := newWorker(m, 1)
+
+	addr := ts.heapIn(t, "FOO", 64)
+	pn := addr.PageNum()
+	_ = e1.LoadByte(addr) // prime the remote translation
+	// A crossing on core 1, so the trace holds events from both cores.
+	m.MustResolve(MonitorID, "FOO", "foo_noop").Call(e1)
+
+	barID := ts.cubs["BAR"].ID
+	ts.enter(t, "FOO", func(e *Env) {
+		wid := e.WindowInit()
+		e.WindowAdd(wid, addr, 64)
+		e.WindowOpen(wid, barID)
+		h := m.MustResolve(e.Cubicle(), "BAR", "bar")
+		h.Call(e, uint64(addr), 3) // BAR's store traps and retags the page
+	})
+
+	if m.Stats.Retags == 0 {
+		t.Fatalf("workload performed no retag")
+	}
+	if m.Stats.TLBShootdowns == 0 {
+		t.Fatalf("SMP retag recorded no shootdown")
+	}
+	if got := e1.T.tlb[pn&tlbMask].pn; got == pn {
+		t.Fatalf("remote translation survived the retag")
+	}
+	// The trace view and the live counters must agree, shootdowns included.
+	if got := StatsFromTrace(trc); !reflect.DeepEqual(got, m.Stats) {
+		t.Fatalf("StatsFromTrace diverged:\n got  %+v\n want %+v", got, m.Stats)
+	}
+	// Events carry the recording thread's core.
+	core1 := false
+	for _, ev := range trc.Events() {
+		if ev.Core == 1 {
+			core1 = true
+			break
+		}
+	}
+	if !core1 {
+		t.Fatalf("no trace event stamped with core 1")
+	}
+}
+
+// smpCrossingWorkload runs the two-worker retag ping-pong and returns the
+// per-core clock readings plus final stats. Worker c enters FOO, opens a
+// window on its own page to BAR, and alternates BAR-writes (retag to BAR)
+// with its own stores (retag back to FOO) — every iteration crosses
+// cubicles, traps, retags and shoots down.
+func smpCrossingWorkload(t *testing.T, iters int) ([2]uint64, Stats, Stats) {
+	t.Helper()
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	trc := m.EnableTracing(1 << 14)
+	m.EnableSMP(2)
+	workers := [2]*Env{newWorker(m, 0), newWorker(m, 1)}
+	barID := ts.cubs["BAR"].ID
+
+	// Per-worker pages, allocated before the goroutines start.
+	addrs := [2]vm.Addr{ts.heapIn(t, "FOO", 64), ts.heapIn(t, "FOO", 64)}
+	barH := m.MustResolve(ts.cubs["FOO"].ID, "BAR", "bar")
+
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			e := workers[c]
+			enterOn(ts, e, "FOO")
+			defer leaveOn(ts, e)
+			wid := e.WindowInit()
+			e.WindowAdd(wid, addrs[c], 64)
+			e.WindowOpen(wid, barID)
+			for i := 0; i < iters; i++ {
+				barH.Call(e, uint64(addrs[c]), uint64(i%64))
+				e.StoreByte(addrs[c], byte(i))
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var clocks [2]uint64
+	for c := 0; c < 2; c++ {
+		clocks[c] = m.CoreClock(c).Cycles()
+	}
+	return clocks, m.Stats, StatsFromTrace(trc)
+}
+
+// TestSMPParallelRetagsDeterministic is the monitor-level determinism and
+// race gate: two worker goroutines hammer cross-cubicle calls and
+// trap-and-map retags concurrently, and five runs must produce identical
+// per-core clocks and identical stats — the goroutine interleaving is not
+// allowed to leak into virtual time. StatsFromTrace equality over the
+// multi-core trace rides along, and -race checks the big-lock protocol.
+func TestSMPParallelRetagsDeterministic(t *testing.T) {
+	const iters = 40
+	clocks0, stats0, fromTrace0 := smpCrossingWorkload(t, iters)
+	if stats0.TLBShootdowns == 0 {
+		t.Fatalf("workload produced no shootdowns")
+	}
+	if stats0.CallsTotal == 0 || stats0.Retags == 0 {
+		t.Fatalf("workload too idle: %+v", stats0)
+	}
+	if !reflect.DeepEqual(fromTrace0, stats0) {
+		t.Fatalf("StatsFromTrace diverged on SMP run:\n got  %+v\n want %+v", fromTrace0, stats0)
+	}
+	for run := 1; run < 5; run++ {
+		clocks, stats, fromTrace := smpCrossingWorkload(t, iters)
+		if clocks != clocks0 {
+			t.Fatalf("run %d per-core clocks diverged: %v vs %v", run, clocks, clocks0)
+		}
+		if !reflect.DeepEqual(stats, stats0) {
+			t.Fatalf("run %d stats diverged:\n got  %+v\n want %+v", run, stats, stats0)
+		}
+		if !reflect.DeepEqual(fromTrace, stats) {
+			t.Fatalf("run %d trace view diverged", run)
+		}
+	}
+}
+
+// TestSMPLockReentrancy pins the big lock's reentrancy: nested
+// enter/exit by the owning thread must not deadlock, and the lock must
+// hand over cleanly between threads.
+func TestSMPLockReentrancy(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	m.EnableSMP(2)
+	t0, e1 := ts.env.T, newWorker(m, 1)
+
+	m.enter(t0)
+	m.enter(t0) // reentrant: depth bump, no deadlock
+	m.exit(t0)
+
+	released := make(chan struct{})
+	go func() {
+		m.enter(e1.T)
+		m.exit(e1.T)
+		close(released)
+	}()
+	m.exit(t0)
+	<-released
+}
+
+// TestSMPCoreClocksIndependent asserts threads charge their own core's
+// clock: work on core 1 must not advance core 0.
+func TestSMPCoreClocksIndependent(t *testing.T) {
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	m.EnableSMP(2)
+	e1 := newWorker(m, 1)
+	before0, before1 := m.CoreClock(0).Cycles(), m.CoreClock(1).Cycles()
+	e1.Work(10_000)
+	if got := m.CoreClock(0).Cycles(); got != before0 {
+		t.Fatalf("core 0 clock moved by core 1 work: %d -> %d", before0, got)
+	}
+	if got := m.CoreClock(1).Cycles(); got <= before1 {
+		t.Fatalf("core 1 clock did not advance")
+	}
+	if now := m.smpNow(); now < m.CoreClock(1).Cycles() {
+		t.Fatalf("smpNow %d below core 1 clock", now)
+	}
+}

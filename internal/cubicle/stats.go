@@ -74,6 +74,14 @@ type Stats struct {
 	// slot held the right page but its (PKRU, epoch) validation tuple no
 	// longer matched after a wrpkru, retag, map/unmap or restart.
 	TLBInvalidations uint64
+	// TLBShootdowns counts cross-core retag synchronisation rounds: on an
+	// SMP machine every trap-and-map or pin retag pays one IPI round trip
+	// per remote core (libmpk's per-thread sync). Always 0 on single-core
+	// deployments.
+	TLBShootdowns uint64
+	// TLBShootdownInvalidations counts remote span-TLB entries cleared by
+	// shootdowns (at most threads-1 per shootdown).
+	TLBShootdownInvalidations uint64
 }
 
 // newStats returns an initialised Stats.
@@ -84,6 +92,39 @@ func newStats() Stats {
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	*s = newStats()
+}
+
+// Merge adds every counter of o into s, merging the per-edge call map.
+// The sharded siege driver uses it to combine the per-core monitors'
+// figures into one machine-wide view.
+func (s *Stats) Merge(o *Stats) {
+	for e, n := range o.Calls {
+		s.Calls[e] += n
+	}
+	s.CallsTotal += o.CallsTotal
+	s.SharedCalls += o.SharedCalls
+	s.Faults += o.Faults
+	s.Retags += o.Retags
+	s.WRPKRUs += o.WRPKRUs
+	s.WindowOps += o.WindowOps
+	s.WindowSearchSteps += o.WindowSearchSteps
+	s.StackBytesCopied += o.StackBytesCopied
+	s.BulkBytesCopied += o.BulkBytesCopied
+	s.DeniedFaults += o.DeniedFaults
+	s.KeyEvictions += o.KeyEvictions
+	s.ContainedFaults += o.ContainedFaults
+	s.Quarantines += o.Quarantines
+	s.Restarts += o.Restarts
+	s.InjectedFaults += o.InjectedFaults
+	s.Sheds += o.Sheds
+	s.DeadlineFaults += o.DeadlineFaults
+	s.QuotaFaults += o.QuotaFaults
+	s.Retries += o.Retries
+	s.TLBHits += o.TLBHits
+	s.TLBMisses += o.TLBMisses
+	s.TLBInvalidations += o.TLBInvalidations
+	s.TLBShootdowns += o.TLBShootdowns
+	s.TLBShootdownInvalidations += o.TLBShootdownInvalidations
 }
 
 // EdgeCount is one row of a call-count report.

@@ -7,8 +7,9 @@ import (
 )
 
 // RestartPolicy parameterises the supervisor. All durations are virtual
-// cycles on the monitor's clock, so supervision decisions are fully
-// deterministic for a given workload.
+// cycles; on SMP machines health timestamps use global virtual time as
+// observed at monitor entry (smpNow), so supervision decisions are
+// consistent across cores and deterministic for a given workload.
 type RestartPolicy struct {
 	// MaxRestarts is how many restarts a cubicle may consume within
 	// RestartWindow before it is declared Dead (0 = unlimited).
@@ -126,7 +127,7 @@ func (s *Supervisor) admit(t *Thread, tr *Trampoline) {
 	case Healthy:
 		return
 	case Quarantined:
-		if s.m.Clock.Cycles() >= c.restartAt && s.restart(c) {
+		if s.m.smpNow() >= c.restartAt && s.restart(c) {
 			return
 		}
 		if c.health == Dead { // the refused restart exhausted the budget
@@ -269,7 +270,7 @@ func (s *Supervisor) destroyWindow(cub *Cubicle, w *Window) {
 // owner's key.
 func (s *Supervisor) releasePin(w *Window) {
 	m := s.m
-	m.retagWindow(w, m.keyFor(w.Owner))
+	m.retagWindow(nil, w, m.keyFor(w.Owner))
 	m.releasePinKey(w.pinned)
 	w.pinned = noPin
 	for i, pw := range m.pinned {
@@ -297,7 +298,7 @@ func (s *Supervisor) quarantine(id ID, cause error) {
 	}
 	backoff := s.backoffFor(c.consecFaults)
 	c.health = Quarantined
-	c.restartAt = s.m.Clock.Cycles() + backoff
+	c.restartAt = s.m.smpNow() + backoff
 	s.m.Stats.Quarantines++
 	if s.m.trc != nil {
 		s.m.trc.Quarantine(int(id), backoff)
@@ -341,7 +342,7 @@ func (s *Supervisor) restart(c *Cubicle) bool {
 			}
 		}
 	}
-	now := m.Clock.Cycles()
+	now := m.smpNow()
 	keep := c.restartLog[:0]
 	for _, ts := range c.restartLog {
 		if now-ts < s.policy.RestartWindow {
@@ -431,7 +432,7 @@ func (s *Supervisor) watchdog(t *Thread) {
 		if !f.crossing {
 			continue
 		}
-		if used := s.m.Clock.Cycles() - f.entryCycles; used > b {
+		if used := t.clk.Cycles() - f.entryCycles; used > b {
 			panic(&BudgetFault{Cubicle: f.exec, Used: used, Budget: b,
 				Reason: "crossing exceeded its watchdog cycle budget"})
 		}

@@ -3,6 +3,7 @@ package cubicle
 import (
 	"fmt"
 
+	"cubicleos/internal/cycles"
 	"cubicleos/internal/mpk"
 	"cubicleos/internal/vm"
 )
@@ -36,10 +37,14 @@ type frame struct {
 	entryCycles uint64
 }
 
-// Thread is one execution context. Unikraft multiplexes user-level threads
-// onto a single host thread (§8), and the simulator follows that model:
-// threads are cooperative and never run concurrently, but each carries its
-// own PKRU value and per-cubicle stacks, as MPK permissions are per-thread.
+// Thread is one execution context. Each thread carries its own PKRU value
+// and per-cubicle stacks, as MPK permissions are per-thread (the PKRU is a
+// per-thread register, §8). On a single-core deployment threads are
+// cooperative and never run concurrently, following Unikraft's model; on
+// an SMP deployment (EnableSMP) threads placed on different cores execute
+// on real goroutine workers concurrently, serialised only inside the
+// monitor by its big lock. A Thread itself must still be driven by at most
+// one goroutine at a time.
 type Thread struct {
 	m      *Monitor
 	id     int // dense thread index, stamped into trace events
@@ -47,6 +52,12 @@ type Thread struct {
 	pkru   mpk.PKRU
 	stacks map[ID]*stack
 	frames []frame
+	// core/clk place the thread on a simulated core (SetThreadCore): all
+	// virtual-time charges the thread causes go to clk. On a single-core
+	// monitor clk aliases m.Clock and core is 0, preserving the legacy
+	// behaviour exactly.
+	core int
+	clk  *cycles.Clock
 	// journal records window-state changes for containment rollback; it is
 	// only appended to while a supervisor is attached and is truncated when
 	// the thread unwinds to depth zero (everything below is committed).
@@ -74,6 +85,7 @@ func (m *Monitor) NewThread() *Thread {
 		cur:    MonitorID,
 		pkru:   mpk.AllAllowed,
 		stacks: make(map[ID]*stack),
+		clk:    m.Clock,
 	}
 	t.pkru = m.pkruFor(MonitorID)
 	m.threads = append(m.threads, t)
@@ -82,6 +94,9 @@ func (m *Monitor) NewThread() *Thread {
 
 // TID returns the thread's dense index (the "tid" of its trace track).
 func (t *Thread) TID() int { return t.id }
+
+// Core returns the simulated core the thread is placed on.
+func (t *Thread) Core() int { return t.core }
 
 // Current returns the cubicle whose privileges the thread is running with.
 func (t *Thread) Current() ID { return t.cur }
@@ -151,7 +166,7 @@ func (t *Thread) pushFrame(callee ID, crossing bool) {
 		savedPKRU:   t.pkru,
 		crossing:    crossing,
 		jmark:       len(t.journal),
-		entryCycles: t.m.Clock.Cycles(),
+		entryCycles: t.clk.Cycles(),
 	})
 }
 

@@ -1,0 +1,140 @@
+package cubicle
+
+import (
+	"sync"
+	"testing"
+
+	"cubicleos/internal/vm"
+)
+
+// FuzzSpanTLBConcurrent is the SMP extension of FuzzSpanTLBDifferential:
+// one worker performs fuzz-chosen retag-inducing operations on core 0
+// (cross-cubicle writes that trap pages to BAR, owner stores that trap
+// them back, window churn) while a second worker on core 1 reads the same
+// pages through its span TLB the whole time. The property under test is
+// that a concurrent retag never leaves a *stale grant* behind:
+//
+//   - every read core 1 completes returns a byte some store actually
+//     wrote (never garbage through a dangling translation);
+//   - after the workers join, every surviving TLB entry still translates
+//     to the live page of the address space (shootdowns and epoch checks
+//     did their job);
+//   - the final read agrees exactly with the last write, since the join
+//     orders it after the writer.
+//
+// Run under -race this doubles as the data-race gate for the
+// shootdown/TLB protocol.
+func FuzzSpanTLBConcurrent(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{3, 3, 3, 0, 0, 1, 1, 2, 2, 9, 9, 9})
+	f.Add([]byte{2, 0, 2, 0, 2, 0, 1, 3, 1, 3})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 255, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		ts := bootPair(t, ModeFull)
+		m := ts.m
+		m.EnableSMP(2)
+		reader := newWorker(m, 1)
+		barID := ts.cubs["BAR"].ID
+
+		const pages = 2
+		var addrs [pages]vm.Addr
+		for i := range addrs {
+			addrs[i] = ts.heapIn(t, "FOO", 64)
+		}
+
+		// written[i] is every byte value a store may have left at addrs[i]
+		// (both BAR's 0xAA marker and the owner's counter bytes). Reads on
+		// core 1 must only ever observe one of these, or the initial 0.
+		valid := map[byte]bool{0: true, 0xAA: true}
+		for i := 0; i < len(data); i++ {
+			valid[data[i]] = true
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		var last [pages]byte
+
+		wg.Add(1)
+		go func() { // writer, core 0
+			defer wg.Done()
+			defer close(stop)
+			e := workerEnterFOO(ts)
+			defer leaveOn(ts, e)
+			barH := m.MustResolve(ts.cubs["FOO"].ID, "BAR", "bar")
+			var wids [pages]WID
+			for i := range addrs {
+				wids[i] = e.WindowInit()
+				e.WindowAdd(wids[i], addrs[i], 64)
+				e.WindowOpen(wids[i], barID)
+			}
+			for i, b := range data {
+				p := i % pages
+				switch b % 4 {
+				case 0: // BAR stores 0xAA at offset 0: retag to BAR + shootdown
+					barH.Call(e, uint64(addrs[p]), 0)
+					last[p] = 0xAA
+				case 1: // owner store traps the page back: retag + shootdown
+					e.StoreByte(addrs[p], b)
+					last[p] = b
+				case 2: // window churn around a store
+					e.WindowClose(wids[p], barID)
+					e.WindowOpen(wids[p], barID)
+					e.StoreByte(addrs[p], b)
+					last[p] = b
+				default: // plain owner read keeps the page hot
+					_ = e.LoadByte(addrs[p])
+				}
+			}
+		}()
+
+		wg.Add(1)
+		go func() { // reader, core 1 (monitor privileges: always authorised)
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for p := 0; p < pages; p++ {
+					v := reader.LoadByte(addrs[p])
+					if !valid[v] {
+						panic("stale TLB grant: read byte no store ever wrote")
+					}
+				}
+			}
+		}()
+		wg.Wait()
+
+		// Surviving translations must still be live: same epoch implies the
+		// cached page is the address space's current page for that pn.
+		for _, th := range []*Thread{ts.env.T, reader.T} {
+			for s := range th.tlb {
+				e := th.tlb[s]
+				if e.pn == 0 || e.epoch != m.AS.Epoch() {
+					continue
+				}
+				if live := m.AS.Page(vm.PageAddr(e.pn)); live != e.p {
+					t.Fatalf("TLB slot %d of thread %d holds a dangling translation for pn %d",
+						s, th.id, e.pn)
+				}
+			}
+		}
+		// The join orders these reads after every write.
+		for p := 0; p < pages; p++ {
+			if got := reader.LoadByte(addrs[p]); got != last[p] {
+				t.Fatalf("final read of page %d = %#x, want last write %#x", p, got, last[p])
+			}
+		}
+	})
+}
+
+// workerEnterFOO switches the boot thread into FOO under the lock and
+// returns its env (the boot thread sits on core 0).
+func workerEnterFOO(ts *testSystem) *Env {
+	enterOn(ts, ts.env, "FOO")
+	return ts.env
+}

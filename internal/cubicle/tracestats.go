@@ -41,6 +41,8 @@ func StatsFromTrace(trc *trace.Tracer) Stats {
 	s.TLBHits = c.TLBHits
 	s.TLBMisses = c.TLBMisses
 	s.TLBInvalidations = c.TLBInvalidations
+	s.TLBShootdowns = c.TLBShootdowns
+	s.TLBShootdownInvalidations = c.TLBShootdownInvalidations
 	for e, n := range c.Calls {
 		s.Calls[Edge{From: ID(e.From), To: ID(e.To)}] = n
 	}

@@ -134,6 +134,13 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		panic(&CFIFault{Cubicle: e.T.cur, Target: "<nil>", Reason: "call through unresolved handle"})
 	}
 	m, t, tr := h.m, e.T, h.tr
+	// The whole call sequence — admission, accounting, the callee body and
+	// the return path — runs under the monitor's big lock. The lock is
+	// reentrant per thread, so nested crossings and the Env calls the
+	// callee makes just bump the depth counter. Registered before every
+	// other defer so it releases last, after popFrame/contain.
+	m.enter(t)
+	defer m.exit(t)
 	callee := m.cubicle(tr.callee)
 
 	// Same-cubicle call: a plain function call, no TCB involvement.
@@ -179,9 +186,9 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		m.trc.CallEnter(t.id, int(t.cur), int(tr.callee), tr.Symbol(), copied)
 	}
 	if m.Mode.TrampolinesEnabled() {
-		m.Clock.Charge(m.Costs.TrampolineBase)
+		t.clk.Charge(m.Costs.TrampolineBase)
 		if tr.stackBytes > 0 {
-			m.Clock.Charge(uint64(tr.stackBytes) * m.Costs.StackArgByte)
+			t.clk.Charge(uint64(tr.stackBytes) * m.Costs.StackArgByte)
 			m.Stats.StackBytesCopied += uint64(tr.stackBytes)
 		}
 	}
@@ -215,7 +222,7 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	// Return path: switch permissions and stacks back (§5.5 "function
 	// returns across cubicles are handled in a similar way").
 	if m.Mode.TrampolinesEnabled() {
-		m.Clock.Charge(m.Costs.TrampolineBase)
+		t.clk.Charge(m.Costs.TrampolineBase)
 	}
 	if m.Mode.MPKEnabled() {
 		m.wrpkru(t, m.pkruFor(h.caller))
@@ -233,6 +240,8 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 // trampoline thunks in the monitor's cubicle are never directly
 // executable by cubicles.
 func (m *Monitor) ExecuteAt(t *Thread, addr vm.Addr) {
+	m.enter(t)
+	defer m.exit(t)
 	p := m.AS.Page(addr)
 	if p == nil {
 		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessExec, Cubicle: t.cur,

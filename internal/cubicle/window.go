@@ -67,16 +67,16 @@ func (w *Window) String() string {
 // code but compile to no-ops, which is how Figure 6 separates the
 // "windows" overhead from the "MPK" overhead. op and wid label the trace
 // event (wid -1 when the window is not yet allocated).
-func (m *Monitor) chargeWindowOp(c ID, op string, wid WID) {
+func (m *Monitor) chargeWindowOp(t *Thread, c ID, op string, wid WID) {
 	if m.Mode.ACLEnabled() {
-		m.Clock.Charge(m.Costs.WindowOp)
+		m.clkOf(t).Charge(m.Costs.WindowOp)
 		m.Stats.WindowOps++
 		if m.trc != nil {
 			m.trc.WindowOp(int(c), op, int(wid))
 		}
 	}
 	if m.inj != nil {
-		if k := m.inj.AtWindowOp(m.cubicle(c).Name, op); k != InjectNone {
+		if k := m.inj.AtWindowOp(coreOfThread(t), m.cubicle(c).Name, op); k != InjectNone {
 			m.noteInjected(c, "window_op")
 			panic(&ProtectionFault{Cubicle: c, Owner: c,
 				Reason: "injected fault at window op"})
@@ -85,20 +85,20 @@ func (m *Monitor) chargeWindowOp(c ID, op string, wid WID) {
 }
 
 // windowInit implements cubicle_window_init for cubicle c.
-func (m *Monitor) windowInit(c ID) WID {
+func (m *Monitor) windowInit(t *Thread, c ID) WID {
 	cub := m.cubicle(c)
 	// Reuse a destroyed slot if one exists; otherwise the cubicle asks
 	// the monitor to extend the descriptor array (§5.3).
 	for i, w := range cub.windows {
 		if w == nil {
 			cub.windows[i] = &Window{ID: WID(i), Owner: c, Class: classNone, pinned: noPin}
-			m.chargeWindowOp(c, "init", WID(i))
+			m.chargeWindowOp(t, c, "init", WID(i))
 			return WID(i)
 		}
 	}
 	wid := WID(len(cub.windows))
 	cub.windows = append(cub.windows, &Window{ID: wid, Owner: c, Class: classNone, pinned: noPin})
-	m.chargeWindowOp(c, "init", wid)
+	m.chargeWindowOp(t, c, "init", wid)
 	return wid
 }
 
@@ -120,8 +120,8 @@ func (m *Monitor) window(c ID, wid WID, op string) *Window {
 // window wid. The memory must be owned by the calling cubicle — a cubicle
 // cannot open a window onto data shared with it by another cubicle (the
 // nested-call rule of §5.6).
-func (m *Monitor) windowAdd(c ID, wid WID, ptr vm.Addr, size uint64) {
-	m.chargeWindowOp(c, "add", wid)
+func (m *Monitor) windowAdd(t *Thread, c ID, wid WID, ptr vm.Addr, size uint64) {
+	m.chargeWindowOp(t, c, "add", wid)
 	w := m.window(c, wid, "window_add")
 	if size == 0 {
 		panic(&APIError{Cubicle: c, Op: "window_add", Reason: "empty range"})
@@ -161,15 +161,15 @@ func (m *Monitor) windowAdd(c ID, wid WID, ptr vm.Addr, size uint64) {
 		first, last := vm.PagesIn(ptr, size)
 		for pn := first; pn <= last; pn++ {
 			m.AS.Page(vm.PageAddr(pn)).Key = uint8(w.pinned)
-			m.noteRetag(c, vm.PageAddr(pn), w.pinned)
+			m.noteRetag(t, c, vm.PageAddr(pn), w.pinned)
 		}
 	}
 }
 
 // windowRemove implements cubicle_window_remove: drop the range previously
 // associated with wid that starts at ptr.
-func (m *Monitor) windowRemove(c ID, wid WID, ptr vm.Addr) {
-	m.chargeWindowOp(c, "remove", wid)
+func (m *Monitor) windowRemove(t *Thread, c ID, wid WID, ptr vm.Addr) {
+	m.chargeWindowOp(t, c, "remove", wid)
 	w := m.window(c, wid, "window_remove")
 	for i, r := range w.Ranges {
 		if r.Addr == ptr {
@@ -183,8 +183,8 @@ func (m *Monitor) windowRemove(c ID, wid WID, ptr vm.Addr) {
 // windowOpen implements cubicle_window_open: allow cubicle cid to access
 // the window's contents. It reports whether the grant is new, so the
 // containment journal only records transitions it must undo.
-func (m *Monitor) windowOpen(c ID, wid WID, cid ID) bool {
-	m.chargeWindowOp(c, "open", wid)
+func (m *Monitor) windowOpen(t *Thread, c ID, wid WID, cid ID) bool {
+	m.chargeWindowOp(t, c, "open", wid)
 	w := m.window(c, wid, "window_open")
 	if cid < 0 || cid >= MaxCubicles || int(cid) >= len(m.cubicles) {
 		panic(&APIError{Cubicle: c, Op: "window_open", Reason: fmt.Sprintf("no such cubicle %d", cid)})
@@ -200,8 +200,8 @@ func (m *Monitor) windowOpen(c ID, wid WID, cid ID) bool {
 // windowClose implements cubicle_window_close. Closing does not retag any
 // pages: the monitor maintains causal tag consistency (§5.6), lazily
 // reassigning tags only when a page is next accessed.
-func (m *Monitor) windowClose(c ID, wid WID, cid ID) {
-	m.chargeWindowOp(c, "close", wid)
+func (m *Monitor) windowClose(t *Thread, c ID, wid WID, cid ID) {
+	m.chargeWindowOp(t, c, "close", wid)
 	w := m.window(c, wid, "window_close")
 	if cid >= 0 && cid < MaxCubicles {
 		w.Open &^= 1 << uint(cid)
@@ -214,8 +214,8 @@ func (m *Monitor) windowClose(c ID, wid WID, cid ID) {
 }
 
 // windowCloseAll implements cubicle_window_close_all.
-func (m *Monitor) windowCloseAll(c ID, wid WID) {
-	m.chargeWindowOp(c, "close_all", wid)
+func (m *Monitor) windowCloseAll(t *Thread, c ID, wid WID) {
+	m.chargeWindowOp(t, c, "close_all", wid)
 	w := m.window(c, wid, "window_close_all")
 	w.Open = 0
 	if w.pinned != noPin {
@@ -224,11 +224,11 @@ func (m *Monitor) windowCloseAll(c ID, wid WID) {
 }
 
 // windowDestroy implements cubicle_window_destroy.
-func (m *Monitor) windowDestroy(c ID, wid WID) {
-	m.chargeWindowOp(c, "destroy", wid)
+func (m *Monitor) windowDestroy(t *Thread, c ID, wid WID) {
+	m.chargeWindowOp(t, c, "destroy", wid)
 	w := m.window(c, wid, "window_destroy")
 	if w.pinned != noPin {
-		m.unpinWindow(c, wid)
+		m.unpinWindow(t, c, wid)
 	}
 	cub := m.cubicle(c)
 	if w.Class != classNone {

@@ -17,8 +17,12 @@ import "time"
 // an Intel Xeon Silver 4210 at 2.20 GHz.
 const FrequencyHz = 2_200_000_000
 
-// Clock accumulates virtual cycles. The simulator is single-threaded per
-// System, so Clock needs no synchronisation.
+// Clock accumulates virtual cycles. A clock has exactly one writer at any
+// time — the boot thread of a single-core System, or the worker goroutine
+// driving one core of a Machine — so it needs no synchronisation of its
+// own; cross-core reads happen only at quantum barriers (see Machine) or
+// under the cubicle monitor's lock, both of which establish the required
+// happens-before edges.
 type Clock struct {
 	cycles uint64
 	// workNum/workDen scale modelled-compute charges (ChargeWork) to
@@ -133,6 +137,15 @@ type Costs struct {
 	SyscallLinux uint64
 	// Alloca is the cost of a stack-buffer allocation in component code.
 	Alloca uint64
+	// ShootdownIPI is the per-remote-core cost of synchronising a page
+	// retag on a multi-core machine. libmpk (USENIX ATC'19) measures that
+	// a safe mpk_mprotect must synchronise the key state of every other
+	// thread — an IPI-like round trip per core, on the order of a few
+	// thousand cycles — before the retag may take effect. A retag on an
+	// n-core deployment charges ShootdownIPI*(n-1) on top of PkeyMprotect;
+	// single-core runs charge nothing, keeping their figures byte-identical
+	// to the pre-SMP cost model.
+	ShootdownIPI uint64
 }
 
 // DefaultCosts returns the cost table used for all experiments. The values
@@ -151,5 +164,6 @@ func DefaultCosts() Costs {
 		CopyChunk16:       1,
 		SyscallLinux:      700,
 		Alloca:            4,
+		ShootdownIPI:      2500,
 	}
 }

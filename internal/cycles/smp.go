@@ -1,0 +1,80 @@
+package cycles
+
+// Machine is the multi-core view of virtual time: one Clock per simulated
+// core, advanced independently between synchronisation points, plus the
+// global-virtual-time (GVT) rule that makes multi-core figures
+// deterministic.
+//
+// The rule is the quantum barrier: cores run private work — charging only
+// their own clock — for one scheduling quantum, then all of them reach a
+// barrier, and global time is defined as the maximum over the per-core
+// clocks at that point. Because no core reads another core's clock between
+// barriers, the interleaving of host goroutines cannot leak into virtual
+// time: for a fixed seed and core count the per-core cycle sequences, and
+// therefore every GVT sample, are identical run to run.
+//
+// Concurrency contract: Clock itself stays unsynchronised (each core's
+// clock has exactly one writer — the worker driving that core). Barrier,
+// GVT and the accessors must only be called from the coordinating
+// goroutine while all workers are quiescent (e.g. after the scheduler's
+// quantum WaitGroup join), which is precisely when a barrier is defined.
+type Machine struct {
+	clocks []*Clock
+	gvt    uint64
+	// barriers counts Barrier calls (observability; the uksched quantum
+	// counter and this must agree when the scheduler drives the machine).
+	barriers uint64
+}
+
+// NewMachine creates a machine with n fresh per-core clocks (n >= 1).
+func NewMachine(n int) *Machine {
+	if n < 1 {
+		n = 1
+	}
+	clocks := make([]*Clock, n)
+	for i := range clocks {
+		clocks[i] = &Clock{}
+	}
+	return &Machine{clocks: clocks}
+}
+
+// MachineOver adopts existing clocks as the machine's cores, one core per
+// clock. The sharded siege driver uses it to treat the boot clock of each
+// per-core system shard as that core's clock.
+func MachineOver(clocks ...*Clock) *Machine {
+	m := &Machine{clocks: make([]*Clock, len(clocks))}
+	copy(m.clocks, clocks)
+	if len(m.clocks) == 0 {
+		m.clocks = []*Clock{{}}
+	}
+	return m
+}
+
+// NumCores returns the number of cores.
+func (m *Machine) NumCores() int { return len(m.clocks) }
+
+// Core returns core i's clock.
+func (m *Machine) Core(i int) *Clock { return m.clocks[i] }
+
+// Barrier is the quantum barrier: it recomputes global virtual time as
+// the maximum over the per-core clocks and returns it. GVT is clamped
+// monotone — a Clock.Reset on one core can never move global time
+// backwards, which is the property the monotonicity tests pin down.
+func (m *Machine) Barrier() uint64 {
+	m.barriers++
+	max := m.gvt
+	for _, c := range m.clocks {
+		if v := c.Cycles(); v > max {
+			max = v
+		}
+	}
+	m.gvt = max
+	return max
+}
+
+// GVT returns global virtual time as of the last barrier (0 before the
+// first one).
+func (m *Machine) GVT() uint64 { return m.gvt }
+
+// Barriers returns how many quantum barriers have been taken.
+func (m *Machine) Barriers() uint64 { return m.barriers }

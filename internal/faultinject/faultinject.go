@@ -39,13 +39,21 @@ type Config struct {
 
 // Injector is a deterministic cubicle.Injector. It starts disarmed so
 // that boot wiring and provisioning run fault-free; call Arm when the
-// workload under test begins. All methods are safe for concurrent use,
-// though the simulator's cooperative threading never races them.
+// workload under test begins. All methods are safe for concurrent use:
+// SMP monitors consult the injector from worker goroutines (under the
+// monitor lock, but injectors may be shared across monitors).
+//
+// Each simulated core draws from its own splitmix64 stream, seeded as
+// Seed ⊕ mix64(core). Decisions on one core therefore never shift the
+// stream of another — the property that makes chaos schedules
+// reproducible when cores interleave nondeterministically in wall-clock
+// time — and mix64(0) == 0, so core 0 reproduces the single-core stream
+// bit for bit.
 type Injector struct {
-	mu    sync.Mutex
-	cfg   Config
-	state uint64
-	armed bool
+	mu     sync.Mutex
+	cfg    Config
+	states map[int]uint64
+	armed  bool
 
 	// Site counters: decisions drawn and injections fired, exposed for
 	// tests and tooling.
@@ -57,7 +65,15 @@ type Injector struct {
 
 // New returns a disarmed injector for the given config.
 func New(cfg Config) *Injector {
-	return &Injector{cfg: cfg, state: cfg.Seed ^ 0x9e3779b97f4a7c15}
+	return &Injector{cfg: cfg, states: make(map[int]uint64)}
+}
+
+// mix64 is the splitmix64 output permutation, used to derive per-core
+// stream seeds. mix64(0) == 0 by construction.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Arm enables injection.
@@ -81,18 +97,20 @@ func (j *Injector) Armed() bool {
 	return j.armed
 }
 
-// next advances the splitmix64 stream.
-func (j *Injector) next() uint64 {
-	j.state += 0x9e3779b97f4a7c15
-	z := j.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+// next advances core's splitmix64 stream, creating it on first use.
+func (j *Injector) next(core int) uint64 {
+	st, ok := j.states[core]
+	if !ok {
+		st = (j.cfg.Seed ^ 0x9e3779b97f4a7c15) ^ mix64(uint64(core))
+	}
+	st += 0x9e3779b97f4a7c15
+	j.states[core] = st
+	return mix64(st)
 }
 
-// draw returns a uniform float64 in [0, 1).
-func (j *Injector) draw() float64 {
-	return float64(j.next()>>11) / (1 << 53)
+// draw returns a uniform float64 in [0, 1) from core's stream.
+func (j *Injector) draw(core int) float64 {
+	return float64(j.next(core)>>11) / (1 << 53)
 }
 
 func (j *Injector) match(name string) bool {
@@ -103,14 +121,14 @@ func (j *Injector) match(name string) bool {
 // crossing fault kinds via a cumulative probability ladder; sites that do
 // not match the target filter consume no draw, so narrowing the target
 // does not shift the decision stream of the targeted cubicle.
-func (j *Injector) AtCrossing(callee, symbol string) cubicle.InjectKind {
+func (j *Injector) AtCrossing(core int, callee, symbol string) cubicle.InjectKind {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.armed || !j.match(callee) {
 		return cubicle.InjectNone
 	}
 	j.Crossings++
-	u := j.draw()
+	u := j.draw(core)
 	p := j.cfg.ProtAtCrossing
 	if u < p {
 		j.Fired++
@@ -135,14 +153,14 @@ func (j *Injector) AtCrossing(callee, symbol string) cubicle.InjectKind {
 }
 
 // AtWindowOp implements cubicle.Injector.
-func (j *Injector) AtWindowOp(owner, op string) cubicle.InjectKind {
+func (j *Injector) AtWindowOp(core int, owner, op string) cubicle.InjectKind {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.armed || !j.match(owner) || j.cfg.ProtAtWindowOp <= 0 {
 		return cubicle.InjectNone
 	}
 	j.WindowOps++
-	if j.draw() < j.cfg.ProtAtWindowOp {
+	if j.draw(core) < j.cfg.ProtAtWindowOp {
 		j.Fired++
 		return cubicle.InjectProt
 	}
@@ -150,14 +168,14 @@ func (j *Injector) AtWindowOp(owner, op string) cubicle.InjectKind {
 }
 
 // AtRetag implements cubicle.Injector.
-func (j *Injector) AtRetag(cub string) cubicle.InjectKind {
+func (j *Injector) AtRetag(core int, cub string) cubicle.InjectKind {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.armed || !j.match(cub) || j.cfg.ProtAtRetag <= 0 {
 		return cubicle.InjectNone
 	}
 	j.Retags++
-	if j.draw() < j.cfg.ProtAtRetag {
+	if j.draw(core) < j.cfg.ProtAtRetag {
 		j.Fired++
 		return cubicle.InjectProt
 	}

@@ -54,94 +54,134 @@ type OpenLoopStats struct {
 	Elapsed time.Duration
 }
 
-// OpenLoop offers o.Requests arrivals at o.Rate requests per virtual
-// second and drives the system until every arrival completes, is shed, or
-// stalls. The clock jumps over idle gaps between arrivals, so a run below
-// saturation measures unloaded latency and a run above it measures the
-// queue the overload builds.
-func (t *Target) OpenLoop(o OpenLoopOptions) (*OpenLoopStats, error) {
+type olFlight struct {
+	conn    *lwip.PeerConn
+	startAt uint64
+	doneAt  uint64
+	sent    bool
+	done    bool
+}
+
+// openLoopRun is the open-loop driver unrolled into a resumable state
+// machine: step() is exactly one iteration of the original driver loop,
+// so a run stepped to completion is byte-identical (in virtual time and
+// in every counter) to the monolithic loop it replaced — while the
+// parallel driver can interleave quanta of many runs.
+type openLoopRun struct {
+	t     *Target
+	o     OpenLoopOptions
+	clock *cycles.Clock
+	req   []byte
+
+	interval  uint64
+	start     uint64
+	next      uint64
+	flights   []*olFlight
+	launched  int
+	open      int
+	idle      int
+	maxConns  int
+	steps     int
+	maxSteps  int
+	idleLimit int
+
+	lats          []uint64 // filled by finish
+	elapsedCycles uint64   // filled by finish
+}
+
+func (t *Target) newOpenLoopRun(o OpenLoopOptions) (*openLoopRun, error) {
 	if o.Rate <= 0 || o.Requests <= 0 {
 		return nil, fmt.Errorf("siege: open loop needs positive rate and request count")
 	}
-	maxSteps := o.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 5_000_000
+	r := &openLoopRun{
+		t:         t,
+		o:         o,
+		clock:     t.Sys.M.Clock,
+		req:       []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", o.Path)),
+		maxSteps:  o.MaxSteps,
+		idleLimit: o.IdleStepLimit,
 	}
-	idleLimit := o.IdleStepLimit
-	if idleLimit == 0 {
-		idleLimit = 20_000
+	if r.maxSteps == 0 {
+		r.maxSteps = 5_000_000
 	}
-	clock := t.Sys.M.Clock
-	interval := uint64(float64(cycles.FrequencyHz) / o.Rate)
-	if interval == 0 {
-		interval = 1
+	if r.idleLimit == 0 {
+		r.idleLimit = 20_000
 	}
-	type flight struct {
-		conn    *lwip.PeerConn
-		startAt uint64
-		doneAt  uint64
-		sent    bool
-		done    bool
+	r.interval = uint64(float64(cycles.FrequencyHz) / o.Rate)
+	if r.interval == 0 {
+		r.interval = 1
 	}
-	req := []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", o.Path))
-	start := clock.Cycles()
-	next := start
-	var flights []*flight
-	launched, open, idle, maxConns := 0, 0, 0, 0
-	for step := 0; step < maxSteps; step++ {
-		for launched < o.Requests && clock.Cycles() >= next {
-			flights = append(flights, &flight{conn: t.Peer.Connect(80), startAt: clock.Cycles()})
-			launched++
-			open++
-			next += interval
-		}
-		t.stepH.Call(t.Sys.Env)
-		t.Peer.Pump()
-		progress := false
-		for _, f := range flights {
-			if f.done {
-				continue
-			}
-			if f.conn.Established && !f.sent {
-				f.conn.Send(req)
-				f.sent = true
-				progress = true
-			}
-			if f.conn.FinRcvd {
-				f.done = true
-				f.doneAt = clock.Cycles()
-				open--
-				progress = true
-			}
-		}
-		if c := t.Srv.Conns(); c > maxConns {
-			maxConns = c
-		}
-		if launched == o.Requests && open == 0 {
-			break
-		}
-		if open == 0 && launched < o.Requests {
-			// Nothing in flight: idle until the next scheduled arrival.
-			clock.AdvanceTo(next)
+	r.start = r.clock.Cycles()
+	r.next = r.start
+	return r, nil
+}
+
+// step runs one driver iteration. It returns false once the run is over
+// (all arrivals resolved, the drain phase gave up, or the step budget ran
+// out).
+func (r *openLoopRun) step() bool {
+	if r.steps >= r.maxSteps {
+		return false
+	}
+	r.steps++
+	t, clock := r.t, r.clock
+	for r.launched < r.o.Requests && clock.Cycles() >= r.next {
+		r.flights = append(r.flights, &olFlight{conn: t.Peer.Connect(80), startAt: clock.Cycles()})
+		r.launched++
+		r.open++
+		r.next += r.interval
+	}
+	t.stepH.Call(t.Sys.Env)
+	t.Peer.Pump()
+	progress := false
+	for _, f := range r.flights {
+		if f.done {
 			continue
 		}
-		if launched == o.Requests && !progress {
-			// Drain phase: give stalled connections a bounded chance.
-			if idle++; idle > idleLimit {
-				break
-			}
-		} else {
-			idle = 0
+		if f.conn.Established && !f.sent {
+			f.conn.Send(r.req)
+			f.sent = true
+			progress = true
+		}
+		if f.conn.FinRcvd {
+			f.done = true
+			f.doneAt = clock.Cycles()
+			r.open--
+			progress = true
 		}
 	}
+	if c := t.Srv.Conns(); c > r.maxConns {
+		r.maxConns = c
+	}
+	if r.launched == r.o.Requests && r.open == 0 {
+		return false
+	}
+	if r.open == 0 && r.launched < r.o.Requests {
+		// Nothing in flight: idle until the next scheduled arrival.
+		clock.AdvanceTo(r.next)
+		return true
+	}
+	if r.launched == r.o.Requests && !progress {
+		// Drain phase: give stalled connections a bounded chance.
+		if r.idle++; r.idle > r.idleLimit {
+			return false
+		}
+	} else {
+		r.idle = 0
+	}
+	return true
+}
+
+// finish classifies every flight and computes the run's statistics.
+func (r *openLoopRun) finish() *OpenLoopStats {
 	st := &OpenLoopStats{
-		OfferedRPS: o.Rate,
-		Arrivals:   launched,
-		MaxConns:   maxConns,
-		ArenaBytes: t.Sys.Alloc.TotalArenaBytes(),
+		OfferedRPS: r.o.Rate,
+		Arrivals:   r.launched,
+		MaxConns:   r.maxConns,
+		ArenaBytes: r.t.Sys.Alloc.TotalArenaBytes(),
 	}
 	var lats []uint64
-	for _, f := range flights {
+	for _, f := range r.flights {
 		if !f.done {
 			st.Dropped++
 			continue
@@ -165,14 +205,15 @@ func (t *Target) OpenLoop(o OpenLoopOptions) (*OpenLoopStats, error) {
 		switch {
 		case status == 200:
 			st.OK++
-			lats = append(lats, f.doneAt-f.startAt+t.RequestFloor)
+			lats = append(lats, f.doneAt-f.startAt+r.t.RequestFloor)
 		case status == 429 || status == 503:
 			st.Shed++
 		default:
 			st.Errors++
 		}
 	}
-	elapsed := clock.Cycles() - start
+	elapsed := r.clock.Cycles() - r.start
+	r.elapsedCycles = elapsed
 	st.Elapsed = cycles.Duration(elapsed)
 	if elapsed > 0 {
 		st.GoodputRPS = float64(st.OK) * float64(cycles.FrequencyHz) / float64(elapsed)
@@ -181,7 +222,23 @@ func (t *Target) OpenLoop(o OpenLoopOptions) (*OpenLoopStats, error) {
 	st.P50 = percentile(lats, 0.50)
 	st.P99 = percentile(lats, 0.99)
 	st.P999 = percentile(lats, 0.999)
-	return st, nil
+	r.lats = lats
+	return st
+}
+
+// OpenLoop offers o.Requests arrivals at o.Rate requests per virtual
+// second and drives the system until every arrival completes, is shed, or
+// stalls. The clock jumps over idle gaps between arrivals, so a run below
+// saturation measures unloaded latency and a run above it measures the
+// queue the overload builds.
+func (t *Target) OpenLoop(o OpenLoopOptions) (*OpenLoopStats, error) {
+	r, err := t.newOpenLoopRun(o)
+	if err != nil {
+		return nil, err
+	}
+	for r.step() {
+	}
+	return r.finish(), nil
 }
 
 // percentile returns the p-quantile of sorted cycle latencies as a

@@ -59,8 +59,14 @@ func (p *profiler) tick(now uint64) {
 }
 
 // SwitchCubicle informs the profiler that execution switched to cub.
-// The monitor calls this from every crossing frame push/pop.
-func (t *Tracer) SwitchCubicle(cub int) { t.prof.switchTo(int32(cub)) }
+// The monitor calls this from every crossing frame push/pop; on SMP
+// machines the monitor lock serialises the calls, and t.mu additionally
+// orders them against recording.
+func (t *Tracer) SwitchCubicle(cub int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.prof.switchTo(int32(cub))
+}
 
 // EnableSampling starts the virtual-clock sampler with the given period
 // in cycles, hooking the clock's advance observer. A period of 0 disables

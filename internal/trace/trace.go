@@ -15,6 +15,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 
 	"cubicleos/internal/cycles"
 )
@@ -89,6 +90,13 @@ const (
 	// fault; Cubicle is the retrying caller, Arg the attempt number,
 	// Cost the virtual-cycle backoff charged before it.
 	EvRetry
+	// EvShootdown is the TLB shootdown a page retag performs on a
+	// multi-core machine (libmpk-style per-core key synchronisation):
+	// Cubicle is the retagged page's owner, Arg the number of remote
+	// span-TLB entries invalidated, Cost the synchronisation cycles
+	// charged (ShootdownIPI per remote core). Single-core runs never
+	// record one.
+	EvShootdown
 
 	numKinds
 )
@@ -115,6 +123,7 @@ var kindNames = [numKinds]string{
 	EvDeadline:     "deadline",
 	EvQuota:        "quota",
 	EvRetry:        "retry",
+	EvShootdown:    "shootdown",
 }
 
 func (k Kind) String() string {
@@ -125,14 +134,16 @@ func (k Kind) String() string {
 }
 
 // Event is one entry of the trace ring. Field meaning varies by Kind (see
-// the Kind constants); Cycle is the virtual clock at record time, Cost
-// the cycles attributed to the event itself where that is meaningful
-// (call elapsed, fault-handler span, IPC charge).
+// the Kind constants); Cycle is the recording core's virtual clock at
+// record time, Core the simulated core the recording thread runs on (0 on
+// single-core machines), Cost the cycles attributed to the event itself
+// where that is meaningful (call elapsed, fault-handler span, IPC charge).
 type Event struct {
 	Seq     uint64
 	Cycle   uint64
 	Kind    Kind
 	Thread  int32
+	Core    int32
 	Cubicle int32
 	Other   int32
 	Arg     uint64
@@ -145,12 +156,21 @@ type Edge struct {
 	From, To int32
 }
 
-// Tracer is the recording side of the observability layer. It is not
-// safe for concurrent use — the simulator is cooperatively scheduled on
-// one goroutine, and the tracer inherits that discipline.
+// Tracer is the recording side of the observability layer. Recording and
+// the streaming-counter queries are internally synchronised, so threads
+// running on different simulated cores may record concurrently; event Seq
+// order is the serialisation order under that lock. The report-building
+// exporters (ChromeTrace, WritePrometheus, Snapshot, Profile) are
+// coordinator-only: call them after the run, with all workers quiescent.
 type Tracer struct {
+	mu    sync.Mutex
 	clock *cycles.Clock
 	namer func(int) string
+	// coreOf, when set, resolves a recording thread to its simulated core
+	// and per-core clock; events then carry the core ID and are stamped
+	// with that core's clock. Unset (single-core), every event records
+	// core 0 on the machine clock.
+	coreOf func(thread int) (core int, clk *cycles.Clock)
 
 	// Ring buffer: buf[(seq) % cap] for seq in [next-len, next).
 	buf  []Event
@@ -198,6 +218,12 @@ func New(clock *cycles.Clock, ringCap int) *Tracer {
 // SetNamer installs the cubicle-ID → name resolver used by exporters.
 func (t *Tracer) SetNamer(fn func(int) string) { t.namer = fn }
 
+// SetCoreOf installs the thread → (core, clock) resolver used on
+// multi-core machines. Install it at boot, before workers run.
+func (t *Tracer) SetCoreOf(fn func(thread int) (core int, clk *cycles.Clock)) {
+	t.coreOf = fn
+}
+
 // Name resolves a cubicle ID to a display name.
 func (t *Tracer) Name(id int) string {
 	if t.namer != nil {
@@ -211,15 +237,33 @@ func (t *Tracer) Name(id int) string {
 	return "cubicle-" + itoa(id)
 }
 
+// nowFor reads the recording thread's clock (the machine clock for
+// monitor-context events and on single-core machines). Callers hold t.mu;
+// the cross-goroutine clock read is ordered by the monitor's lock, under
+// which all SMP-mode charges and recordings happen.
+func (t *Tracer) nowFor(thread int32) uint64 {
+	if t.coreOf != nil && thread >= 0 {
+		if _, clk := t.coreOf(int(thread)); clk != nil {
+			return clk.Cycles()
+		}
+	}
+	return t.clock.Cycles()
+}
+
 // record appends ev to the ring and folds it into the streaming counters.
+// Callers hold t.mu.
 func (t *Tracer) record(ev Event) {
+	if t.coreOf != nil && ev.Thread >= 0 {
+		core, _ := t.coreOf(int(ev.Thread))
+		ev.Core = int32(core)
+	}
 	ev.Seq = t.next
-	ev.Cycle = t.clock.Cycles()
+	ev.Cycle = t.nowFor(ev.Thread)
 	t.buf[t.next%uint64(len(t.buf))] = ev
 	t.next++
 	t.counts[ev.Kind]++
 	switch ev.Kind {
-	case EvCallEnter, EvWindowSearch, EvCopy, EvIPC:
+	case EvCallEnter, EvWindowSearch, EvCopy, EvIPC, EvShootdown:
 		t.weights[ev.Kind] += ev.Arg
 	}
 	if ev.Cost > 0 {
@@ -235,22 +279,26 @@ func (t *Tracer) record(ev Event) {
 // CallEnter records a cross-cubicle call entering its trampoline and
 // opens the span used to compute its elapsed cycles.
 func (t *Tracer) CallEnter(thread, from, to int, sym string, stackBytes uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e := Edge{From: int32(from), To: int32(to)}
 	t.edgeCalls[e]++
 	t.record(Event{Kind: EvCallEnter, Thread: int32(thread), Cubicle: int32(from),
 		Other: int32(to), Arg: stackBytes, Name: sym})
-	t.open[int32(thread)] = append(t.open[int32(thread)], openCall{edge: e, start: t.clock.Cycles()})
+	t.open[int32(thread)] = append(t.open[int32(thread)], openCall{edge: e, start: t.nowFor(int32(thread))})
 }
 
 // CallExit records the return of the innermost open call on thread,
 // observing its inclusive elapsed cycles into the per-edge histogram.
 func (t *Tracer) CallExit(thread, from, to int, sym string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	tid := int32(thread)
 	var elapsed uint64
 	if stk := t.open[tid]; len(stk) > 0 {
 		oc := stk[len(stk)-1]
 		t.open[tid] = stk[:len(stk)-1]
-		elapsed = t.clock.Cycles() - oc.start
+		elapsed = t.nowFor(tid) - oc.start
 		h := t.edgeHists[oc.edge]
 		if h == nil {
 			h = &Hist{}
@@ -264,6 +312,8 @@ func (t *Tracer) CallExit(thread, from, to int, sym string) {
 
 // SharedCall records a call into a shared cubicle.
 func (t *Tracer) SharedCall(thread, cur, callee int, sym string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvSharedCall, Thread: int32(thread), Cubicle: int32(cur),
 		Other: int32(callee), Name: sym})
 }
@@ -271,56 +321,88 @@ func (t *Tracer) SharedCall(thread, cur, callee int, sym string) {
 // Fault records a protection trap served by trap-and-map; elapsed is the
 // cycles the handler charged.
 func (t *Tracer) Fault(thread, cur, owner int, addr, elapsed uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvFault, Thread: int32(thread), Cubicle: int32(cur),
 		Other: int32(owner), Arg: addr, Cost: elapsed})
 }
 
 // DeniedFault records a protection trap that no window authorised.
 func (t *Tracer) DeniedFault(thread, cur, owner int, addr uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvDeniedFault, Thread: int32(thread), Cubicle: int32(cur),
 		Other: int32(owner), Arg: addr})
 }
 
-// Retag records one page retag to the given key.
-func (t *Tracer) Retag(cur int, addr uint64, key uint8) {
-	t.record(Event{Kind: EvRetag, Thread: -1, Cubicle: int32(cur), Other: int32(key), Arg: addr})
+// Retag records one page retag to the given key on behalf of thread
+// (-1 for monitor-context retags such as key evictions and pin rollback).
+func (t *Tracer) Retag(thread, cur int, addr uint64, key uint8) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(Event{Kind: EvRetag, Thread: int32(thread), Cubicle: int32(cur),
+		Other: int32(key), Arg: addr})
+}
+
+// Shootdown records the TLB shootdown a retag performs on a multi-core
+// machine: cleared is the number of remote span-TLB entries invalidated,
+// cost the synchronisation cycles charged.
+func (t *Tracer) Shootdown(thread, cur int, cleared, cost uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(Event{Kind: EvShootdown, Thread: int32(thread), Cubicle: int32(cur),
+		Arg: cleared, Cost: cost})
 }
 
 // WRPKRU records one wrpkru execution.
 func (t *Tracer) WRPKRU(thread, cur int, pkru uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvWRPKRU, Thread: int32(thread), Cubicle: int32(cur), Arg: pkru})
 }
 
 // WindowOp records one window-management API call.
 func (t *Tracer) WindowOp(cur int, op string, wid int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvWindowOp, Thread: -1, Cubicle: int32(cur), Arg: uint64(wid), Name: op})
 }
 
 // WindowSearch records one linear window-descriptor search of the trap
 // handler; steps is the number of descriptor entries visited.
 func (t *Tracer) WindowSearch(cur int, steps uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvWindowSearch, Thread: -1, Cubicle: int32(cur), Arg: steps})
 }
 
 // KeyEviction records an MPK key recycled away from cubicle victim.
 func (t *Tracer) KeyEviction(victim int, key uint8) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvKeyEviction, Thread: -1, Cubicle: int32(victim),
 		Other: int32(key), Arg: uint64(key)})
 }
 
 // IPC records one message-passing call of a microkernel baseline.
 func (t *Tracer) IPC(cur int, op string, bytes, cost uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvIPC, Thread: -1, Cubicle: int32(cur), Arg: bytes, Cost: cost, Name: op})
 }
 
 // Copy records a checked bulk copy of n bytes.
 func (t *Tracer) Copy(cur int, n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvCopy, Thread: -1, Cubicle: int32(cur), Arg: n})
 }
 
 // Mark records an application-level marker. Label should be a constant
 // string so that recording stays allocation-free.
 func (t *Tracer) Mark(thread, cur int, label string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvMark, Thread: int32(thread), Cubicle: int32(cur), Name: label})
 }
 
@@ -328,6 +410,8 @@ func (t *Tracer) Mark(thread, cur int, label string) {
 // whose fault was converted into a typed error, caller the cubicle it was
 // delivered to, class the fault class label (a constant string).
 func (t *Tracer) Contained(thread, callee, caller int, class string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvContained, Thread: int32(thread), Cubicle: int32(callee),
 		Other: int32(caller), Name: class})
 }
@@ -335,30 +419,40 @@ func (t *Tracer) Contained(thread, callee, caller int, class string) {
 // Quarantine records cubicle id entering quarantine with the given backoff
 // in virtual cycles.
 func (t *Tracer) Quarantine(id int, backoff uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvQuarantine, Thread: -1, Cubicle: int32(id), Arg: backoff})
 }
 
 // Restart records a supervisor restart of cubicle id; count is the
 // cubicle's lifetime restart count including this one.
 func (t *Tracer) Restart(id int, count uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvRestart, Thread: -1, Cubicle: int32(id), Arg: count})
 }
 
 // Injected records one deterministic fault injection against cubicle cub
 // at the named site (a constant string).
 func (t *Tracer) Injected(cub int, site string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvInjected, Thread: -1, Cubicle: int32(cub), Name: site})
 }
 
 // Shed records a request refused by admission control in cubicle cub;
 // reason is a constant label and status the HTTP status sent back.
 func (t *Tracer) Shed(cub int, reason string, status uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvShed, Thread: -1, Cubicle: int32(cub), Arg: status, Name: reason})
 }
 
 // DeadlineMiss records work abandoned in cubicle cub because the thread's
 // deadline had passed; now is the clock at detection time.
 func (t *Tracer) DeadlineMiss(thread, cub int, deadline, now uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var over uint64
 	if now > deadline {
 		over = now - deadline
@@ -370,6 +464,8 @@ func (t *Tracer) DeadlineMiss(thread, cub int, deadline, now uint64) {
 // QuotaHit records a memory-quota refusal for cubicle cub on the named
 // resource (a constant string); used is the attempted usage, limit the cap.
 func (t *Tracer) QuotaHit(cub int, resource string, used, limit uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvQuota, Thread: -1, Cubicle: int32(cub),
 		Arg: used, Cost: limit, Name: resource})
 }
@@ -377,6 +473,8 @@ func (t *Tracer) QuotaHit(cub int, resource string, used, limit uint64) {
 // Retry records one bounded-retry attempt by cubicle cub after a transient
 // contained fault; backoff is the virtual-cycle penalty charged before it.
 func (t *Tracer) Retry(cub int, attempt, backoff uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.record(Event{Kind: EvRetry, Thread: -1, Cubicle: int32(cub),
 		Arg: attempt, Cost: backoff})
 }
@@ -385,15 +483,29 @@ func (t *Tracer) Retry(cub int, attempt, backoff uint64) {
 
 // Count returns the number of events of kind k recorded so far (streaming;
 // unaffected by ring overwrites).
-func (t *Tracer) Count(k Kind) uint64 { return t.counts[k] }
+func (t *Tracer) Count(k Kind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[k]
+}
 
 // Weight returns the accumulated Arg sum for weighted kinds: stack-arg
 // bytes for EvCallEnter, search steps for EvWindowSearch, bytes for
-// EvCopy and EvIPC.
-func (t *Tracer) Weight(k Kind) uint64 { return t.weights[k] }
+// EvCopy and EvIPC, invalidated entries for EvShootdown.
+func (t *Tracer) Weight(k Kind) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.weights[k]
+}
 
 // EdgeCalls returns a copy of the per-edge call counts.
 func (t *Tracer) EdgeCalls() map[Edge]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.edgeCallsLocked()
+}
+
+func (t *Tracer) edgeCallsLocked() map[Edge]uint64 {
 	out := make(map[Edge]uint64, len(t.edgeCalls))
 	for e, n := range t.edgeCalls {
 		out[e] = n
@@ -410,6 +522,8 @@ type EdgeSummary struct {
 // EdgeSummaries returns the per-edge call-latency digests sorted by
 // descending call count (ties by edge).
 func (t *Tracer) EdgeSummaries() []EdgeSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]EdgeSummary, 0, len(t.edgeHists))
 	for e, h := range t.edgeHists {
 		out = append(out, EdgeSummary{Edge: e, Hist: h.Summary()})
@@ -427,15 +541,25 @@ func (t *Tracer) EdgeSummaries() []EdgeSummary {
 }
 
 // EdgeHist returns the latency histogram of one edge, or nil.
-func (t *Tracer) EdgeHist(e Edge) *Hist { return t.edgeHists[e] }
+func (t *Tracer) EdgeHist(e Edge) *Hist {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.edgeHists[e]
+}
 
 // ClassHist returns the cycle-cost histogram of one event class, or nil
 // if no event of that class carried a cost.
-func (t *Tracer) ClassHist(k Kind) *Hist { return t.classHist[k] }
+func (t *Tracer) ClassHist(k Kind) *Hist {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.classHist[k]
+}
 
 // Events returns the ring contents in chronological order. The slice
 // aliases fresh copies; mutating it does not affect the tracer.
 func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := t.next
 	capa := uint64(len(t.buf))
 	if n <= capa {
@@ -452,10 +576,20 @@ func (t *Tracer) Events() []Event {
 
 // Recorded returns the total number of events recorded (including those
 // overwritten in the ring).
-func (t *Tracer) Recorded() uint64 { return t.next }
+func (t *Tracer) Recorded() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
 
 // Dropped returns how many events have been overwritten by ring wrap.
 func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedLocked()
+}
+
+func (t *Tracer) droppedLocked() uint64 {
 	if capa := uint64(len(t.buf)); t.next > capa {
 		return t.next - capa
 	}
@@ -485,6 +619,11 @@ type Counts struct {
 	DeadlineFaults    uint64
 	QuotaFaults       uint64
 	Retries           uint64
+	// TLBShootdowns counts multi-core retag synchronisations;
+	// TLBShootdownInvalidations sums the remote span-TLB entries they
+	// cleared (the EvShootdown weight).
+	TLBShootdowns             uint64
+	TLBShootdownInvalidations uint64
 	// TLBHits/TLBMisses/TLBInvalidations are the monitor's span-TLB
 	// counters. They are not event-derived: a TLB hit is the hot path the
 	// tracer exists to stay off of, so recording one event per hit would
@@ -505,35 +644,39 @@ func (t *Tracer) SetTLBCounters(fn func() (hits, misses, invalidations uint64)) 
 
 // Counts derives the flat counters from the event stream.
 func (t *Tracer) Counts() Counts {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var tlbHits, tlbMisses, tlbInval uint64
 	if t.tlbCounters != nil {
 		tlbHits, tlbMisses, tlbInval = t.tlbCounters()
 	}
 	return Counts{
-		CallsTotal:        t.counts[EvCallEnter],
-		SharedCalls:       t.counts[EvSharedCall],
-		Faults:            t.counts[EvFault],
-		DeniedFaults:      t.counts[EvDeniedFault],
-		Retags:            t.counts[EvRetag],
-		WRPKRUs:           t.counts[EvWRPKRU],
-		WindowOps:         t.counts[EvWindowOp],
-		WindowSearchSteps: t.weights[EvWindowSearch],
-		StackBytesCopied:  t.weights[EvCallEnter],
-		BulkBytesCopied:   t.weights[EvCopy],
-		KeyEvictions:      t.counts[EvKeyEviction],
-		IPCMessages:       t.counts[EvIPC],
-		ContainedFaults:   t.counts[EvContained],
-		Quarantines:       t.counts[EvQuarantine],
-		Restarts:          t.counts[EvRestart],
-		InjectedFaults:    t.counts[EvInjected],
-		Sheds:             t.counts[EvShed],
-		DeadlineFaults:    t.counts[EvDeadline],
-		QuotaFaults:       t.counts[EvQuota],
-		Retries:           t.counts[EvRetry],
-		TLBHits:           tlbHits,
-		TLBMisses:         tlbMisses,
-		TLBInvalidations:  tlbInval,
-		Calls:             t.EdgeCalls(),
+		CallsTotal:                t.counts[EvCallEnter],
+		SharedCalls:               t.counts[EvSharedCall],
+		Faults:                    t.counts[EvFault],
+		DeniedFaults:              t.counts[EvDeniedFault],
+		Retags:                    t.counts[EvRetag],
+		WRPKRUs:                   t.counts[EvWRPKRU],
+		WindowOps:                 t.counts[EvWindowOp],
+		WindowSearchSteps:         t.weights[EvWindowSearch],
+		StackBytesCopied:          t.weights[EvCallEnter],
+		BulkBytesCopied:           t.weights[EvCopy],
+		KeyEvictions:              t.counts[EvKeyEviction],
+		IPCMessages:               t.counts[EvIPC],
+		ContainedFaults:           t.counts[EvContained],
+		Quarantines:               t.counts[EvQuarantine],
+		Restarts:                  t.counts[EvRestart],
+		InjectedFaults:            t.counts[EvInjected],
+		Sheds:                     t.counts[EvShed],
+		DeadlineFaults:            t.counts[EvDeadline],
+		QuotaFaults:               t.counts[EvQuota],
+		Retries:                   t.counts[EvRetry],
+		TLBShootdowns:             t.counts[EvShootdown],
+		TLBShootdownInvalidations: t.weights[EvShootdown],
+		TLBHits:                   tlbHits,
+		TLBMisses:                 tlbMisses,
+		TLBInvalidations:          tlbInval,
+		Calls:                     t.edgeCallsLocked(),
 	}
 }
 

@@ -69,7 +69,7 @@ func TestRingWrapKeepsCounts(t *testing.T) {
 	tr := New(clock, 16)
 	for i := 0; i < 100; i++ {
 		clock.Charge(10)
-		tr.Retag(1, uint64(i), 2)
+		tr.Retag(-1, 1, uint64(i), 2)
 	}
 	if got := tr.Count(EvRetag); got != 100 {
 		t.Fatalf("streaming count = %d, want 100 despite ring wrap", got)
@@ -173,7 +173,7 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	tr.CallEnter(0, 1, 2, "b.read", 64)
 	clock.Charge(2200)
 	tr.Fault(0, 2, 1, 0x4000, 1500)
-	tr.Retag(2, 0x4000, 3)
+	tr.Retag(-1, 2, 0x4000, 3)
 	tr.CallExit(0, 1, 2, "b.read")
 	tr.Mark(0, 2, "checkpoint")
 

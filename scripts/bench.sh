@@ -8,6 +8,8 @@
 #   FastpathHTTPD          full HTTP request loop, tracing off, TLB vs naive
 #   Fig7Nginx/65536B       the paper's figure workload (wall + virtual time)
 #   CallTracing{Disabled,Enabled}  crossing cost with the tracer off/on
+#   SMPSiege/cores-{1,2,4} sharded open-loop siege per core count: wallrps
+#       shows wall-clock scaling, gvtcycles/ok are deterministic
 #
 # Virtual-time metrics (vcycles/op, vms/op) are identical whatever the
 # wall-clock numbers do — that invariant is enforced by the differential
@@ -35,6 +37,7 @@ trap 'rm -f "$TMP"' EXIT
 go test -run '^$' -bench 'Fastpath' -benchtime "$BENCHTIME" ./internal/cubicle/ | tee -a "$TMP"
 go test -run '^$' -bench 'FastpathHTTPD' -benchtime "$HTTPTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'Fig7Nginx/65536B' -benchtime "$HTTPTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'SMPSiege' -benchtime "$HTTPTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'CallTracing' -benchtime "$BENCHTIME" ./internal/cubicle/ | tee -a "$TMP"
 
 awk -v benchtime="$BENCHTIME" '

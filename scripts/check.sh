@@ -33,4 +33,24 @@ go run ./cmd/cubicle-trace -format json -requests 40 -chaos-seed 7 -check >/dev/
 # explicitly, keeps connections and memory bounded, and drops nothing.
 go run ./cmd/httpbench -openloop -rates 1000,8000 -requests 120 -assert-degrade >/dev/null
 
+# SMP gates: the multi-core paths (per-core clocks, GVT barriers, retag
+# shootdowns, parallel siege, chaos under SMP) under the race detector,
+# the concurrent-retag fuzz seeds, and the 1-core byte-identity golden —
+# cores=1 must reproduce the pre-SMP Figure 7 exactly.
+go test -race -run 'SMP|Shootdown|Parallel' ./internal/cubicle/ ./internal/uksched/ ./internal/siege/ ./internal/cycles/
+go test -race -run FuzzSpanTLBConcurrent ./internal/cubicle/
+go run ./cmd/cubicle-bench -fig 7 | diff - cmd/cubicle-bench/testdata/fig7_seed.golden
+
+# SMP siege smoke: the sharded open-loop driver at 2 and 4 cores must
+# complete. The wall-clock scaling assertion (>=2x on 4 cores) only means
+# anything on a host with >=4 CPUs; on smaller hosts the sweep still runs
+# but the ratio is not enforced.
+if [ "$(nproc)" -ge 4 ]; then
+    go run ./cmd/httpbench -cores 4 -rates 2000,4000 -requests 200 -assert-scale 2
+else
+    echo "check.sh: $(nproc) CPU(s); SMP siege smoke without the scaling assertion"
+    go run ./cmd/httpbench -cores 4 -rates 2000 -requests 100 >/dev/null
+fi
+go run ./cmd/httpbench -cores 2 -rates 2000 -requests 100 >/dev/null
+
 echo "check.sh: all green"
