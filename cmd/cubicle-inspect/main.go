@@ -27,6 +27,27 @@ type report struct {
 	PageMap  []pageMapEntry `json:"page_map"`
 	Tramps   []string       `json:"trampolines"`
 	Counters counters       `json:"counters"`
+	// TraceShards, when the run is traced, reports each per-core ring
+	// shard's recorded/dropped accounting — the drop counters show whether
+	// the ring capacity kept up with the event rate.
+	TraceShards []shardInfo `json:"trace_shards,omitempty"`
+	// Metrics, when the virtual-time metrics pipeline is enabled, carries
+	// its configuration and the buffered interval snapshots.
+	Metrics *metricsInfo `json:"metrics,omitempty"`
+}
+
+type shardInfo struct {
+	Core     int    `json:"core"`
+	Recorded uint64 `json:"recorded"`
+	Dropped  uint64 `json:"dropped"`
+	Retained int    `json:"retained"`
+}
+
+type metricsInfo struct {
+	IntervalCycles uint64                  `json:"interval_cycles"`
+	Recorded       uint64                  `json:"snapshots_recorded"`
+	Dropped        uint64                  `json:"snapshots_dropped"`
+	Samples        []cubicle.MetricsSample `json:"samples"`
 }
 
 type cubicleInfo struct {
@@ -169,15 +190,39 @@ func buildReport(m *cubicleos.Monitor) *report {
 			From: int(e.From), To: int(e.To), Count: e.Count,
 		})
 	}
+	if trc := m.Tracer(); trc != nil {
+		for c := 0; c < trc.Cores(); c++ {
+			r.TraceShards = append(r.TraceShards, shardInfo{
+				Core:     c,
+				Recorded: trc.ShardRecorded(c),
+				Dropped:  trc.ShardDropped(c),
+				Retained: len(trc.ShardEvents(c)),
+			})
+		}
+	}
+	if m.MetricsEnabled() {
+		r.Metrics = &metricsInfo{
+			IntervalCycles: m.MetricsInterval(),
+			Recorded:       m.MetricsRecorded(),
+			Dropped:        m.MetricsDropped(),
+			Samples:        m.MetricsSamples(),
+		}
+	}
 	return r
 }
 
 func main() {
 	workload := flag.Bool("workload", true, "run a short HTTP workload before dumping")
 	asJSON := flag.Bool("json", false, "emit the report as machine-readable JSON")
+	ring := flag.Int("ring", 1<<14, "trace ring capacity in events per core shard (0 = tracing off)")
+	metricsInterval := flag.Uint64("metrics-interval", 500_000, "metrics snapshot interval in virtual cycles (0 = metrics off)")
 	flag.Parse()
 
-	tgt, err := siege.NewTarget(cubicleos.ModeFull)
+	tgt, err := siege.NewTargetOpts(siege.Options{
+		Mode:            cubicleos.ModeFull,
+		TraceEvents:     *ring,
+		MetricsInterval: *metricsInterval,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -185,8 +230,12 @@ func main() {
 		if err := tgt.PutFile("/probe.bin", make([]byte, 16<<10)); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := tgt.Fetch("/probe.bin"); err != nil {
-			log.Fatal(err)
+		// A few requests so the dump shows live window tables, edge counts
+		// and at least a couple of metrics-interval snapshots.
+		for i := 0; i < 4; i++ {
+			if _, err := tgt.Fetch("/probe.bin"); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	m := tgt.Sys.M
@@ -283,4 +332,21 @@ func main() {
 		st.TLBShootdowns, st.TLBShootdownInvalidations)
 	fmt.Printf("  virtual time          %10d cycles (%.3f ms at 2.2 GHz)\n",
 		m.Clock.Cycles(), float64(m.Clock.Duration().Microseconds())/1000)
+
+	if trc := m.Tracer(); trc != nil {
+		fmt.Println("\nTRACE RING SHARDS")
+		for c := 0; c < trc.Cores(); c++ {
+			fmt.Printf("  core %d: %d events recorded, %d dropped, %d retained in ring\n",
+				c, trc.ShardRecorded(c), trc.ShardDropped(c), len(trc.ShardEvents(c)))
+		}
+	}
+	if m.MetricsEnabled() {
+		fmt.Println("\nMETRICS PIPELINE")
+		fmt.Printf("  interval %d cycles; %d snapshots recorded, %d dropped from ring\n",
+			m.MetricsInterval(), m.MetricsRecorded(), m.MetricsDropped())
+		if s, ok := m.LastMetricsSample(); ok {
+			fmt.Printf("  last sample: cycle %d  calls/s %.0f  faults/s %.0f  xing p99 %dcy\n",
+				s.Cycle, s.CallRate, s.FaultRate, s.CallP99)
+		}
+	}
 }

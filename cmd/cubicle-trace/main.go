@@ -43,6 +43,7 @@ func main() {
 	sample := flag.Uint64("sample", 100_000, "profiler sample period in virtual cycles (0 = spans only)")
 	out := flag.String("o", "", "output file (default stdout)")
 	check := flag.Bool("check", false, "validate output invariants and report them on stderr")
+	cores := flag.Int("cores", 1, "simulated cores: > 1 boots per-core clocks and per-core trace ring shards")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run under supervision with deterministic fault injection into RAMFS from this seed (0 = off)")
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	opts := siege.Options{Mode: m, TraceEvents: *ring, TraceSamplePeriod: *sample}
+	opts := siege.Options{Mode: m, TraceEvents: *ring, TraceSamplePeriod: *sample, SMPCores: *cores}
 	if *chaosSeed != 0 {
 		policy := cubicleos.DefaultRestartPolicy()
 		policy.MaxRestarts = 1000 // the smoke asserts recovery, not death
@@ -237,6 +238,50 @@ func validate(tgt *siege.Target, format string, output []byte) {
 		}
 	}
 
+	// SMP merge invariants over the sharded rings. The merged stream must
+	// be totally ordered by (Cycle, Core, Seq) — nondecreasing in GVT with
+	// a deterministic tie-break — each per-core subsequence must be
+	// strictly ordered by its shard sequence numbers, and the per-core
+	// event counts must sum to the legacy totals, retained and recorded
+	// alike: sharding is not allowed to lose or invent events.
+	events := trc.Events()
+	lastSeq := make(map[int16]uint64)
+	seenCore := make(map[int16]bool)
+	perCore := make(map[int16]int)
+	for i, ev := range events {
+		if i > 0 {
+			p := events[i-1]
+			if ev.Cycle < p.Cycle {
+				fail("merged stream regresses in GVT at %d: cycle %d after %d", i, ev.Cycle, p.Cycle)
+			}
+			if ev.Cycle == p.Cycle && (ev.Core < p.Core || (ev.Core == p.Core && ev.Seq < p.Seq)) {
+				fail("merged stream breaks the (cycle, core, seq) tie-break at %d", i)
+			}
+		}
+		if seenCore[ev.Core] && ev.Seq <= lastSeq[ev.Core] {
+			fail("core %d subsequence not strictly ordered: seq %d after %d", ev.Core, ev.Seq, lastSeq[ev.Core])
+		}
+		seenCore[ev.Core] = true
+		lastSeq[ev.Core] = ev.Seq
+		perCore[ev.Core]++
+	}
+	var retained, recorded, dropped uint64
+	for c := 0; c < trc.Cores(); c++ {
+		retained += uint64(len(trc.ShardEvents(c)))
+		recorded += trc.ShardRecorded(c)
+		dropped += trc.ShardDropped(c)
+	}
+	if retained != uint64(len(events)) {
+		fail("shard events sum to %d, merged stream has %d", retained, len(events))
+	}
+	if recorded != trc.Recorded() || dropped != trc.Dropped() {
+		fail("shard accounting %d recorded/%d dropped != totals %d/%d",
+			recorded, dropped, trc.Recorded(), trc.Dropped())
+	}
+	if recorded-dropped != uint64(len(events)) {
+		fail("recorded %d - dropped %d != %d retained events", recorded, dropped, len(events))
+	}
+
 	// The per-cubicle profile must account for the whole virtual clock.
 	prof := trc.Profile()
 	clock := m.Clock.Cycles()
@@ -247,6 +292,6 @@ func validate(tgt *siege.Target, format string, output []byte) {
 	if cover < 0.99 || cover > 1.01 {
 		fail("profile covers %.4f of the virtual clock (want within 1%%)", cover)
 	}
-	fmt.Fprintf(os.Stderr, "check ok: %d events, stats match, profile covers %.4f%% of %d cycles\n",
-		trc.Recorded(), 100*cover, clock)
+	fmt.Fprintf(os.Stderr, "check ok: %d events over %d core shards, stats match, merge ordered, profile covers %.4f%% of %d cycles\n",
+		trc.Recorded(), trc.Cores(), 100*cover, clock)
 }

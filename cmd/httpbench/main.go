@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cubicleos"
+	"cubicleos/internal/dash"
 	"cubicleos/internal/httpd"
 	"cubicleos/internal/siege"
 )
@@ -113,6 +116,42 @@ func openLoopSweep(rateList string, requests int, assert bool) {
 	fmt.Println("assert-degrade ok: explicit sheds, bounded connections and memory, no silent drops")
 }
 
+// liveRun drives one governed open-loop run while rendering the
+// cubicle-top dashboard (httpbench -live): the same deployment the
+// -openloop sweep governs, watched through the observability layer as the
+// load crosses the saturation knee.
+func liveRun(rate float64, requests int, refresh time.Duration) {
+	pol := cubicleos.DefaultRestartPolicy()
+	pol.CrossingBudget = 0
+	tgt, err := siege.NewTargetOpts(siege.Options{
+		Mode:        cubicleos.ModeFull,
+		TraceEvents: 1 << 15, TraceSamplePeriod: 50_000,
+		MetricsInterval: 2_000_000,
+		Supervision:     &pol,
+		Governance: &httpd.Governance{
+			MaxConns: 16, RetryAfter: 1, Retry: cubicleos.DefaultRetryPolicy(),
+		},
+		WireCap:    256,
+		ReapClosed: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tgt.PutFile("/index.html", make([]byte, 4096)); err != nil {
+		log.Fatal(err)
+	}
+	st, err := dash.Live(tgt,
+		siege.OpenLoopOptions{Path: "/index.html", Rate: rate, Requests: requests},
+		os.Stdout,
+		dash.LiveOptions{Refresh: refresh, Dash: dash.Options{ANSI: refresh > 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrun: offered %.0f rps  ok %d  shed %d  dropped %d  goodput %.0f rps  p50 %s  p99 %s\n",
+		st.OfferedRPS, st.OK, st.Shed, st.Dropped, st.GoodputRPS,
+		st.P50.Round(10*time.Microsecond), st.P99.Round(10*time.Microsecond))
+}
+
 // parallelSweep runs the open-loop sweep through the SMP driver: each
 // offered rate is sharded across N cores, one booted system per core,
 // stepped by real worker goroutines under GVT quantum barriers. The
@@ -186,8 +225,15 @@ func main() {
 	assertDegrade := flag.Bool("assert-degrade", false, "with -openloop: exit non-zero unless degradation is graceful")
 	cores := flag.Int("cores", 0, "shard the open-loop sweep across N simulated cores (SMP driver)")
 	assertScale := flag.Float64("assert-scale", 0, "with -cores: exit non-zero unless wall throughput >= X times a 1-core reference")
+	live := flag.Bool("live", false, "drive one governed open-loop run with the live cubicle-top dashboard")
+	liveRate := flag.Float64("live-rate", 6000, "offered rate for -live")
+	liveRefresh := flag.Duration("live-refresh", 80*time.Millisecond, "wall-clock pause per -live frame (0 = render once at the end)")
 	flag.Parse()
 
+	if *live {
+		liveRun(*liveRate, *requests, *liveRefresh)
+		return
+	}
 	if *cores > 0 {
 		parallelSweep(*rateList, *requests, *cores, *assertScale)
 		return

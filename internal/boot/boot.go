@@ -62,6 +62,14 @@ type Config struct {
 	// TraceSamplePeriod, when non-zero with TraceEvents, starts the
 	// virtual-clock sampling profiler with that period in cycles.
 	TraceSamplePeriod uint64
+	// MetricsInterval, when non-zero, enables the virtual-time metrics
+	// pipeline: every that many virtual cycles the monitor snapshots its
+	// counters, rates and health ladder into a bounded time-series ring
+	// (see Monitor.EnableMetrics). Independent of TraceEvents, though the
+	// crossing-latency percentiles in each sample need tracing on.
+	MetricsInterval uint64
+	// MetricsRing bounds the sample ring (0 = default 256 samples).
+	MetricsRing int
 	// Supervision, when non-nil, enables fault containment with this
 	// restart policy: faults in a callee cubicle unwind only to the
 	// crossing, the cubicle is quarantined and later restarted.
@@ -138,6 +146,13 @@ func NewFS(cfg Config) (*System, error) {
 		if cfg.TraceSamplePeriod > 0 {
 			trc.EnableSampling(cfg.TraceSamplePeriod)
 		}
+	}
+	if cfg.MetricsInterval > 0 {
+		ring := cfg.MetricsRing
+		if ring == 0 {
+			ring = 256
+		}
+		m.EnableMetrics(cfg.MetricsInterval, ring)
 	}
 	if cfg.Supervision != nil {
 		s.Sup = m.EnableContainment(*cfg.Supervision)

@@ -228,7 +228,7 @@ func (e *Env) chargeCopy(n uint64) {
 	e.T.clk.Charge(((n + 15) / 16) * e.M.Costs.CopyChunk16)
 	e.M.Stats.BulkBytesCopied += n
 	if e.M.trc != nil {
-		e.M.trc.Copy(int(e.T.cur), n)
+		e.M.trc.Copy(e.T.id, int(e.T.cur), n)
 	}
 }
 

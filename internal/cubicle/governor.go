@@ -110,7 +110,7 @@ func (m *Monitor) checkDeadline(t *Thread) {
 func (e *Env) NoteShed(reason string, status uint64) {
 	e.M.enter(e.T)
 	defer e.M.exit(e.T)
-	e.M.noteShed(e.T.cur, reason, status)
+	e.M.noteShed(e.T, e.T.cur, reason, status)
 }
 
 // RaiseQuota records a quota refusal attributed to cubicle victim and
@@ -120,14 +120,14 @@ func (e *Env) NoteShed(reason string, status uint64) {
 func (e *Env) RaiseQuota(victim ID, resource string, used, limit uint64) {
 	e.M.enter(e.T)
 	defer e.M.exit(e.T)
-	e.M.noteQuota(victim, resource, used, limit)
+	e.M.noteQuota(e.T, victim, resource, used, limit)
 	panic(&QuotaFault{Cubicle: victim, Resource: resource, Used: used, Limit: limit})
 }
 
-func (m *Monitor) noteShed(cub ID, reason string, status uint64) {
+func (m *Monitor) noteShed(t *Thread, cub ID, reason string, status uint64) {
 	m.Stats.Sheds++
 	if m.trc != nil {
-		m.trc.Shed(int(cub), reason, status)
+		m.trc.Shed(tidOf(t), int(cub), reason, status)
 	}
 }
 
@@ -138,17 +138,17 @@ func (m *Monitor) noteDeadline(t *Thread, deadline, now uint64) {
 	}
 }
 
-func (m *Monitor) noteQuota(cub ID, resource string, used, limit uint64) {
+func (m *Monitor) noteQuota(t *Thread, cub ID, resource string, used, limit uint64) {
 	m.Stats.QuotaFaults++
 	if m.trc != nil {
-		m.trc.QuotaHit(int(cub), resource, used, limit)
+		m.trc.QuotaHit(tidOf(t), int(cub), resource, used, limit)
 	}
 }
 
-func (m *Monitor) noteRetry(cub ID, attempt int, backoff uint64) {
+func (m *Monitor) noteRetry(t *Thread, cub ID, attempt int, backoff uint64) {
 	m.Stats.Retries++
 	if m.trc != nil {
-		m.trc.Retry(int(cub), uint64(attempt), backoff)
+		m.trc.Retry(tidOf(t), int(cub), uint64(attempt), backoff)
 	}
 }
 
@@ -218,7 +218,7 @@ func RetryContained(e *Env, p RetryPolicy, fn func()) *ContainedFault {
 		}
 		e.M.enter(e.T)
 		e.T.clk.Charge(backoff)
-		e.M.noteRetry(e.T.cur, attempt, backoff)
+		e.M.noteRetry(e.T, e.T.cur, attempt, backoff)
 		e.M.exit(e.T)
 		if p.BackoffFactor > 1 {
 			backoff *= p.BackoffFactor

@@ -42,6 +42,9 @@ type Monitor struct {
 	// EnableContainment was called). Like tracing, containment is strictly
 	// opt-in and every hot-path hook guards on the nil check.
 	sup *Supervisor
+	// met is the optional virtual-time metrics pipeline (nil unless
+	// EnableMetrics was called); see metrics.go. Guarded like trc/sup.
+	met *metricsCollector
 	// inj is the optional deterministic fault injector.
 	inj Injector
 	// restartHooks are per-cubicle component re-initialisation callbacks
@@ -433,7 +436,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 	if searchSteps > 0 {
 		m.Stats.WindowSearchSteps += searchSteps
 		if m.trc != nil {
-			m.trc.WindowSearch(int(cur), searchSteps)
+			m.trc.WindowSearch(t.id, int(cur), searchSteps)
 		}
 	}
 	if !allowed {
@@ -497,7 +500,7 @@ func (m *Monitor) MapOwned(id ID, npages int, typ vm.PageType, perm vm.Perm) vm.
 	// buffer growth; per-thread stacks are small and bounded.
 	if typ != vm.PageStack {
 		if q := m.memQuota[id]; q != 0 && m.memUsed[id]+bytes > q {
-			m.noteQuota(id, "pages", m.memUsed[id]+bytes, q)
+			m.noteQuota(nil, id, "pages", m.memUsed[id]+bytes, q)
 			panic(&QuotaFault{Cubicle: id, Resource: "pages", Used: m.memUsed[id] + bytes, Limit: q})
 		}
 	}

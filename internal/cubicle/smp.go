@@ -204,15 +204,15 @@ func (m *Monitor) shootdown(t *Thread, cub ID, pn uint64) {
 	}
 }
 
-// installCoreResolver points the tracer at the monitor's thread placement
-// so events carry core IDs and are stamped with the recording core's
+// installCoreResolver reshards the tracer over the per-core clocks and
+// points it at the monitor's thread placement, so events route to the
+// recording core's lock-free ring shard and are stamped with that core's
 // clock.
 func (m *Monitor) installCoreResolver() {
-	m.trc.SetCoreOf(func(tid int) (int, *cycles.Clock) {
+	m.trc.SetCores(m.coreClks, func(tid int) int {
 		if tid >= 0 && tid < len(m.threads) {
-			th := m.threads[tid]
-			return th.core, th.clk
+			return m.threads[tid].core
 		}
-		return 0, nil
+		return 0
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"cubicleos/internal/trace"
 	"cubicleos/internal/vm"
 )
 
@@ -225,6 +226,105 @@ func TestSMPParallelRetagsDeterministic(t *testing.T) {
 		}
 		if !reflect.DeepEqual(fromTrace, stats) {
 			t.Fatalf("run %d trace view diverged", run)
+		}
+	}
+}
+
+// smpMergedStream runs the crossing ping-pong on the given number of
+// cores — one worker goroutine per core, each with its own page — and
+// returns the merged (Cycle, Core, Seq)-ordered trace stream plus both
+// stats views.
+func smpMergedStream(t *testing.T, cores, iters int) ([]trace.Event, Stats, Stats) {
+	t.Helper()
+	ts := bootPair(t, ModeFull)
+	m := ts.m
+	trc := m.EnableTracing(1 << 14)
+	m.EnableSMP(cores)
+	barID := ts.cubs["BAR"].ID
+	barH := m.MustResolve(ts.cubs["FOO"].ID, "BAR", "bar")
+
+	workers := make([]*Env, cores)
+	addrs := make([]vm.Addr, cores)
+	// Page-sized buffers so every worker retags its own page: 64-byte
+	// allocations would share one heap page, and concurrent retags of a
+	// shared page have interleaving-dependent invalidation counts.
+	for c := range workers {
+		workers[c] = newWorker(m, c)
+		addrs[c] = ts.heapIn(t, "FOO", 4096)
+	}
+
+	// Window setup runs sequentially in core order: window ids come from a
+	// shared counter, so concurrent setup would leak the goroutine
+	// interleaving into the window_op events' payloads. The crossing loop
+	// itself touches only per-worker pages and is interleaving-proof.
+	for c := 0; c < cores; c++ {
+		e := workers[c]
+		enterOn(ts, e, "FOO")
+		wid := e.WindowInit()
+		e.WindowAdd(wid, addrs[c], 64)
+		e.WindowOpen(wid, barID)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			e := workers[c]
+			for i := 0; i < iters; i++ {
+				barH.Call(e, uint64(addrs[c]), uint64(i%64))
+				e.StoreByte(addrs[c], byte(i))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < cores; c++ {
+		leaveOn(ts, workers[c])
+	}
+	return trc.Events(), m.Stats, StatsFromTrace(trc)
+}
+
+// TestSMPMergedStreamDeterministic is the observability determinism gate
+// at cores=4: five runs of the four-worker crossing workload must merge
+// to byte-identical event streams — not just matching counters, the full
+// (Cycle, Core, Seq)-ordered sequence with symbols and payloads. Any
+// goroutine-interleaving leak into event ordering or cycle stamps fails
+// DeepEqual immediately.
+func TestSMPMergedStreamDeterministic(t *testing.T) {
+	const cores, iters = 4, 25
+	evs0, stats0, fromTrace0 := smpMergedStream(t, cores, iters)
+	if len(evs0) == 0 {
+		t.Fatalf("workload recorded no events")
+	}
+	seen := make(map[int16]bool)
+	for _, ev := range evs0 {
+		seen[ev.Core] = true
+	}
+	for c := int16(0); c < cores; c++ {
+		if !seen[c] {
+			t.Fatalf("no events from core %d in the merged stream", c)
+		}
+	}
+	if !reflect.DeepEqual(fromTrace0, stats0) {
+		t.Fatalf("StatsFromTrace diverged at cores=%d:\n got  %+v\n want %+v",
+			cores, fromTrace0, stats0)
+	}
+	for run := 1; run < 5; run++ {
+		evs, stats, _ := smpMergedStream(t, cores, iters)
+		if !reflect.DeepEqual(stats, stats0) {
+			t.Fatalf("run %d stats diverged:\n got  %+v\n want %+v", run, stats, stats0)
+		}
+		if len(evs) != len(evs0) {
+			t.Fatalf("run %d merged %d events, run 0 merged %d", run, len(evs), len(evs0))
+		}
+		if !reflect.DeepEqual(evs, evs0) {
+			for i := range evs {
+				if evs[i] != evs0[i] {
+					t.Fatalf("run %d merged stream diverged at event %d:\n got  %+v\n want %+v",
+						run, i, evs[i], evs0[i])
+				}
+			}
+			t.Fatalf("run %d merged stream diverged", run)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package cubicle
 
 import (
 	"testing"
+	"time"
 )
 
 func TestSortedEdgesTieBreaking(t *testing.T) {
@@ -99,3 +100,53 @@ func benchCall(b *testing.B, traced bool) {
 
 func BenchmarkCallTracingDisabled(b *testing.B) { benchCall(b, false) }
 func BenchmarkCallTracingEnabled(b *testing.B)  { benchCall(b, true) }
+
+// BenchmarkCallTracingPaired measures the tracing-overhead ratio with
+// traced and untraced batches interleaved at ~10 µs granularity, so host
+// noise (CPU contention on a shared machine) hits both sides equally and
+// cancels in the quotient. The "ratio" metric is what
+// scripts/bench.sh -assert gates; the two plain benchmarks above report
+// the absolute ns/op.
+func BenchmarkCallTracingPaired(b *testing.B) {
+	var tt testing.T
+	boot := func(traced bool) (Handle, *Env) {
+		ts := bootPair(&tt, ModeFull)
+		if tt.Failed() {
+			b.Fatal("boot failed")
+		}
+		if traced {
+			ts.m.EnableTracing(1 << 12)
+		}
+		h := ts.m.MustResolve(ts.cubs["BAR"].ID, "FOO", "foo_noop")
+		e := ts.env
+		e.T.pushFrame(ts.cubs["BAR"].ID, true)
+		ts.m.wrpkru(e.T, ts.m.pkruFor(ts.cubs["BAR"].ID))
+		return h, e
+	}
+	hDis, eDis := boot(false)
+	hEn, eEn := boot(true)
+
+	const batch = 512
+	var tDis, tEn time.Duration
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		t0 := time.Now()
+		for i := 0; i < k; i++ {
+			hDis.Call(eDis)
+		}
+		t1 := time.Now()
+		for i := 0; i < k; i++ {
+			hEn.Call(eEn)
+		}
+		tDis += t1.Sub(t0)
+		tEn += time.Since(t1)
+	}
+	b.StopTimer()
+	if tDis > 0 {
+		b.ReportMetric(float64(tEn)/float64(tDis), "ratio")
+	}
+}

@@ -155,7 +155,7 @@ func (t *Thread) pushFrame(callee ID, crossing bool) {
 		// The profiler attributes elapsed cycles to the executing
 		// cubicle; a crossing frame is exactly a cubicle switch.
 		if trc := t.m.trc; trc != nil {
-			trc.SwitchCubicle(int(callee))
+			trc.SwitchCubicle(t.id, int(callee))
 		}
 	}
 	s := t.stackFor(t.cur)
@@ -185,7 +185,7 @@ func (t *Thread) popFrame() {
 	if f.crossing {
 		t.cur = f.caller
 		if trc := t.m.trc; trc != nil {
-			trc.SwitchCubicle(int(f.caller))
+			trc.SwitchCubicle(t.id, int(f.caller))
 		}
 	}
 	t.pkru = f.savedPKRU

@@ -21,9 +21,9 @@ func snapTLB(m *Monitor) tlbDeltas {
 		invalidation: m.Stats.TLBInvalidations}
 }
 
-func (d tlbDeltas) dHits() uint64  { return d.m.Stats.TLBHits - d.hits }
-func (d tlbDeltas) dMisses() uint64  { return d.m.Stats.TLBMisses - d.misses }
-func (d tlbDeltas) dInval() uint64 { return d.m.Stats.TLBInvalidations - d.invalidation }
+func (d tlbDeltas) dHits() uint64   { return d.m.Stats.TLBHits - d.hits }
+func (d tlbDeltas) dMisses() uint64 { return d.m.Stats.TLBMisses - d.misses }
+func (d tlbDeltas) dInval() uint64  { return d.m.Stats.TLBInvalidations - d.invalidation }
 
 // TestTLBHitAndMissCounters checks the basic caching contract: the first
 // access to a page misses and fills, repeated accesses under an unchanged

@@ -177,6 +177,11 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	}
 	m.Stats.CallsTotal++
 	m.Stats.Calls[Edge{From: t.cur, To: tr.callee}]++
+	if m.met != nil {
+		// Metrics sampling rides the crossing rate: the first crossing at
+		// or past each interval threshold takes the snapshot.
+		m.maybeSampleMetrics(t.clk.Cycles())
+	}
 
 	var copied uint64
 	if m.Mode.TrampolinesEnabled() && tr.stackBytes > 0 {

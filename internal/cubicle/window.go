@@ -72,7 +72,7 @@ func (m *Monitor) chargeWindowOp(t *Thread, c ID, op string, wid WID) {
 		m.clkOf(t).Charge(m.Costs.WindowOp)
 		m.Stats.WindowOps++
 		if m.trc != nil {
-			m.trc.WindowOp(int(c), op, int(wid))
+			m.trc.WindowOp(tidOf(t), int(c), op, int(wid))
 		}
 	}
 	if m.inj != nil {

@@ -13,6 +13,7 @@ package httpd
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"strings"
 
 	"cubicleos/internal/cubicle"
@@ -100,12 +101,21 @@ type Server struct {
 
 	lwipID, vfsID, ramfsID, platID cubicle.ID
 
-	port    uint16
-	lfd     uint64
-	conns   map[uint64]*conn
+	port  uint16
+	lfd   uint64
+	conns map[uint64]*conn
+	// order is scratch for stepping connections in fd order: Go map
+	// iteration is randomized per run, and stepping in a varying order
+	// varies the virtual-time cost accounting — the determinism gate on
+	// the live dashboard caught exactly that.
+	order   []uint64
 	logBuf  vm.Addr
 	shedBuf vm.Addr
 	gov     Governance
+	// metricsSource, when set, serves GET /metrics with its OpenMetrics
+	// body — the monitor's own counters flowing out through the server's
+	// isolation boundaries like any other response.
+	metricsSource func() []byte
 
 	// Requests counts completed requests.
 	Requests uint64
@@ -131,6 +141,11 @@ func (s *Server) SetGovernance(g Governance) { s.gov = g }
 
 // Conns returns the number of live connections (admission-control gauge).
 func (s *Server) Conns() int { return len(s.conns) }
+
+// SetMetricsSource installs the body generator behind GET /metrics
+// (typically Monitor.OpenMetricsBody). The body is regenerated per
+// request, truncated to the connection's I/O buffer if oversized.
+func (s *Server) SetMetricsSource(fn func() []byte) { s.metricsSource = fn }
 
 // SetDeps wires the server's clients and allocator strategy, plus the
 // cubicle IDs it opens windows for.
@@ -242,8 +257,16 @@ func (s *Server) step(e *cubicle.Env) uint64 {
 		// connections cannot make progress either, so try again later.
 		return activity
 	}
-	for _, c := range s.conns {
-		c := c
+	s.order = s.order[:0]
+	for fd := range s.conns {
+		s.order = append(s.order, fd)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	for _, fd := range s.order {
+		c, ok := s.conns[fd]
+		if !ok {
+			continue
+		}
 		armed := c.deadline != 0 && !c.expired
 		if armed {
 			e.SetDeadline(c.deadline)
@@ -377,6 +400,10 @@ func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
 	}
 	c.headOnly = fields[0] == "HEAD"
 	c.path = fields[1]
+	if c.path == "/metrics" && s.metricsSource != nil {
+		s.serveMetrics(e, c)
+		return
+	}
 	fd, errno := s.vfs.Open(e, c.path, vfscore.ORdonly)
 	if errno != vfscore.EOK {
 		c.status = 404
@@ -402,6 +429,26 @@ func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
 		s.vfs.Close(e, fd)
 		c.fileFD = 0
 		c.size = 0
+	}
+	c.state = stServe
+}
+
+// serveMetrics stages the OpenMetrics exposition as an inline response
+// body: no file is opened, but the bytes still travel the normal path —
+// checked copy into the connection's I/O buffer, LWIP send, access log.
+func (s *Server) serveMetrics(e *cubicle.Env, c *conn) {
+	body := s.metricsSource()
+	hdr := fmt.Sprintf("HTTP/1.0 200 OK\r\nServer: cubicle-nginx\r\nContent-Type: application/openmetrics-text; version=1.0.0\r\nContent-Length: %d\r\n\r\n", len(body))
+	if uint64(len(hdr)+len(body)) > ioBufSize {
+		body = body[:ioBufSize-uint64(len(hdr))]
+	}
+	e.Write(c.ioBuf, append([]byte(hdr), body...))
+	c.pending = uint64(len(hdr) + len(body))
+	c.pendOff = 0
+	c.size = 0
+	c.sent = 0
+	if c.headOnly {
+		c.pending = uint64(len(hdr))
 	}
 	c.state = stServe
 }

@@ -254,6 +254,59 @@ func percentile(sorted []uint64, p float64) time.Duration {
 	return cycles.Duration(sorted[i])
 }
 
+// OpenLoopDriver is the open-loop run as a resumable state machine, for
+// callers that interleave driving with observation — the cubicle-top
+// dashboard steps the run one quantum at a time and renders the metrics
+// ring between quanta. Step and Finish mirror the internal driver
+// exactly, so a run stepped to completion produces the same virtual-time
+// figures as OpenLoop.
+type OpenLoopDriver struct {
+	r        *openLoopRun
+	finished *OpenLoopStats
+}
+
+// StartOpenLoop begins an open-loop run without driving it; call Step
+// until it returns false, then Finish.
+func (t *Target) StartOpenLoop(o OpenLoopOptions) (*OpenLoopDriver, error) {
+	r, err := t.newOpenLoopRun(o)
+	if err != nil {
+		return nil, err
+	}
+	return &OpenLoopDriver{r: r}, nil
+}
+
+// Step runs up to n driver iterations (n <= 0 means 1). It returns false
+// once the run is over.
+func (d *OpenLoopDriver) Step(n int) bool {
+	if d.finished != nil {
+		return false
+	}
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		if !d.r.step() {
+			return false
+		}
+	}
+	return true
+}
+
+// Launched returns how many arrivals have been issued so far.
+func (d *OpenLoopDriver) Launched() int { return d.r.launched }
+
+// InFlight returns how many requests are currently open.
+func (d *OpenLoopDriver) InFlight() int { return d.r.open }
+
+// Finish classifies every flight and returns the run's statistics
+// (idempotent after the first call).
+func (d *OpenLoopDriver) Finish() *OpenLoopStats {
+	if d.finished == nil {
+		d.finished = d.r.finish()
+	}
+	return d.finished
+}
+
 // OpenLoopSweep runs an offered-load sweep: one fresh target per rate
 // (built by mk, which provisions the workload) so runs do not inherit each
 // other's residue, each driven through OpenLoop with o.Rate overridden.

@@ -49,6 +49,11 @@ type Options struct {
 	// NewTargetTraced).
 	TraceEvents       int
 	TraceSamplePeriod uint64
+	// MetricsInterval/MetricsRing enable the virtual-time metrics pipeline
+	// (see boot.Config). When enabled, the server also answers
+	// GET /metrics with the monitor's OpenMetrics exposition.
+	MetricsInterval uint64
+	MetricsRing     int
 	// Supervision enables fault containment with the given restart policy.
 	Supervision *cubicle.RestartPolicy
 	// Chaos attaches a deterministic fault injector (disarmed; arm it via
@@ -63,6 +68,9 @@ type Options struct {
 	AllocClientQuota uint64
 	WireCap          int
 	ReapClosed       bool
+	// SMPCores passes through to boot.Config: > 1 gives the deployment
+	// per-core virtual clocks and per-core trace ring shards.
+	SMPCores int
 }
 
 // NewTarget boots the Figure 5 deployment: eight isolated cubicles
@@ -93,12 +101,15 @@ func NewTargetOpts(o Options) (*Target, error) {
 		Extra:             []*cubicle.Component{srv.Component()},
 		TraceEvents:       o.TraceEvents,
 		TraceSamplePeriod: o.TraceSamplePeriod,
+		MetricsInterval:   o.MetricsInterval,
+		MetricsRing:       o.MetricsRing,
 		Supervision:       o.Supervision,
 		Chaos:             o.Chaos,
 		MemQuotas:         o.MemQuotas,
 		AllocClientQuota:  o.AllocClientQuota,
 		WireCap:           o.WireCap,
 		LwipReapClosed:    o.ReapClosed,
+		SMPCores:          o.SMPCores,
 	})
 	if err != nil {
 		return nil, err
@@ -130,6 +141,9 @@ func NewTargetOpts(o Options) (*Target, error) {
 	}
 	if o.Governance != nil {
 		srv.SetGovernance(*o.Governance)
+	}
+	if o.MetricsInterval > 0 {
+		srv.SetMetricsSource(sys.M.OpenMetricsBody)
 	}
 	if errno := t.initH.Call(sys.Env)[0]; errno != 0 {
 		return nil, fmt.Errorf("siege: nginx_init failed with errno %d", errno)

@@ -52,6 +52,26 @@ func (h *Hist) Observe(v uint64) {
 	}
 }
 
+// Merge folds another histogram's observations into h. The per-core ring
+// shards keep independent histograms on the hot path; exporters merge
+// them into one view at report time.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // Count returns the number of observations.
 func (h *Hist) Count() uint64 { return h.count }
 

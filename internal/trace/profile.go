@@ -7,79 +7,116 @@ import (
 )
 
 // profiler attributes virtual cycles to the cubicle that was executing
-// when they were charged. The simulator is cooperatively scheduled, so a
-// single "currently executing cubicle" register is exact: the monitor
-// tells the profiler about every cubicle switch (trampoline call enter
-// and exit, RunAs), and every clock charge in between belongs to the
-// cubicle in that register. On top of the exact span attribution, an
-// optional virtual-clock sampler ticks every Period cycles and counts one
-// sample against the running cubicle — the flat profile a hardware
-// perf-style sampler would deliver.
+// when they were charged. Each ring shard carries its own profiler over
+// its core's clock: a core is cooperatively scheduled from the monitor's
+// point of view, so a single "currently executing cubicle" register per
+// core is exact — the monitor tells the profiler about every cubicle
+// switch (trampoline call enter and exit, RunAs) on that core, and every
+// clock charge in between belongs to the cubicle in that register. On top
+// of the exact span attribution, an optional virtual-clock sampler ticks
+// every Period cycles and counts one sample against the running cubicle —
+// the flat profile a hardware perf-style sampler would deliver.
+// profDim bounds the profiler's flat attribution arrays: slot cub+1
+// covers cubicles -1 (runtime) through edgeDim-1 with a plain array
+// store on the hot path; IDs outside fall back to an overflow map.
+const profDim = edgeDim + 1
+
 type profiler struct {
 	clock  *cycles.Clock
 	cur    int32  // currently executing cubicle
 	mark   uint64 // clock value when cur started executing
-	cycles map[int32]uint64
+	cycles [profDim]uint64
+	cycOvf map[int32]uint64
 
 	period     uint64
 	nextSample uint64
-	samples    map[int32]uint64
+	samples    [profDim]uint64
+	smpOvf     map[int32]uint64
 }
 
 func (p *profiler) init(clock *cycles.Clock) {
 	p.clock = clock
 	p.cur = 0 // boot executes as the monitor
 	p.mark = clock.Cycles()
-	p.cycles = make(map[int32]uint64)
-	p.samples = make(map[int32]uint64)
 }
 
 // switchTo flushes the span of the previously running cubicle and makes
 // cub the attribution target.
 func (p *profiler) switchTo(cub int32) {
 	now := p.clock.Cycles()
-	p.cycles[p.cur] += now - p.mark
+	if i := uint32(p.cur + 1); i < profDim {
+		p.cycles[i] += now - p.mark
+	} else {
+		if p.cycOvf == nil {
+			p.cycOvf = make(map[int32]uint64)
+		}
+		p.cycOvf[p.cur] += now - p.mark
+	}
 	p.cur = cub
 	p.mark = now
 }
 
 // flush attributes the still-open span without changing the target.
 func (p *profiler) flush() {
-	now := p.clock.Cycles()
-	p.cycles[p.cur] += now - p.mark
-	p.mark = now
+	cur := p.cur
+	p.switchTo(cur)
 }
 
 // tick is the clock-advance observer driving the sampler.
 func (p *profiler) tick(now uint64) {
 	for now >= p.nextSample {
-		p.samples[p.cur]++
+		if i := uint32(p.cur + 1); i < profDim {
+			p.samples[i]++
+		} else {
+			if p.smpOvf == nil {
+				p.smpOvf = make(map[int32]uint64)
+			}
+			p.smpOvf[p.cur]++
+		}
 		p.nextSample += p.period
 	}
 }
 
-// SwitchCubicle informs the profiler that execution switched to cub.
-// The monitor calls this from every crossing frame push/pop; on SMP
-// machines the monitor lock serialises the calls, and t.mu additionally
-// orders them against recording.
-func (t *Tracer) SwitchCubicle(cub int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.prof.switchTo(int32(cub))
+// forEach visits every cubicle with attributed cycles or samples.
+func (p *profiler) forEach(fn func(cub int32, cyc, samples uint64)) {
+	for i := 0; i < profDim; i++ {
+		if p.cycles[i] == 0 && p.samples[i] == 0 {
+			continue
+		}
+		fn(int32(i-1), p.cycles[i], p.samples[i])
+	}
+	for cub, cyc := range p.cycOvf {
+		fn(cub, cyc, p.smpOvf[cub])
+	}
+	for cub, n := range p.smpOvf {
+		if _, dup := p.cycOvf[cub]; !dup {
+			fn(cub, 0, n)
+		}
+	}
+}
+
+// SwitchCubicle informs the profiler that execution on thread's core
+// switched to cub. The monitor calls this from every crossing frame
+// push/pop; on SMP machines the monitor lock serialises the calls with
+// recording, exactly as for event emission.
+func (t *Tracer) SwitchCubicle(thread, cub int) {
+	t.shardFor(thread).prof.switchTo(int32(cub))
 }
 
 // EnableSampling starts the virtual-clock sampler with the given period
-// in cycles, hooking the clock's advance observer. A period of 0 disables
-// sampling again.
+// in cycles on every shard, hooking each core clock's advance observer.
+// A period of 0 disables sampling again.
 func (t *Tracer) EnableSampling(period uint64) {
-	if period == 0 {
-		t.clock.SetOnAdvance(nil)
-		t.prof.period = 0
-		return
+	for _, s := range t.shards {
+		if period == 0 {
+			s.clock.SetOnAdvance(nil)
+			s.prof.period = 0
+			continue
+		}
+		s.prof.period = period
+		s.prof.nextSample = s.clock.Cycles() + period
+		s.clock.SetOnAdvance(s.prof.tick)
 	}
-	t.prof.period = period
-	t.prof.nextSample = t.clock.Cycles() + period
-	t.clock.SetOnAdvance(t.prof.tick)
 }
 
 // ProfileEntry is one cubicle's row of the cycle profile.
@@ -93,26 +130,36 @@ type ProfileEntry struct {
 
 // Profile is the per-cubicle "where did the time go" report.
 type Profile struct {
-	// TotalCycles is the sum over entries — equal to the virtual clock
-	// minus the cycle at which tracing was enabled.
+	// TotalCycles is the sum over entries — on a single-core machine,
+	// equal to the virtual clock minus the cycle at which tracing was
+	// enabled; on SMP, the sum of every core's traced span.
 	TotalCycles uint64         `json:"total_cycles"`
 	Samples     uint64         `json:"samples"`
 	Period      uint64         `json:"sample_period,omitempty"`
 	Entries     []ProfileEntry `json:"entries"`
 }
 
-// Profile flushes the open span and returns the per-cubicle cycle
-// profile, sorted by descending cycles (ties by cubicle ID).
+// Profile flushes the open spans and returns the per-cubicle cycle
+// profile merged over cores, sorted by descending cycles (ties by
+// cubicle ID).
 func (t *Tracer) Profile() Profile {
-	t.prof.flush()
-	p := Profile{Period: t.prof.period}
-	for cub, cyc := range t.prof.cycles {
+	cyclesBy := make(map[int32]uint64)
+	samplesBy := make(map[int32]uint64)
+	for _, s := range t.shards {
+		s.prof.flush()
+		s.prof.forEach(func(cub int32, cyc, n uint64) {
+			cyclesBy[cub] += cyc
+			samplesBy[cub] += n
+		})
+	}
+	p := Profile{Period: t.s0.prof.period}
+	for cub, cyc := range cyclesBy {
 		p.TotalCycles += cyc
 		p.Entries = append(p.Entries, ProfileEntry{
 			Cubicle: int(cub),
 			Name:    t.Name(int(cub)),
 			Cycles:  cyc,
-			Samples: t.prof.samples[cub],
+			Samples: samplesBy[cub],
 		})
 	}
 	for i := range p.Entries {

@@ -8,14 +8,35 @@
 // integer IDs, resolved to names by a caller-installed namer) and is
 // designed so that the *disabled* state costs the monitor exactly one nil
 // check per hot-path event and zero allocations. When enabled, recording
-// is allocation-free in steady state: the ring is preallocated, the
+// is allocation-free in steady state: the rings are preallocated, the
 // histograms are fixed-size, and event labels are interned strings the
 // instrumentation sites pass as constants.
+//
+// # Sharded recording
+//
+// Recording is lock-free: the tracer keeps one single-producer ring shard
+// per simulated core, and every emission routes to the shard of the core
+// the recording thread runs on (monitor-context events, thread -1, record
+// on core 0 — the boot clock, exactly where clkOf(nil) charges them).
+// Events are stamped with the recording core's virtual clock and a
+// per-shard sequence number; no mutex or atomic is taken on the hot path.
+// The safety argument mirrors the monitor's: on an SMP machine every
+// emission site already runs under the monitor's big lock, and on a
+// single-core machine there is only one goroutine, so shard state needs
+// no synchronisation of its own. The report-building exporters
+// (ChromeTrace, WritePrometheus, Snapshot, Profile, Events, Counts) are
+// coordinator-only: call them after the run, with all workers quiescent.
+//
+// At export the per-shard streams merge into one deterministic stream
+// ordered by (Cycle, Core, Seq): per-shard cycles are nondecreasing and
+// per-shard sequence numbers strictly increasing, so the merge preserves
+// every shard's internal order, is nondecreasing in GVT, and — because
+// shard contents are deterministic under the monitor's deterministic
+// scheduling — reproduces byte-identically across runs.
 package trace
 
 import (
 	"sort"
-	"sync"
 
 	"cubicleos/internal/cycles"
 )
@@ -133,22 +154,27 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Event is one entry of the trace ring. Field meaning varies by Kind (see
-// the Kind constants); Cycle is the recording core's virtual clock at
-// record time, Core the simulated core the recording thread runs on (0 on
-// single-core machines), Cost the cycles attributed to the event itself
-// where that is meaningful (call elapsed, fault-handler span, IPC charge).
+// Event is one entry of a trace ring shard. Field meaning varies by Kind
+// (see the Kind constants); Cycle is the recording core's virtual clock at
+// record time, Core the shard the event was recorded on (0 on single-core
+// machines and for monitor-context events), Seq the event's position in
+// its shard's stream, Cost the cycles attributed to the event itself where
+// that is meaningful (call elapsed, fault-handler span, IPC charge).
+// The field order packs Event into exactly 64 bytes — one cache line per
+// ring slot — which matters on the recording hot path: every emission
+// rewrites one slot of a ring far larger than L1, so slot size is the
+// dominant memory traffic per event.
 type Event struct {
 	Seq     uint64
 	Cycle   uint64
-	Kind    Kind
-	Thread  int32
-	Core    int32
-	Cubicle int32
-	Other   int32
 	Arg     uint64
 	Cost    uint64
 	Name    string
+	Thread  int32
+	Cubicle int32
+	Other   int32
+	Core    int16
+	Kind    Kind
 }
 
 // Edge is a directed caller→callee pair, the unit of per-edge histograms.
@@ -156,41 +182,201 @@ type Edge struct {
 	From, To int32
 }
 
-// Tracer is the recording side of the observability layer. Recording and
-// the streaming-counter queries are internally synchronised, so threads
-// running on different simulated cores may record concurrently; event Seq
-// order is the serialisation order under that lock. The report-building
-// exporters (ChromeTrace, WritePrometheus, Snapshot, Profile) are
-// coordinator-only: call them after the run, with all workers quiescent.
-type Tracer struct {
-	mu    sync.Mutex
-	clock *cycles.Clock
-	namer func(int) string
-	// coreOf, when set, resolves a recording thread to its simulated core
-	// and per-core clock; events then carry the core ID and are stamped
-	// with that core's clock. Unset (single-core), every event records
-	// core 0 on the machine clock.
-	coreOf func(thread int) (core int, clk *cycles.Clock)
+// edgeDim bounds the flat per-edge arrays: cubicle IDs 0..edgeDim-1 index
+// directly (MaxCubicles is 64, so every real deployment fits); anything
+// outside falls back to an overflow map. Flat indexing keeps the hot-path
+// edge bump to one array store instead of a map operation.
+const edgeDim = 65
 
-	// Ring buffer: buf[(seq) % cap] for seq in [next-len, next).
+// flatSlot returns the flat-array slot of edge e, or -1 if either ID is
+// outside the flat range.
+func flatSlot(e Edge) int {
+	if uint32(e.From) < edgeDim && uint32(e.To) < edgeDim {
+		return int(e.From)*edgeDim + int(e.To)
+	}
+	return -1
+}
+
+// shard is one core's single-producer trace ring plus its streaming
+// counters. Only the goroutine driving that core (under the monitor lock
+// on SMP machines) ever writes it; exporters read it quiescently.
+type shard struct {
+	core  int16
+	clock *cycles.Clock
+
+	// Ring buffer: buf[seq & mask] for seq in [next-len, next).
 	buf  []Event
+	mask uint64
 	next uint64
 
 	counts  [numKinds]uint64
 	weights [numKinds]uint64 // sum of Arg for weighted kinds
 
-	edgeCalls map[Edge]uint64
-	edgeHists map[Edge]*Hist
-	classHist [numKinds]*Hist // cycle cost distributions per event class
+	edgeCalls     []uint64 // flat [edgeDim*edgeDim]
+	edgeHists     []*Hist  // flat [edgeDim*edgeDim], lazily allocated
+	overflowCalls map[Edge]uint64
+	overflowHists map[Edge]*Hist
+	classHist     [numKinds]*Hist // cycle cost distributions per event class
 
-	// open call spans per thread, for elapsed-cycle computation.
-	open map[int32][]openCall
+	prof profiler
+}
+
+func newShard(core int16, clock *cycles.Clock, ringCap int) *shard {
+	s := &shard{
+		core:      core,
+		clock:     clock,
+		buf:       make([]Event, ringCap),
+		mask:      uint64(ringCap - 1),
+		edgeCalls: make([]uint64, edgeDim*edgeDim),
+		edgeHists: make([]*Hist, edgeDim*edgeDim),
+	}
+	s.prof.init(clock)
+	return s
+}
+
+// weightedKind marks the kinds whose Arg accumulates into weights.
+var weightedKind = [numKinds]bool{
+	EvCallEnter: true, EvWindowSearch: true, EvCopy: true, EvIPC: true, EvShootdown: true,
+}
+
+// record stamps one event and writes it in place into the shard's ring
+// slot — scalar parameters keep the hot path free of Event struct copies
+// (the fields travel in registers and land directly in the ring). It
+// returns the cycle stamp so call sites reuse it.
+func (s *shard) record(k Kind, thread, cubicle, other int32, arg, cost uint64, name string) uint64 {
+	now := s.clock.Cycles()
+	// Index with len-1 directly so the compiler elides the bounds check
+	// (ring capacity is always a power of two).
+	ev := &s.buf[s.next&uint64(len(s.buf)-1)]
+	ev.Seq = s.next
+	ev.Cycle = now
+	ev.Kind = k
+	ev.Thread = thread
+	ev.Core = s.core
+	ev.Cubicle = cubicle
+	ev.Other = other
+	ev.Arg = arg
+	ev.Cost = cost
+	ev.Name = name
+	s.next++
+	s.counts[k]++
+	if weightedKind[k] {
+		s.weights[k] += arg
+	}
+	if cost > 0 {
+		s.observeClass(k, cost)
+	}
+	return now
+}
+
+// observeClass folds one cost observation into the event class histogram.
+func (s *shard) observeClass(k Kind, cost uint64) {
+	h := s.classHist[k]
+	if h == nil {
+		h = &Hist{}
+		s.classHist[k] = h
+	}
+	h.Observe(cost)
+}
+
+// bumpEdge counts one call on edge e.
+func (s *shard) bumpEdge(e Edge) {
+	if i := flatSlot(e); i >= 0 {
+		s.edgeCalls[i]++
+		return
+	}
+	if s.overflowCalls == nil {
+		s.overflowCalls = make(map[Edge]uint64)
+	}
+	s.overflowCalls[e]++
+}
+
+// observeEdge folds one elapsed-cycle observation into edge e's histogram.
+func (s *shard) observeEdge(e Edge, elapsed uint64) {
+	if i := flatSlot(e); i >= 0 {
+		h := s.edgeHists[i]
+		if h == nil {
+			h = &Hist{}
+			s.edgeHists[i] = h
+		}
+		h.Observe(elapsed)
+		return
+	}
+	if s.overflowHists == nil {
+		s.overflowHists = make(map[Edge]*Hist)
+	}
+	h := s.overflowHists[e]
+	if h == nil {
+		h = &Hist{}
+		s.overflowHists[e] = h
+	}
+	h.Observe(elapsed)
+}
+
+// dropped is how many of the shard's events ring wrap has overwritten.
+func (s *shard) dropped() uint64 {
+	if capa := uint64(len(s.buf)); s.next > capa {
+		return s.next - capa
+	}
+	return 0
+}
+
+// events returns the shard's ring contents in chronological order.
+func (s *shard) events() []Event {
+	n := s.next
+	capa := uint64(len(s.buf))
+	if n <= capa {
+		out := make([]Event, n)
+		copy(out, s.buf[:n])
+		return out
+	}
+	out := make([]Event, capa)
+	start := n & s.mask
+	copy(out, s.buf[start:])
+	copy(out[capa-start:], s.buf[:start])
+	return out
+}
+
+// forEachEdge visits every edge with recorded calls or observations.
+func (s *shard) forEachEdge(fn func(e Edge, calls uint64, h *Hist)) {
+	for i, n := range s.edgeCalls {
+		h := s.edgeHists[i]
+		if n == 0 && h == nil {
+			continue
+		}
+		fn(Edge{From: int32(i / edgeDim), To: int32(i % edgeDim)}, n, h)
+	}
+	for e, n := range s.overflowCalls {
+		fn(e, n, nil)
+	}
+	for e, h := range s.overflowHists {
+		fn(e, 0, h)
+	}
+}
+
+// Tracer is the recording side of the observability layer: one ring shard
+// per simulated core (see the package comment for the sharding and safety
+// rules). All emission methods are lock-free; exporters and queries are
+// coordinator-only.
+type Tracer struct {
+	clock *cycles.Clock // boot/GVT base clock (shard 0's clock)
+	namer func(int) string
+	// coreOf, when set (SetCores), resolves a recording thread to its
+	// simulated core so its events land on that core's shard. Unset
+	// (single-core), every event records on shard 0.
+	coreOf func(thread int) int
+
+	shards []*shard
+	s0     *shard // shards[0], kept flat for the single-core fast path
+
+	// open call spans per thread, for elapsed-cycle computation. Thread
+	// IDs are dense; openM holds monitor-context (thread -1) spans.
+	open  [][]openCall
+	openM []openCall
 
 	// tlbCounters, when set, supplies the monitor's span-TLB gauges for
 	// Counts (see SetTLBCounters).
 	tlbCounters func() (hits, misses, invalidations uint64)
-
-	prof profiler
 }
 
 type openCall struct {
@@ -198,31 +384,58 @@ type openCall struct {
 	start uint64
 }
 
-// New creates a tracer over the given virtual clock with a ring of
-// ringCap events (minimum 16).
+// New creates a tracer over the given virtual clock with one ring shard of
+// ringCap events (rounded up to a power of two, minimum 16). Multi-core
+// machines attach further shards with SetCores.
 func New(clock *cycles.Clock, ringCap int) *Tracer {
 	if ringCap < 16 {
 		ringCap = 16
 	}
-	t := &Tracer{
-		clock:     clock,
-		buf:       make([]Event, ringCap),
-		edgeCalls: make(map[Edge]uint64),
-		edgeHists: make(map[Edge]*Hist),
-		open:      make(map[int32][]openCall),
+	capa := 16
+	for capa < ringCap {
+		capa <<= 1
 	}
-	t.prof.init(clock)
+	t := &Tracer{clock: clock}
+	t.s0 = newShard(0, clock, capa)
+	t.shards = []*shard{t.s0}
 	return t
 }
 
 // SetNamer installs the cubicle-ID → name resolver used by exporters.
 func (t *Tracer) SetNamer(fn func(int) string) { t.namer = fn }
 
-// SetCoreOf installs the thread → (core, clock) resolver used on
-// multi-core machines. Install it at boot, before workers run.
-func (t *Tracer) SetCoreOf(fn func(thread int) (core int, clk *cycles.Clock)) {
-	t.coreOf = fn
+// SetCores reshards the tracer for a multi-core machine: shard i records
+// with clks[i] (clks[0] must be the boot clock the tracer was created
+// over), and coreOf routes a recording thread to its core. Install it at
+// boot, before workers run; shard 0 keeps anything recorded so far. Each
+// new shard gets its own ring of the same capacity, so per-core streams
+// drop independently — and accountably — under overload.
+func (t *Tracer) SetCores(clks []*cycles.Clock, coreOf func(thread int) int) {
+	if len(clks) == 0 {
+		return
+	}
+	t.coreOf = coreOf
+	if clks[0] != t.s0.clock {
+		t.s0.clock = clks[0]
+		t.s0.prof.clock = clks[0]
+		t.s0.prof.mark = clks[0].Cycles()
+	}
+	for i := 1; i < len(clks); i++ {
+		if i < len(t.shards) {
+			continue
+		}
+		s := newShard(int16(i), clks[i], len(t.s0.buf))
+		if p := t.s0.prof.period; p != 0 {
+			s.prof.period = p
+			s.prof.nextSample = s.clock.Cycles() + p
+			s.clock.SetOnAdvance(s.prof.tick)
+		}
+		t.shards = append(t.shards, s)
+	}
 }
+
+// Cores returns the number of ring shards (1 unless SetCores ran).
+func (t *Tracer) Cores() int { return len(t.shards) }
 
 // Name resolves a cubicle ID to a display name.
 func (t *Tracer) Name(id int) string {
@@ -237,278 +450,250 @@ func (t *Tracer) Name(id int) string {
 	return "cubicle-" + itoa(id)
 }
 
-// nowFor reads the recording thread's clock (the machine clock for
-// monitor-context events and on single-core machines). Callers hold t.mu;
-// the cross-goroutine clock read is ordered by the monitor's lock, under
-// which all SMP-mode charges and recordings happen.
-func (t *Tracer) nowFor(thread int32) uint64 {
-	if t.coreOf != nil && thread >= 0 {
-		if _, clk := t.coreOf(int(thread)); clk != nil {
-			return clk.Cycles()
-		}
+// shardFor routes a recording thread to its core's shard. Monitor-context
+// events (thread < 0) record on shard 0, whose clock is the boot clock —
+// the same clock monitor-context work charges. The single-core/monitor
+// path is split out so shardFor inlines into the emission methods.
+func (t *Tracer) shardFor(thread int) *shard {
+	if t.coreOf == nil || thread < 0 {
+		return t.s0
 	}
-	return t.clock.Cycles()
+	return t.shardForSlow(thread)
 }
 
-// record appends ev to the ring and folds it into the streaming counters.
-// Callers hold t.mu.
-func (t *Tracer) record(ev Event) {
-	if t.coreOf != nil && ev.Thread >= 0 {
-		core, _ := t.coreOf(int(ev.Thread))
-		ev.Core = int32(core)
+func (t *Tracer) shardForSlow(thread int) *shard {
+	if c := t.coreOf(thread); c > 0 && c < len(t.shards) {
+		return t.shards[c]
 	}
-	ev.Seq = t.next
-	ev.Cycle = t.nowFor(ev.Thread)
-	t.buf[t.next%uint64(len(t.buf))] = ev
-	t.next++
-	t.counts[ev.Kind]++
-	switch ev.Kind {
-	case EvCallEnter, EvWindowSearch, EvCopy, EvIPC, EvShootdown:
-		t.weights[ev.Kind] += ev.Arg
+	return t.s0
+}
+
+func (t *Tracer) pushOpen(thread int, oc openCall) {
+	if thread < 0 {
+		t.openM = append(t.openM, oc)
+		return
 	}
-	if ev.Cost > 0 {
-		h := t.classHist[ev.Kind]
-		if h == nil {
-			h = &Hist{}
-			t.classHist[ev.Kind] = h
+	for thread >= len(t.open) {
+		t.open = append(t.open, nil)
+	}
+	t.open[thread] = append(t.open[thread], oc)
+}
+
+func (t *Tracer) popOpen(thread int) (openCall, bool) {
+	stk := &t.openM
+	if thread >= 0 {
+		if thread >= len(t.open) {
+			return openCall{}, false
 		}
-		h.Observe(ev.Cost)
+		stk = &t.open[thread]
 	}
+	if n := len(*stk); n > 0 {
+		oc := (*stk)[n-1]
+		*stk = (*stk)[:n-1]
+		return oc, true
+	}
+	return openCall{}, false
 }
 
 // CallEnter records a cross-cubicle call entering its trampoline and
 // opens the span used to compute its elapsed cycles.
 func (t *Tracer) CallEnter(thread, from, to int, sym string, stackBytes uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	s := t.shardFor(thread)
 	e := Edge{From: int32(from), To: int32(to)}
-	t.edgeCalls[e]++
-	t.record(Event{Kind: EvCallEnter, Thread: int32(thread), Cubicle: int32(from),
-		Other: int32(to), Arg: stackBytes, Name: sym})
-	t.open[int32(thread)] = append(t.open[int32(thread)], openCall{edge: e, start: t.nowFor(int32(thread))})
+	s.bumpEdge(e)
+	now := s.record(EvCallEnter, int32(thread), int32(from), int32(to), stackBytes, 0, sym)
+	t.pushOpen(thread, openCall{edge: e, start: now})
 }
 
 // CallExit records the return of the innermost open call on thread,
 // observing its inclusive elapsed cycles into the per-edge histogram.
 func (t *Tracer) CallExit(thread, from, to int, sym string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	tid := int32(thread)
+	s := t.shardFor(thread)
 	var elapsed uint64
-	if stk := t.open[tid]; len(stk) > 0 {
-		oc := stk[len(stk)-1]
-		t.open[tid] = stk[:len(stk)-1]
-		elapsed = t.nowFor(tid) - oc.start
-		h := t.edgeHists[oc.edge]
-		if h == nil {
-			h = &Hist{}
-			t.edgeHists[oc.edge] = h
-		}
-		h.Observe(elapsed)
+	if oc, ok := t.popOpen(thread); ok {
+		elapsed = s.clock.Cycles() - oc.start
+		s.observeEdge(oc.edge, elapsed)
 	}
-	t.record(Event{Kind: EvCallExit, Thread: tid, Cubicle: int32(from),
-		Other: int32(to), Arg: elapsed, Cost: elapsed, Name: sym})
+	s.record(EvCallExit, int32(thread), int32(from), int32(to), elapsed, elapsed, sym)
 }
 
 // SharedCall records a call into a shared cubicle.
 func (t *Tracer) SharedCall(thread, cur, callee int, sym string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvSharedCall, Thread: int32(thread), Cubicle: int32(cur),
-		Other: int32(callee), Name: sym})
+	t.shardFor(thread).record(EvSharedCall, int32(thread), int32(cur), int32(callee), 0, 0, sym)
 }
 
 // Fault records a protection trap served by trap-and-map; elapsed is the
 // cycles the handler charged.
 func (t *Tracer) Fault(thread, cur, owner int, addr, elapsed uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvFault, Thread: int32(thread), Cubicle: int32(cur),
-		Other: int32(owner), Arg: addr, Cost: elapsed})
+	t.shardFor(thread).record(EvFault, int32(thread), int32(cur), int32(owner), addr, elapsed, "")
 }
 
 // DeniedFault records a protection trap that no window authorised.
 func (t *Tracer) DeniedFault(thread, cur, owner int, addr uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvDeniedFault, Thread: int32(thread), Cubicle: int32(cur),
-		Other: int32(owner), Arg: addr})
+	t.shardFor(thread).record(EvDeniedFault, int32(thread), int32(cur), int32(owner), addr, 0, "")
 }
 
 // Retag records one page retag to the given key on behalf of thread
 // (-1 for monitor-context retags such as key evictions and pin rollback).
 func (t *Tracer) Retag(thread, cur int, addr uint64, key uint8) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvRetag, Thread: int32(thread), Cubicle: int32(cur),
-		Other: int32(key), Arg: addr})
+	t.shardFor(thread).record(EvRetag, int32(thread), int32(cur), int32(key), addr, 0, "")
 }
 
 // Shootdown records the TLB shootdown a retag performs on a multi-core
 // machine: cleared is the number of remote span-TLB entries invalidated,
 // cost the synchronisation cycles charged.
 func (t *Tracer) Shootdown(thread, cur int, cleared, cost uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvShootdown, Thread: int32(thread), Cubicle: int32(cur),
-		Arg: cleared, Cost: cost})
+	t.shardFor(thread).record(EvShootdown, int32(thread), int32(cur), 0, cleared, cost, "")
 }
 
 // WRPKRU records one wrpkru execution.
 func (t *Tracer) WRPKRU(thread, cur int, pkru uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvWRPKRU, Thread: int32(thread), Cubicle: int32(cur), Arg: pkru})
+	t.shardFor(thread).record(EvWRPKRU, int32(thread), int32(cur), 0, pkru, 0, "")
 }
 
-// WindowOp records one window-management API call.
-func (t *Tracer) WindowOp(cur int, op string, wid int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvWindowOp, Thread: -1, Cubicle: int32(cur), Arg: uint64(wid), Name: op})
+// WindowOp records one window-management API call by cubicle cur on
+// behalf of thread (-1 for monitor-context window work).
+func (t *Tracer) WindowOp(thread, cur int, op string, wid int) {
+	t.shardFor(thread).record(EvWindowOp, int32(thread), int32(cur), 0, uint64(wid), 0, op)
 }
 
 // WindowSearch records one linear window-descriptor search of the trap
 // handler; steps is the number of descriptor entries visited.
-func (t *Tracer) WindowSearch(cur int, steps uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvWindowSearch, Thread: -1, Cubicle: int32(cur), Arg: steps})
+func (t *Tracer) WindowSearch(thread, cur int, steps uint64) {
+	t.shardFor(thread).record(EvWindowSearch, int32(thread), int32(cur), 0, steps, 0, "")
 }
 
 // KeyEviction records an MPK key recycled away from cubicle victim.
 func (t *Tracer) KeyEviction(victim int, key uint8) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvKeyEviction, Thread: -1, Cubicle: int32(victim),
-		Other: int32(key), Arg: uint64(key)})
+	t.s0.record(EvKeyEviction, -1, int32(victim), int32(key), uint64(key), 0, "")
 }
 
 // IPC records one message-passing call of a microkernel baseline.
-func (t *Tracer) IPC(cur int, op string, bytes, cost uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvIPC, Thread: -1, Cubicle: int32(cur), Arg: bytes, Cost: cost, Name: op})
+func (t *Tracer) IPC(thread, cur int, op string, bytes, cost uint64) {
+	t.shardFor(thread).record(EvIPC, int32(thread), int32(cur), 0, bytes, cost, op)
 }
 
-// Copy records a checked bulk copy of n bytes.
-func (t *Tracer) Copy(cur int, n uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvCopy, Thread: -1, Cubicle: int32(cur), Arg: n})
+// Copy records a checked bulk copy of n bytes by thread.
+func (t *Tracer) Copy(thread, cur int, n uint64) {
+	t.shardFor(thread).record(EvCopy, int32(thread), int32(cur), 0, n, 0, "")
 }
 
 // Mark records an application-level marker. Label should be a constant
 // string so that recording stays allocation-free.
 func (t *Tracer) Mark(thread, cur int, label string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvMark, Thread: int32(thread), Cubicle: int32(cur), Name: label})
+	t.shardFor(thread).record(EvMark, int32(thread), int32(cur), 0, 0, 0, label)
 }
 
 // Contained records a fault contained at a crossing: callee is the cubicle
 // whose fault was converted into a typed error, caller the cubicle it was
 // delivered to, class the fault class label (a constant string).
 func (t *Tracer) Contained(thread, callee, caller int, class string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvContained, Thread: int32(thread), Cubicle: int32(callee),
-		Other: int32(caller), Name: class})
+	t.shardFor(thread).record(EvContained, int32(thread), int32(callee), int32(caller), 0, 0, class)
 }
 
 // Quarantine records cubicle id entering quarantine with the given backoff
 // in virtual cycles.
 func (t *Tracer) Quarantine(id int, backoff uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvQuarantine, Thread: -1, Cubicle: int32(id), Arg: backoff})
+	t.s0.record(EvQuarantine, -1, int32(id), 0, backoff, 0, "")
 }
 
 // Restart records a supervisor restart of cubicle id; count is the
 // cubicle's lifetime restart count including this one.
 func (t *Tracer) Restart(id int, count uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvRestart, Thread: -1, Cubicle: int32(id), Arg: count})
+	t.s0.record(EvRestart, -1, int32(id), 0, count, 0, "")
 }
 
 // Injected records one deterministic fault injection against cubicle cub
 // at the named site (a constant string).
 func (t *Tracer) Injected(cub int, site string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvInjected, Thread: -1, Cubicle: int32(cub), Name: site})
+	t.s0.record(EvInjected, -1, int32(cub), 0, 0, 0, site)
 }
 
-// Shed records a request refused by admission control in cubicle cub;
-// reason is a constant label and status the HTTP status sent back.
-func (t *Tracer) Shed(cub int, reason string, status uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvShed, Thread: -1, Cubicle: int32(cub), Arg: status, Name: reason})
+// Shed records a request refused by admission control in cubicle cub on
+// behalf of thread; reason is a constant label and status the HTTP status
+// sent back.
+func (t *Tracer) Shed(thread, cub int, reason string, status uint64) {
+	t.shardFor(thread).record(EvShed, int32(thread), int32(cub), 0, status, 0, reason)
 }
 
 // DeadlineMiss records work abandoned in cubicle cub because the thread's
 // deadline had passed; now is the clock at detection time.
 func (t *Tracer) DeadlineMiss(thread, cub int, deadline, now uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var over uint64
 	if now > deadline {
 		over = now - deadline
 	}
-	t.record(Event{Kind: EvDeadline, Thread: int32(thread), Cubicle: int32(cub),
-		Arg: deadline, Cost: over})
+	t.shardFor(thread).record(EvDeadline, int32(thread), int32(cub), 0, deadline, over, "")
 }
 
 // QuotaHit records a memory-quota refusal for cubicle cub on the named
 // resource (a constant string); used is the attempted usage, limit the cap.
-func (t *Tracer) QuotaHit(cub int, resource string, used, limit uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvQuota, Thread: -1, Cubicle: int32(cub),
-		Arg: used, Cost: limit, Name: resource})
+func (t *Tracer) QuotaHit(thread, cub int, resource string, used, limit uint64) {
+	t.shardFor(thread).record(EvQuota, int32(thread), int32(cub), 0, used, limit, resource)
 }
 
 // Retry records one bounded-retry attempt by cubicle cub after a transient
 // contained fault; backoff is the virtual-cycle penalty charged before it.
-func (t *Tracer) Retry(cub int, attempt, backoff uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.record(Event{Kind: EvRetry, Thread: -1, Cubicle: int32(cub),
-		Arg: attempt, Cost: backoff})
+func (t *Tracer) Retry(thread, cub int, attempt, backoff uint64) {
+	t.shardFor(thread).record(EvRetry, int32(thread), int32(cub), 0, attempt, backoff, "")
 }
 
 // --- Queries -----------------------------------------------------------------
 
 // Count returns the number of events of kind k recorded so far (streaming;
-// unaffected by ring overwrites).
+// unaffected by ring overwrites), summed over shards.
 func (t *Tracer) Count(k Kind) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.counts[k]
+	var n uint64
+	for _, s := range t.shards {
+		n += s.counts[k]
+	}
+	return n
 }
 
 // Weight returns the accumulated Arg sum for weighted kinds: stack-arg
 // bytes for EvCallEnter, search steps for EvWindowSearch, bytes for
 // EvCopy and EvIPC, invalidated entries for EvShootdown.
 func (t *Tracer) Weight(k Kind) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.weights[k]
+	var n uint64
+	for _, s := range t.shards {
+		n += s.weights[k]
+	}
+	return n
 }
 
-// EdgeCalls returns a copy of the per-edge call counts.
+// EdgeCalls returns a copy of the per-edge call counts, merged over shards.
 func (t *Tracer) EdgeCalls() map[Edge]uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.edgeCallsLocked()
+	out := make(map[Edge]uint64)
+	for _, s := range t.shards {
+		s.forEachEdge(func(e Edge, calls uint64, _ *Hist) {
+			if calls > 0 {
+				out[e] += calls
+			}
+		})
+	}
+	return out
 }
 
-func (t *Tracer) edgeCallsLocked() map[Edge]uint64 {
-	out := make(map[Edge]uint64, len(t.edgeCalls))
-	for e, n := range t.edgeCalls {
-		out[e] = n
+// edgeHistsMerged merges the per-shard edge histograms. With one shard the
+// returned map aliases the live histograms; exporters only read.
+func (t *Tracer) edgeHistsMerged() map[Edge]*Hist {
+	out := make(map[Edge]*Hist)
+	for _, s := range t.shards {
+		s.forEachEdge(func(e Edge, _ uint64, h *Hist) {
+			if h == nil || h.Count() == 0 {
+				return
+			}
+			if len(t.shards) == 1 {
+				out[e] = h
+				return
+			}
+			m := out[e]
+			if m == nil {
+				m = &Hist{}
+				out[e] = m
+			}
+			m.Merge(h)
+		})
 	}
 	return out
 }
@@ -522,10 +707,9 @@ type EdgeSummary struct {
 // EdgeSummaries returns the per-edge call-latency digests sorted by
 // descending call count (ties by edge).
 func (t *Tracer) EdgeSummaries() []EdgeSummary {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]EdgeSummary, 0, len(t.edgeHists))
-	for e, h := range t.edgeHists {
+	hists := t.edgeHistsMerged()
+	out := make([]EdgeSummary, 0, len(hists))
+	for e, h := range hists {
 		out = append(out, EdgeSummary{Edge: e, Hist: h.Summary()})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -540,60 +724,130 @@ func (t *Tracer) EdgeSummaries() []EdgeSummary {
 	return out
 }
 
-// EdgeHist returns the latency histogram of one edge, or nil.
+// EdgeHist returns the latency histogram of one edge (merged over shards),
+// or nil if the edge has no observations.
 func (t *Tracer) EdgeHist(e Edge) *Hist {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.edgeHists[e]
-}
-
-// ClassHist returns the cycle-cost histogram of one event class, or nil
-// if no event of that class carried a cost.
-func (t *Tracer) ClassHist(k Kind) *Hist {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.classHist[k]
-}
-
-// Events returns the ring contents in chronological order. The slice
-// aliases fresh copies; mutating it does not affect the tracer.
-func (t *Tracer) Events() []Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n := t.next
-	capa := uint64(len(t.buf))
-	if n <= capa {
-		out := make([]Event, n)
-		copy(out, t.buf[:n])
-		return out
+	var merged *Hist
+	for _, s := range t.shards {
+		var h *Hist
+		if i := flatSlot(e); i >= 0 {
+			h = s.edgeHists[i]
+		} else {
+			h = s.overflowHists[e]
+		}
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if len(t.shards) == 1 {
+			return h
+		}
+		if merged == nil {
+			merged = &Hist{}
+		}
+		merged.Merge(h)
 	}
-	out := make([]Event, capa)
-	start := n % capa
-	copy(out, t.buf[start:])
-	copy(out[capa-start:], t.buf[:start])
+	return merged
+}
+
+// ClassHist returns the cycle-cost histogram of one event class (merged
+// over shards), or nil if no event of that class carried a cost.
+func (t *Tracer) ClassHist(k Kind) *Hist {
+	var merged *Hist
+	for _, s := range t.shards {
+		h := s.classHist[k]
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		if len(t.shards) == 1 {
+			return h
+		}
+		if merged == nil {
+			merged = &Hist{}
+		}
+		merged.Merge(h)
+	}
+	return merged
+}
+
+// Events returns the surviving ring contents of all shards merged into one
+// stream ordered by (Cycle, Core, Seq) — deterministic, nondecreasing in
+// GVT, and order-preserving within every shard. The slice holds fresh
+// copies; mutating it does not affect the tracer.
+func (t *Tracer) Events() []Event {
+	if len(t.shards) == 1 {
+		return t.s0.events()
+	}
+	var out []Event
+	for _, s := range t.shards {
+		out = append(out, s.events()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		if out[i].Core != out[j].Core {
+			return out[i].Core < out[j].Core
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
 }
 
-// Recorded returns the total number of events recorded (including those
-// overwritten in the ring).
-func (t *Tracer) Recorded() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.next
-}
-
-// Dropped returns how many events have been overwritten by ring wrap.
-func (t *Tracer) Dropped() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.droppedLocked()
-}
-
-func (t *Tracer) droppedLocked() uint64 {
-	if capa := uint64(len(t.buf)); t.next > capa {
-		return t.next - capa
+// ShardEvents returns one shard's surviving ring contents in order.
+func (t *Tracer) ShardEvents(core int) []Event {
+	if core < 0 || core >= len(t.shards) {
+		return nil
 	}
-	return 0
+	return t.shards[core].events()
+}
+
+// Recorded returns the total number of events recorded across all shards
+// (including those overwritten in the rings).
+func (t *Tracer) Recorded() uint64 {
+	var n uint64
+	for _, s := range t.shards {
+		n += s.next
+	}
+	return n
+}
+
+// Dropped returns how many events have been overwritten by ring wrap,
+// summed over shards. Bounded rings never lose events silently: every
+// overwrite is counted here and per shard in ShardDropped.
+func (t *Tracer) Dropped() uint64 {
+	var n uint64
+	for _, s := range t.shards {
+		n += s.dropped()
+	}
+	return n
+}
+
+// ShardRecorded returns how many events shard core has recorded.
+func (t *Tracer) ShardRecorded(core int) uint64 {
+	if core < 0 || core >= len(t.shards) {
+		return 0
+	}
+	return t.shards[core].next
+}
+
+// ShardDropped returns how many of shard core's events ring wrap overwrote.
+func (t *Tracer) ShardDropped(core int) uint64 {
+	if core < 0 || core >= len(t.shards) {
+		return 0
+	}
+	return t.shards[core].dropped()
+}
+
+// MaxCycles is global virtual time as the tracer sees it: the maximum over
+// shard clocks (the boot clock on a single-core machine).
+func (t *Tracer) MaxCycles() uint64 {
+	max := uint64(0)
+	for _, s := range t.shards {
+		if v := s.clock.Cycles(); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // Counts is the flat event-count view of the trace, mirroring the legacy
@@ -642,41 +896,47 @@ func (t *Tracer) SetTLBCounters(fn func() (hits, misses, invalidations uint64)) 
 	t.tlbCounters = fn
 }
 
-// Counts derives the flat counters from the event stream.
+// Counts derives the flat counters from the event stream, summed over
+// shards.
 func (t *Tracer) Counts() Counts {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	var counts, weights [numKinds]uint64
+	for _, s := range t.shards {
+		for k := 0; k < int(numKinds); k++ {
+			counts[k] += s.counts[k]
+			weights[k] += s.weights[k]
+		}
+	}
 	var tlbHits, tlbMisses, tlbInval uint64
 	if t.tlbCounters != nil {
 		tlbHits, tlbMisses, tlbInval = t.tlbCounters()
 	}
 	return Counts{
-		CallsTotal:                t.counts[EvCallEnter],
-		SharedCalls:               t.counts[EvSharedCall],
-		Faults:                    t.counts[EvFault],
-		DeniedFaults:              t.counts[EvDeniedFault],
-		Retags:                    t.counts[EvRetag],
-		WRPKRUs:                   t.counts[EvWRPKRU],
-		WindowOps:                 t.counts[EvWindowOp],
-		WindowSearchSteps:         t.weights[EvWindowSearch],
-		StackBytesCopied:          t.weights[EvCallEnter],
-		BulkBytesCopied:           t.weights[EvCopy],
-		KeyEvictions:              t.counts[EvKeyEviction],
-		IPCMessages:               t.counts[EvIPC],
-		ContainedFaults:           t.counts[EvContained],
-		Quarantines:               t.counts[EvQuarantine],
-		Restarts:                  t.counts[EvRestart],
-		InjectedFaults:            t.counts[EvInjected],
-		Sheds:                     t.counts[EvShed],
-		DeadlineFaults:            t.counts[EvDeadline],
-		QuotaFaults:               t.counts[EvQuota],
-		Retries:                   t.counts[EvRetry],
-		TLBShootdowns:             t.counts[EvShootdown],
-		TLBShootdownInvalidations: t.weights[EvShootdown],
+		CallsTotal:                counts[EvCallEnter],
+		SharedCalls:               counts[EvSharedCall],
+		Faults:                    counts[EvFault],
+		DeniedFaults:              counts[EvDeniedFault],
+		Retags:                    counts[EvRetag],
+		WRPKRUs:                   counts[EvWRPKRU],
+		WindowOps:                 counts[EvWindowOp],
+		WindowSearchSteps:         weights[EvWindowSearch],
+		StackBytesCopied:          weights[EvCallEnter],
+		BulkBytesCopied:           weights[EvCopy],
+		KeyEvictions:              counts[EvKeyEviction],
+		IPCMessages:               counts[EvIPC],
+		ContainedFaults:           counts[EvContained],
+		Quarantines:               counts[EvQuarantine],
+		Restarts:                  counts[EvRestart],
+		InjectedFaults:            counts[EvInjected],
+		Sheds:                     counts[EvShed],
+		DeadlineFaults:            counts[EvDeadline],
+		QuotaFaults:               counts[EvQuota],
+		Retries:                   counts[EvRetry],
+		TLBShootdowns:             counts[EvShootdown],
+		TLBShootdownInvalidations: weights[EvShootdown],
 		TLBHits:                   tlbHits,
 		TLBMisses:                 tlbMisses,
 		TLBInvalidations:          tlbInval,
-		Calls:                     t.edgeCallsLocked(),
+		Calls:                     t.EdgeCalls(),
 	}
 }
 

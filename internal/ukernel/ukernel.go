@@ -151,7 +151,7 @@ func (c ipcCall) Call(e *cubicle.Env, args ...uint64) []uint64 {
 		payload += 2 * n
 	}
 	if trc := c.mon.Tracer(); trc != nil {
-		trc.IPC(int(e.Cubicle()), c.name, payload, overhead)
+		trc.IPC(e.T.TID(), int(e.Cubicle()), c.name, payload, overhead)
 	}
 	return rets
 }

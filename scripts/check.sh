@@ -53,4 +53,11 @@ else
 fi
 go run ./cmd/httpbench -cores 2 -rates 2000 -requests 100 >/dev/null
 
+# Observability gates: SMP merge invariants over the sharded rings at
+# cores=4, the /metrics exposition and dashboard smoke, and the
+# tracing-overhead ratio (paired benchmark, drift-immune; <= 1.6).
+go run ./cmd/cubicle-trace -check -format json -cores 4 -requests 10 >/dev/null
+go run ./cmd/cubicle-top -once -requests 120 >/dev/null
+./scripts/bench.sh -assert
+
 echo "check.sh: all green"
