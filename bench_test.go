@@ -634,6 +634,95 @@ func BenchmarkAblationTagVirtualisation(b *testing.B) {
 	}
 }
 
+// --- Warm-restart MTTR: checkpointed vs cold supervised recovery --------------
+
+// BenchmarkWarmRestartMTTR drives the same deterministic chaos siege
+// (faults injected into RAMFS) twice — once with the checkpoint manager
+// armed, once without — and reports the availability comparison on the
+// virtual clock: degraded cycles (MTTR), shed requests, and restart mix.
+// Warm restores rewind RAMFS to its last checkpoint, so the warm series
+// must show strictly fewer failures and strictly fewer degraded cycles;
+// the assertion lives in TestWarmVsColdSiege, this bench publishes the
+// numbers into BENCH_simulator.json.
+func BenchmarkWarmRestartMTTR(b *testing.B) {
+	type outcome struct {
+		failed int
+		mttr   uint64
+		stats  cubicle.Stats
+	}
+	drive := func(checkpointInterval uint64) outcome {
+		policy := cubicleos.DefaultRestartPolicy()
+		policy.MaxRestarts = 1000
+		policy.CrossingBudget = 200_000_000
+		tgt, err := siege.NewTargetOpts(siege.Options{
+			Mode:               cubicleos.ModeFull,
+			Supervision:        &policy,
+			CheckpointInterval: checkpointInterval,
+			Chaos: &cubicleos.ChaosConfig{
+				Seed:             7,
+				Target:           "RAMFS",
+				ProtAtCrossing:   0.010,
+				CFIAtCrossing:    0.003,
+				BudgetAtCrossing: 0.002,
+				LeakAtCrossing:   0.005,
+				ProtAtWindowOp:   0.003,
+				ProtAtRetag:      0.002,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, 16<<10)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := tgt.PutFile("/f.bin", data); err != nil {
+			b.Fatal(err)
+		}
+		clk := tgt.Sys.M.Clock
+		tgt.Sys.Chaos.Arm()
+		var out outcome
+		degradedSince := uint64(0)
+		for i := 0; i < 60; i++ {
+			before := clk.Cycles()
+			res, err := tgt.Fetch("/f.bin")
+			if err == nil && res.Status == 200 {
+				if degradedSince != 0 {
+					out.mttr += clk.Cycles() - degradedSince
+					degradedSince = 0
+				}
+				continue
+			}
+			out.failed++
+			if degradedSince == 0 {
+				degradedSince = before
+			}
+			if err == nil && res.Status == 404 {
+				_ = tgt.PutFile("/f.bin", data) // operator re-provision: the cold path's recovery cost
+			}
+		}
+		if degradedSince != 0 {
+			out.mttr += clk.Cycles() - degradedSince
+		}
+		tgt.Sys.Chaos.Disarm()
+		out.stats = tgt.Sys.M.Stats
+		return out
+	}
+	var warm, cold outcome
+	for i := 0; i < b.N; i++ {
+		warm = drive(300_000)
+		cold = drive(0)
+	}
+	b.ReportMetric(float64(warm.mttr), "warmdegradedcycles")
+	b.ReportMetric(float64(cold.mttr), "colddegradedcycles")
+	b.ReportMetric(float64(warm.failed), "warmfailed")
+	b.ReportMetric(float64(cold.failed), "coldfailed")
+	b.ReportMetric(float64(warm.stats.WarmRestarts), "warmrestarts")
+	b.ReportMetric(float64(cold.stats.ColdRestarts), "coldrestarts")
+	b.ReportMetric(float64(warm.stats.Checkpoints), "checkpoints")
+	b.ReportMetric(float64(warm.stats.CheckpointBytes), "ckptbytes")
+}
+
 // --- Table 2: component inventory ---------------------------------------------
 
 // BenchmarkTable2Boot measures system assembly (builder + loader + wiring)

@@ -61,6 +61,16 @@ type cubicleInfo struct {
 	LastFault  string   `json:"last_fault,omitempty"`
 	Components []string `json:"components,omitempty"`
 	Exports    []string `json:"exports,omitempty"`
+	// Checkpoint, when the cubicle has a last good checkpoint, reports
+	// when it was captured and how big it is — the warm-recovery state an
+	// operator has to reason about.
+	Checkpoint *checkpointInfo `json:"checkpoint,omitempty"`
+}
+
+type checkpointInfo struct {
+	Cycle uint64 `json:"cycle"`
+	Bytes uint64 `json:"bytes"`
+	Pages uint64 `json:"pages"`
 }
 
 type pageMapEntry struct {
@@ -92,6 +102,10 @@ type counters struct {
 	ContainedFaults   uint64      `json:"contained_faults"`
 	Quarantines       uint64      `json:"quarantines"`
 	Restarts          uint64      `json:"restarts"`
+	WarmRestarts      uint64      `json:"warm_restarts"`
+	ColdRestarts      uint64      `json:"cold_restarts"`
+	Checkpoints       uint64      `json:"checkpoints"`
+	CheckpointBytes   uint64      `json:"checkpoint_bytes"`
 	InjectedFaults    uint64      `json:"injected_faults"`
 	Sheds             uint64      `json:"sheds"`
 	DeadlineFaults    uint64      `json:"deadline_faults"`
@@ -121,6 +135,9 @@ func buildReport(m *cubicleos.Monitor) *report {
 		}
 		if lf := c.LastFault(); lf != nil {
 			ci.LastFault = lf.Error()
+		}
+		if info, ok := m.LastCheckpoint(c.ID); ok {
+			ci.Checkpoint = &checkpointInfo{Cycle: info.Cycle, Bytes: info.Bytes, Pages: info.Pages}
 		}
 		r.Cubicles = append(r.Cubicles, ci)
 	}
@@ -172,6 +189,10 @@ func buildReport(m *cubicleos.Monitor) *report {
 		ContainedFaults:   st.ContainedFaults,
 		Quarantines:       st.Quarantines,
 		Restarts:          st.Restarts,
+		WarmRestarts:      st.WarmRestarts,
+		ColdRestarts:      st.ColdRestarts,
+		Checkpoints:       st.Checkpoints,
+		CheckpointBytes:   st.CheckpointBytes,
 		InjectedFaults:    st.InjectedFaults,
 		Sheds:             st.Sheds,
 		DeadlineFaults:    st.DeadlineFaults,
@@ -216,12 +237,14 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	ring := flag.Int("ring", 1<<14, "trace ring capacity in events per core shard (0 = tracing off)")
 	metricsInterval := flag.Uint64("metrics-interval", 500_000, "metrics snapshot interval in virtual cycles (0 = metrics off)")
+	checkpoint := flag.Uint64("checkpoint", 500_000, "checkpoint interval in virtual cycles (0 = checkpoints off)")
 	flag.Parse()
 
 	tgt, err := siege.NewTargetOpts(siege.Options{
-		Mode:            cubicleos.ModeFull,
-		TraceEvents:     *ring,
-		MetricsInterval: *metricsInterval,
+		Mode:               cubicleos.ModeFull,
+		TraceEvents:        *ring,
+		MetricsInterval:    *metricsInterval,
+		CheckpointInterval: *checkpoint,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -263,6 +286,10 @@ func main() {
 			m.WindowCount(c.ID), c.Health(), c.Restarts(), show)
 		if lf := c.LastFault(); lf != nil {
 			fmt.Printf("     last fault: %v\n", lf)
+		}
+		if info, ok := m.LastCheckpoint(c.ID); ok {
+			fmt.Printf("     last checkpoint: cycle %d, %d bytes, %d heap pages\n",
+				info.Cycle, info.Bytes, info.Pages)
 		}
 	}
 
@@ -322,6 +349,8 @@ func main() {
 	fmt.Printf("  bulk bytes copied     %10d\n", st.BulkBytesCopied)
 	fmt.Printf("  contained faults      %10d (%d injected)\n", st.ContainedFaults, st.InjectedFaults)
 	fmt.Printf("  quarantines           %10d (%d restarts)\n", st.Quarantines, st.Restarts)
+	fmt.Printf("  warm restarts         %10d (%d cold)\n", st.WarmRestarts, st.ColdRestarts)
+	fmt.Printf("  checkpoints taken     %10d (%d bytes)\n", st.Checkpoints, st.CheckpointBytes)
 	fmt.Printf("  load sheds            %10d\n", st.Sheds)
 	fmt.Printf("  deadline faults       %10d\n", st.DeadlineFaults)
 	fmt.Printf("  quota faults          %10d\n", st.QuotaFaults)

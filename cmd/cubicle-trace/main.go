@@ -17,11 +17,19 @@
 // round-trip through encoding/json, and the per-cubicle profile total is
 // checked against the virtual clock — the invariants scripts/check.sh
 // smoke-tests in CI.
+//
+// With -replay the command becomes a record/replay determinism check: the
+// same workload (same seed, same chaos schedule) is executed twice, the
+// second run halting its virtual clock at -until cycles (0 = run to the
+// end), and the two shard-merged event streams must agree bit-identically
+// on every event with Cycle <= until. Any divergence — one event, one
+// field — is a determinism bug and exits non-zero.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +40,7 @@ import (
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/ramfs"
 	"cubicleos/internal/siege"
+	"cubicleos/internal/trace"
 )
 
 func main() {
@@ -45,6 +54,9 @@ func main() {
 	check := flag.Bool("check", false, "validate output invariants and report them on stderr")
 	cores := flag.Int("cores", 1, "simulated cores: > 1 boots per-core clocks and per-core trace ring shards")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "run under supervision with deterministic fault injection into RAMFS from this seed (0 = off)")
+	checkpoint := flag.Uint64("checkpoint", 0, "checkpoint interval in virtual cycles (0 = off): quiescent cubicles are snapshotted and supervised restarts restore warm state")
+	replay := flag.Bool("replay", false, "record/replay determinism check: execute the run twice and compare the event streams bit-identically")
+	until := flag.Uint64("until", 0, "with -replay: halt the replay run's virtual clock at this cycle and compare events with Cycle <= until (0 = full run)")
 	flag.Parse()
 
 	var m cubicleos.Mode
@@ -61,53 +73,40 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	opts := siege.Options{Mode: m, TraceEvents: *ring, TraceSamplePeriod: *sample, SMPCores: *cores}
-	if *chaosSeed != 0 {
-		policy := cubicleos.DefaultRestartPolicy()
-		policy.MaxRestarts = 1000 // the smoke asserts recovery, not death
-		policy.CrossingBudget = 200_000_000
-		opts.Supervision = &policy
-		opts.Chaos = &cubicleos.ChaosConfig{
-			Seed:             *chaosSeed,
-			Target:           ramfs.Name,
-			ProtAtCrossing:   0.010,
-			CFIAtCrossing:    0.003,
-			BudgetAtCrossing: 0.002,
-			LeakAtCrossing:   0.005,
-			ProtAtWindowOp:   0.003,
-			ProtAtRetag:      0.002,
+	// mkOpts builds a fresh option set per boot: the replay path boots the
+	// deployment twice and must not share mutable config across runs.
+	mkOpts := func() siege.Options {
+		opts := siege.Options{Mode: m, TraceEvents: *ring, TraceSamplePeriod: *sample,
+			SMPCores: *cores, CheckpointInterval: *checkpoint}
+		if *chaosSeed != 0 {
+			policy := cubicleos.DefaultRestartPolicy()
+			policy.MaxRestarts = 1000 // the smoke asserts recovery, not death
+			policy.CrossingBudget = 200_000_000
+			opts.Supervision = &policy
+			opts.Chaos = &cubicleos.ChaosConfig{
+				Seed:             *chaosSeed,
+				Target:           ramfs.Name,
+				ProtAtCrossing:   0.010,
+				CFIAtCrossing:    0.003,
+				BudgetAtCrossing: 0.002,
+				LeakAtCrossing:   0.005,
+				ProtAtWindowOp:   0.003,
+				ProtAtRetag:      0.002,
+			}
 		}
+		return opts
 	}
-	tgt, err := siege.NewTargetOpts(opts)
+
+	if *replay {
+		runReplay(mkOpts, *requests, *size, *chaosSeed, *until)
+		return
+	}
+
+	tgt, err := runWorkload(mkOpts(), *requests, *size, *chaosSeed, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tgt.PutFile("/trace.bin", make([]byte, *size)); err != nil {
-		log.Fatal(err)
-	}
-	if chaos := tgt.Sys.Chaos; chaos != nil {
-		chaos.Arm()
-	}
-	for i := 0; i < *requests; i++ {
-		res, err := tgt.Fetch("/trace.bin")
-		if *chaosSeed != 0 {
-			// Under chaos, degraded responses (503, 404 after a RAMFS
-			// restart, truncated bodies) are the expected behaviour; the run
-			// only has to survive and recover, never crash.
-			if err == nil && res.Status == 404 {
-				_ = tgt.PutFile("/trace.bin", make([]byte, *size))
-			}
-			continue
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		if res.Status != 200 {
-			log.Fatalf("request %d: status %d", i, res.Status)
-		}
-	}
-	if chaos := tgt.Sys.Chaos; chaos != nil {
-		chaos.Disarm()
+	if *chaosSeed != 0 {
 		if tgt.Sys.M.Stats.InjectedFaults == 0 {
 			log.Fatalf("chaos seed %d injected no faults over %d requests", *chaosSeed, *requests)
 		}
@@ -115,7 +114,7 @@ func main() {
 		for i := 0; i < 50 && !recovered; i++ {
 			if err := tgt.PutFile("/trace.bin", make([]byte, *size)); err != nil {
 				// Still in quarantine backoff; wait it out on the virtual clock.
-				tgt.Sys.M.Clock.Charge(opts.Supervision.BackoffMax)
+				tgt.Sys.M.Clock.Charge(cubicleos.DefaultRestartPolicy().BackoffMax)
 				continue
 			}
 			if res, err := tgt.Fetch("/trace.bin"); err == nil && res.Status == 200 {
@@ -161,6 +160,103 @@ func main() {
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runWorkload boots a target and drives the request loop. With stop != 0
+// the run halts as soon as the virtual clock reaches stop (the replay
+// side of a record/replay pair); halting only reads the clock, so a
+// halted run's step sequence is a bit-identical prefix of a full one.
+func runWorkload(opts siege.Options, requests, size int, chaosSeed, stop uint64) (*siege.Target, error) {
+	tgt, err := siege.NewTargetOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := tgt.PutFile("/trace.bin", make([]byte, size)); err != nil {
+		return nil, err
+	}
+	if chaos := tgt.Sys.Chaos; chaos != nil {
+		chaos.Arm()
+	}
+	for i := 0; i < requests; i++ {
+		var res *siege.Result
+		var err error
+		if stop != 0 {
+			res, err = tgt.FetchUntil("/trace.bin", stop)
+			if errors.Is(err, siege.ErrHalted) {
+				break
+			}
+		} else {
+			res, err = tgt.Fetch("/trace.bin")
+		}
+		if chaosSeed != 0 {
+			// Under chaos, degraded responses (503, 404 after a RAMFS
+			// restart, truncated bodies) are the expected behaviour; the run
+			// only has to survive and recover, never crash.
+			if err == nil && res.Status == 404 {
+				_ = tgt.PutFile("/trace.bin", make([]byte, size))
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != 200 {
+			return nil, fmt.Errorf("request %d: status %d", i, res.Status)
+		}
+	}
+	if chaos := tgt.Sys.Chaos; chaos != nil {
+		chaos.Disarm()
+	}
+	return tgt, nil
+}
+
+// runReplay executes the workload twice — record, then replay halted at
+// `until` — and requires the shard-merged event streams to agree
+// bit-identically on every event with Cycle <= until.
+func runReplay(mkOpts func() siege.Options, requests, size int, chaosSeed, until uint64) {
+	rec, err := runWorkload(mkOpts(), requests, size, chaosSeed, 0)
+	if err != nil {
+		log.Fatalf("record run: %v", err)
+	}
+	end := rec.Sys.M.Clock.Cycles()
+	cutoff := until
+	if cutoff == 0 || cutoff > end {
+		cutoff = end
+	}
+	rep, err := runWorkload(mkOpts(), requests, size, chaosSeed, until)
+	if err != nil {
+		log.Fatalf("replay run: %v", err)
+	}
+	recTrc, repTrc := rec.Sys.M.Tracer(), rep.Sys.M.Tracer()
+	// A ring overflow evicts the oldest events, so the retained stream is a
+	// suffix — the prefix comparison is only sound when nothing was lost.
+	if d := recTrc.Dropped() + repTrc.Dropped(); d != 0 {
+		log.Fatalf("trace ring overflowed (%d events dropped); raise -ring for a sound prefix comparison", d)
+	}
+	a := prefix(recTrc.Events(), cutoff)
+	b := prefix(repTrc.Events(), cutoff)
+	if len(a) != len(b) {
+		log.Fatalf("replay diverged: %d events with cycle <= %d recorded, %d replayed", len(a), cutoff, len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			log.Fatalf("replay diverged at event %d (cycle <= %d):\n  recorded: %+v\n  replayed: %+v",
+				i, cutoff, a[i], b[i])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "replay ok: %d events bit-identical up to cycle %d (record ran to %d, replay halted at %d) over %d core shards\n",
+		len(a), cutoff, end, rep.Sys.M.Clock.Cycles(), recTrc.Cores())
+}
+
+// prefix returns the events with Cycle <= cutoff; the merged stream is
+// nondecreasing in cycle, so this is a true stream prefix.
+func prefix(events []trace.Event, cutoff uint64) []trace.Event {
+	for i, ev := range events {
+		if ev.Cycle > cutoff {
+			return events[:i]
+		}
+	}
+	return events
 }
 
 // writeProfile prints the per-cubicle cycle profile as a table.
@@ -231,6 +327,21 @@ func validate(tgt *siege.Target, format string, output []byte) {
 	}
 	if got, want := derived.Retries, m.Stats.Retries; got != want {
 		fail("trace-derived retries %d != stats %d", got, want)
+	}
+	if got, want := derived.Checkpoints, m.Stats.Checkpoints; got != want {
+		fail("trace-derived checkpoints %d != stats %d", got, want)
+	}
+	if got, want := derived.CheckpointBytes, m.Stats.CheckpointBytes; got != want {
+		fail("trace-derived checkpoint bytes %d != stats %d", got, want)
+	}
+	if got, want := derived.WarmRestarts, m.Stats.WarmRestarts; got != want {
+		fail("trace-derived warm restarts %d != stats %d", got, want)
+	}
+	if got, want := derived.ColdRestarts, m.Stats.ColdRestarts; got != want {
+		fail("trace-derived cold restarts %d != stats %d", got, want)
+	}
+	if m.Stats.Restarts != m.Stats.WarmRestarts+m.Stats.ColdRestarts {
+		fail("restarts %d != warm %d + cold %d", m.Stats.Restarts, m.Stats.WarmRestarts, m.Stats.ColdRestarts)
 	}
 	for e, n := range m.Stats.Calls {
 		if derived.Calls[e] != n {

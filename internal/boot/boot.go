@@ -91,6 +91,13 @@ type Config struct {
 	// LwipReapClosed enables reclamation of fully closed LWIP sockets,
 	// bounding the stack's memory under connection churn.
 	LwipReapClosed bool
+	// CheckpointInterval, when non-zero, arms warm recovery: every that
+	// many virtual cycles the monitor captures a checkpoint of each
+	// quiescent checkpointable cubicle, and the supervisor's restart path
+	// restores the last good checkpoint instead of rebuilding from empty.
+	// Meaningful with Supervision set; harmless without it (checkpoints
+	// are taken but never consumed).
+	CheckpointInterval uint64
 	// SMPCores, when > 1, gives the simulated machine that many cores:
 	// per-core virtual clocks, a GVT machine over them, and libmpk-style
 	// TLB shootdowns on every retag. The default (0 or 1) keeps the
@@ -156,6 +163,9 @@ func NewFS(cfg Config) (*System, error) {
 	}
 	if cfg.Supervision != nil {
 		s.Sup = m.EnableContainment(*cfg.Supervision)
+	}
+	if cfg.CheckpointInterval > 0 {
+		m.EnableCheckpoints(cfg.CheckpointInterval)
 	}
 	s.M = m
 	s.Time = uktime.New(m.Clock)

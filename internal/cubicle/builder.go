@@ -35,6 +35,20 @@ type Component struct {
 	// the supervisor restarts its cubicle (the simulator's analogue of the
 	// component's initialiser re-running on the fresh image).
 	OnRestart func()
+	// Snapshot, when set, serialises the component's Go-side state into a
+	// deterministic blob for warm recovery. It runs at quiescent points
+	// (no open windows, no in-flight crossing into the cubicle); returning
+	// an error vetoes the checkpoint round — the component is mid-state
+	// (live connections, non-idle sockets) and the previous checkpoint
+	// stays good. The SnapCtx grants monitor-privileged access to simulated
+	// memory so content held in foreign pages (e.g. ALLOC-owned file pages)
+	// can be captured too.
+	Snapshot func(*SnapCtx) ([]byte, error)
+	// Restore rebuilds the component's Go-side state from a Snapshot blob
+	// after the supervisor warm-restarts its cubicle. Returning an error
+	// aborts the warm restore; the supervisor falls back to the cold
+	// OnRestart path. A component providing Snapshot must provide Restore.
+	Restore func(*SnapCtx, []byte) error
 }
 
 // descriptor is the canonical byte encoding of a trampoline descriptor,

@@ -1,0 +1,358 @@
+package cubicle
+
+import (
+	"fmt"
+	"sort"
+
+	"cubicleos/internal/snapshot"
+	"cubicleos/internal/vm"
+)
+
+// This file is the monitor's warm-recovery layer: periodic cubicle
+// checkpoints taken at quiescent points, and the checkpoint-restore path
+// the supervisor uses to warm-restart a quarantined cubicle instead of
+// rebuilding it from empty.
+//
+// A checkpoint is a deterministic, versioned byte image (package snapshot)
+// of everything a restart would otherwise destroy: the cubicle's heap
+// pages with their metadata, the sub-allocator's free list and live-block
+// table, the window descriptors, and one opaque blob per component
+// (Component.Snapshot). Code, global and stack pages are deliberately
+// absent — code and globals survive restarts untouched (immutable,
+// re-verified state, exactly as after the original load) and stacks are
+// recreated lazily by the next crossing.
+//
+// Quiescence rule: a cubicle may only be checkpointed when no thread has a
+// frame executing inside it (so no crossing is in flight) and every window
+// it owns is closed and unpinned (so no temporal grant is half-made). The
+// cadence hook sits at trampoline Call entry at frame depth zero — the
+// monitor's big lock is held across entire crossings, so at that point no
+// other thread is mid-crossing anywhere and the check is a cheap scan.
+
+// snapHook is one component's snapshot/restore callback pair, registered
+// by the loader in load order.
+type snapHook struct {
+	name    string
+	snap    func(*SnapCtx) ([]byte, error)
+	restore func(*SnapCtx, []byte) error
+}
+
+// checkpointRecord is the monitor's last good checkpoint of one cubicle.
+type checkpointRecord struct {
+	img   []byte // encoded snapshot.Image
+	cycle uint64 // virtual time of capture
+	pages uint64 // heap pages captured
+}
+
+// SnapCtx is the capability handed to component Snapshot/Restore hooks:
+// monitor-privileged access to simulated memory, bypassing MPK and window
+// checks (the monitor executes with access to all keys, §5.3). Component
+// state frequently lives in pages owned by another cubicle — NGINX-style
+// deployments keep RAMFS file pages in ALLOC's arenas — and a snapshot
+// must capture that content regardless of the current tag state.
+type SnapCtx struct {
+	m *Monitor
+	// Cubicle is the cubicle being checkpointed or restored.
+	Cubicle ID
+}
+
+// ReadMem copies n bytes of simulated memory at addr. It fails the hook
+// (by returning an error) rather than faulting: a snapshot hook reading a
+// stale address means the component's bookkeeping drifted from the page
+// state, which vetoes the checkpoint instead of killing the run.
+func (sc *SnapCtx) ReadMem(addr vm.Addr, n uint64) ([]byte, error) {
+	b := make([]byte, n)
+	if err := sc.m.AS.ReadAt(addr, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteMem writes b to simulated memory at addr with monitor privileges.
+func (sc *SnapCtx) WriteMem(addr vm.Addr, b []byte) error {
+	return sc.m.AS.WriteAt(addr, b)
+}
+
+// EnableCheckpoints arms the checkpoint manager with a virtual-clock
+// cadence: at the first trampoline call entry at or past each interval
+// threshold, every quiescent checkpointable cubicle is captured. Zero
+// disables. Like tracing and containment this is boot wiring; the hot
+// path guards on a single integer check.
+func (m *Monitor) EnableCheckpoints(interval uint64) {
+	m.ckptInterval = interval
+	m.ckptNext = interval
+}
+
+// CheckpointInterval returns the armed cadence (0 = disabled).
+func (m *Monitor) CheckpointInterval() uint64 { return m.ckptInterval }
+
+// CheckpointInfo describes a cubicle's last good checkpoint for the
+// inspector and tests.
+type CheckpointInfo struct {
+	Cubicle ID
+	Cycle   uint64 // virtual time the checkpoint was captured at
+	Bytes   uint64 // encoded image size
+	Pages   uint64 // heap pages captured
+}
+
+// LastCheckpoint returns the last good checkpoint of cubicle id, if any.
+func (m *Monitor) LastCheckpoint(id ID) (CheckpointInfo, bool) {
+	ck := m.ckpts[id]
+	if ck == nil {
+		return CheckpointInfo{}, false
+	}
+	return CheckpointInfo{Cubicle: id, Cycle: ck.cycle, Bytes: uint64(len(ck.img)), Pages: ck.pages}, true
+}
+
+// maybeCheckpoint is the cadence gate, called at trampoline entry at frame
+// depth zero with the monitor lock held. It fires at most one sweep per
+// interval threshold, stamped against global virtual time so SMP cores
+// agree on the schedule.
+func (m *Monitor) maybeCheckpoint(t *Thread) {
+	now := m.smpNow()
+	if now < m.ckptNext {
+		return
+	}
+	for m.ckptNext <= now {
+		m.ckptNext += m.ckptInterval
+	}
+	m.checkpointSweep(t, now)
+}
+
+// checkpointSweep captures every checkpointable, quiescent cubicle, in ID
+// order for determinism. Cubicles that veto (a Snapshot hook returned an
+// error) or are not quiescent keep their previous checkpoint.
+func (m *Monitor) checkpointSweep(t *Thread, now uint64) {
+	for _, c := range m.cubicles {
+		if !m.checkpointable(c) {
+			continue
+		}
+		m.checkpointOne(t, c, now)
+	}
+}
+
+// checkpointable reports whether the cubicle can be warm-recovered at all:
+// isolated, healthy, and every component fused into it registered both
+// Snapshot and Restore (a partial set would restore pages under a
+// component whose Go-side state was rebuilt from empty).
+func (m *Monitor) checkpointable(c *Cubicle) bool {
+	if c.Kind != KindIsolated || c.health != Healthy {
+		return false
+	}
+	hooks := m.snapHooks[c.ID]
+	if len(hooks) == 0 {
+		return false
+	}
+	for _, h := range hooks {
+		if h.snap == nil || h.restore == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// quiescent applies the quiescence rule: no thread frame executing inside
+// the cubicle, and all owned windows closed and unpinned.
+func (m *Monitor) quiescent(c *Cubicle) bool {
+	for _, th := range m.threads {
+		for i := range th.frames {
+			if th.frames[i].exec == c.ID {
+				return false
+			}
+		}
+	}
+	for _, w := range c.windows {
+		if w == nil {
+			continue
+		}
+		if w.Open != 0 || w.pinned != noPin {
+			return false
+		}
+	}
+	return true
+}
+
+// checkpointOne captures one cubicle into an encoded image and installs it
+// as the last good checkpoint. The capture cost — a bulk copy of the image
+// through the monitor — is charged to the calling thread's clock at the
+// checked-memcpy rate, so checkpoint cadence shows up honestly in the
+// virtual-time figures.
+func (m *Monitor) checkpointOne(t *Thread, c *Cubicle, now uint64) {
+	if !m.quiescent(c) {
+		return
+	}
+	img := &snapshot.Image{Cubicle: uint32(c.ID), Cycle: now}
+
+	// Component blobs first: a Snapshot error vetoes the round before any
+	// page copying is paid for.
+	sc := &SnapCtx{m: m, Cubicle: c.ID}
+	for _, h := range m.snapHooks[c.ID] {
+		data, err := h.snap(sc)
+		if err != nil {
+			return // veto: keep the previous checkpoint
+		}
+		img.Comps = append(img.Comps, snapshot.ComponentImage{Name: h.name, Data: data})
+	}
+
+	// Heap pages, in page-number order (ForEachPage iterates ascending).
+	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
+		if ID(p.Owner) != c.ID || p.Type != vm.PageHeap {
+			return
+		}
+		pi := snapshot.PageImage{PN: pn, Key: p.Key, Perm: uint8(p.Perm), Type: uint8(p.Type)}
+		pi.Data = p.Data
+		img.Pages = append(img.Pages, pi)
+	})
+
+	// Sub-allocator state: the free list is kept sorted by address; the
+	// live-block table is a map and must be sorted for determinism.
+	img.Heap.ArenaBytes = c.heap.arenaBytes
+	img.Heap.LiveBytes = c.heap.liveBytes
+	for _, b := range c.heap.free {
+		img.Heap.Free = append(img.Heap.Free, snapshot.Extent{Addr: uint64(b.addr), Size: b.size})
+	}
+	for a, n := range c.heap.sizes {
+		img.Heap.Sizes = append(img.Heap.Sizes, snapshot.Extent{Addr: uint64(a), Size: n})
+	}
+	sort.Slice(img.Heap.Sizes, func(i, j int) bool { return img.Heap.Sizes[i].Addr < img.Heap.Sizes[j].Addr })
+
+	// Window descriptors, rebuilt closed on restore (quiescence guarantees
+	// they are closed now). Destroyed slots are skipped; their IDs stay
+	// free-listed exactly as windowInit would reuse them.
+	for _, w := range c.windows {
+		if w == nil {
+			continue
+		}
+		wi := snapshot.WindowImage{WID: uint32(w.ID)}
+		for _, r := range w.Ranges {
+			wi.Ranges = append(wi.Ranges, snapshot.Extent{Addr: uint64(r.Addr), Size: r.Size})
+		}
+		img.Windows = append(img.Windows, wi)
+	}
+
+	enc := snapshot.Encode(img)
+	size := uint64(len(enc))
+	cost := (size + 15) / 16 * m.Costs.CopyChunk16
+	m.clkOf(t).Charge(cost)
+	m.ckpts[c.ID] = &checkpointRecord{img: enc, cycle: now, pages: uint64(len(img.Pages))}
+	m.Stats.Checkpoints++
+	m.Stats.CheckpointBytes += size
+	if m.trc != nil {
+		m.trc.Checkpoint(int(c.ID), size, cost)
+	}
+}
+
+// restoreCheckpoint rebuilds cubicle c from its last good checkpoint. It
+// is called by the supervisor's restart path after teardown (windows
+// destroyed, pages reclaimed, fresh sub-allocator, stacks dropped), so on
+// entry the cubicle is exactly in the cold-rebuild state. On any error the
+// partial restore is torn back down to that state and the caller falls
+// back to the cold OnRestart path.
+func (m *Monitor) restoreCheckpoint(c *Cubicle, ck *checkpointRecord) error {
+	img, err := snapshot.Decode(ck.img)
+	if err != nil {
+		return err
+	}
+	if ID(img.Cubicle) != c.ID {
+		return fmt.Errorf("checkpoint belongs to cubicle %d", img.Cubicle)
+	}
+	bytes := uint64(len(img.Pages)) * vm.PageSize
+	if q := m.memQuota[c.ID]; q != 0 && m.memUsed[c.ID]+bytes > q {
+		return &QuotaFault{Cubicle: c.ID, Resource: "pages", Used: m.memUsed[c.ID] + bytes, Limit: q}
+	}
+
+	undo := func() {
+		m.sup.reclaimPages(c)
+		c.heap = newSubAllocator(m, c.ID)
+		for _, w := range c.windows {
+			if w != nil {
+				m.sup.destroyWindow(c, w)
+			}
+		}
+		c.windows = c.windows[:0]
+		for cls := range c.search {
+			c.search[cls] = nil
+		}
+	}
+
+	// Re-map every captured heap page at its original page number and
+	// restore its contents. Pages take the cubicle's CURRENT key, not the
+	// snapshot's — the key may have been recycled by tag virtualisation
+	// since capture. MapAt bumps the address-space epoch, which invalidates
+	// every thread's span TLB; on SMP one summary shootdown round below
+	// pays the cross-core synchronisation.
+	key := m.keyFor(c.ID)
+	for i := range img.Pages {
+		pi := &img.Pages[i]
+		p, err := m.AS.MapAt(pi.PN, int(c.ID), vm.PageType(pi.Type), vm.Perm(pi.Perm), uint8(key))
+		if err != nil {
+			undo()
+			return err
+		}
+		p.Data = pi.Data
+	}
+	m.memUsed[c.ID] += bytes
+
+	// Rebuild the sub-allocator around the restored arenas.
+	h := newSubAllocator(m, c.ID)
+	h.arenaBytes = img.Heap.ArenaBytes
+	h.liveBytes = img.Heap.LiveBytes
+	for _, e := range img.Heap.Free {
+		h.free = append(h.free, block{addr: vm.Addr(e.Addr), size: e.Size})
+	}
+	for _, e := range img.Heap.Sizes {
+		h.sizes[vm.Addr(e.Addr)] = e.Size
+	}
+	c.heap = h
+
+	// Rebuild window descriptors, closed and unpinned; the class and the
+	// search lists are recomputed from the restored pages exactly as
+	// windowAdd assigned them.
+	for _, wi := range img.Windows {
+		for int(wi.WID) >= len(c.windows) {
+			c.windows = append(c.windows, nil)
+		}
+		w := &Window{ID: WID(wi.WID), Owner: c.ID, Class: classNone, pinned: noPin}
+		for _, e := range wi.Ranges {
+			w.Ranges = append(w.Ranges, Range{Addr: vm.Addr(e.Addr), Size: e.Size})
+			if w.Class == classNone {
+				if p := m.AS.Page(vm.Addr(e.Addr)); p != nil {
+					w.Class = classOf(p.Type)
+				}
+			}
+		}
+		if w.Class != classNone {
+			c.search[w.Class] = append(c.search[w.Class], int(w.ID))
+		}
+		c.windows[wi.WID] = w
+	}
+
+	// Component Go-side state last, when pages and allocator are live so
+	// Restore hooks can touch simulated memory through the SnapCtx.
+	sc := &SnapCtx{m: m, Cubicle: c.ID}
+	blobs := make(map[string][]byte, len(img.Comps))
+	for _, ci := range img.Comps {
+		blobs[ci.Name] = ci.Data
+	}
+	for _, h := range m.snapHooks[c.ID] {
+		data, ok := blobs[h.name]
+		if !ok {
+			undo()
+			return fmt.Errorf("checkpoint missing component %q", h.name)
+		}
+		if err := h.restore(sc, data); err != nil {
+			undo()
+			return err
+		}
+	}
+
+	// The restore itself is a bulk copy of the image back through the
+	// monitor; charged at the same checked-memcpy rate as capture.
+	m.Clock.Charge((uint64(len(ck.img)) + 15) / 16 * m.Costs.CopyChunk16)
+	if len(img.Pages) > 0 {
+		// One summary shootdown round synchronises the re-tagged pages
+		// across cores (single-core machines charge nothing).
+		m.shootdown(nil, c.ID, img.Pages[0].PN)
+	}
+	return nil
+}

@@ -54,6 +54,20 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("monitor API error: cubicle %d %s: %s", e.Cubicle, e.Op, e.Reason)
 }
 
+// GuardArgs validates the argument word count of a component entry point
+// at the crossing boundary. The trampoline ABI delivers a caller-chosen
+// slice of argument words; an export indexing past its end would be a raw
+// Go index panic — a simulator crash, not a component fault. Guarding
+// turns a short argument vector into a typed APIError raised in the
+// executing cubicle, which the supervisor contains at the crossing like
+// any other isolation fault.
+func GuardArgs(e *Env, op string, a []uint64, n int) {
+	if len(a) < n {
+		panic(&APIError{Cubicle: e.T.cur, Op: op,
+			Reason: fmt.Sprintf("entry point needs %d argument words, got %d", n, len(a))})
+	}
+}
+
 // AsFault reports whether a recovered panic value is one of the isolation
 // fault types and returns it as an error. Foreign panic values (runtime
 // errors, application panics) are not faults and yield ok=false.

@@ -160,6 +160,14 @@ func (ld *Loader) Load(si *SystemImage, c *Component, group string) (*Cubicle, e
 	if c.OnRestart != nil {
 		m.restartHooks[cub.ID] = append(m.restartHooks[cub.ID], c.OnRestart)
 	}
+	if c.Snapshot != nil && c.Restore == nil {
+		return nil, &LoadError{Component: c.Name, Reason: "Snapshot without Restore"}
+	}
+	// Snapshot/Restore hooks are registered in load order, which is the
+	// (deterministic) order checkpoints serialise and restores replay them.
+	m.snapHooks[cub.ID] = append(m.snapHooks[cub.ID], snapHook{
+		name: c.Name, snap: c.Snapshot, restore: c.Restore,
+	})
 	_ = codeBase
 	return cub, nil
 }

@@ -50,6 +50,17 @@ type Monitor struct {
 	// restartHooks are per-cubicle component re-initialisation callbacks
 	// the loader registers from Component.OnRestart.
 	restartHooks map[ID][]func()
+	// snapHooks are per-cubicle component snapshot/restore callbacks the
+	// loader registers from Component.Snapshot/Restore, in load order. A
+	// cubicle is only checkpointable when every component fused into it
+	// registered both hooks (see checkpoint.go).
+	snapHooks map[ID][]snapHook
+	// ckptInterval, when non-zero, is the virtual-clock checkpoint cadence
+	// (EnableCheckpoints); ckptNext is the next threshold; ckpts holds the
+	// last good encoded checkpoint per cubicle.
+	ckptInterval uint64
+	ckptNext     uint64
+	ckpts        map[ID]*checkpointRecord
 	// memQuota caps the page bytes MapOwned will grant per cubicle
 	// (absent = unlimited); memUsed tracks the bytes currently granted.
 	memQuota map[ID]uint64
@@ -101,6 +112,8 @@ func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
 		guardPages:   make(map[uint64]guardInfo),
 		keyOf:        make(map[ID]mpk.Key),
 		restartHooks: make(map[ID][]func()),
+		snapHooks:    make(map[ID][]snapHook),
+		ckpts:        make(map[ID]*checkpointRecord),
 		memQuota:     make(map[ID]uint64),
 		memUsed:      make(map[ID]uint64),
 		tlbOn:        true,

@@ -82,6 +82,15 @@ type Stats struct {
 	// TLBShootdownInvalidations counts remote span-TLB entries cleared by
 	// shootdowns (at most threads-1 per shootdown).
 	TLBShootdownInvalidations uint64
+	// Checkpoints counts cubicle checkpoints captured at quiescent points;
+	// CheckpointBytes sums their encoded image sizes.
+	Checkpoints     uint64
+	CheckpointBytes uint64
+	// WarmRestarts counts supervisor restarts that restored the cubicle's
+	// last good checkpoint; ColdRestarts counts restarts that rebuilt from
+	// empty. Restarts == WarmRestarts + ColdRestarts.
+	WarmRestarts uint64
+	ColdRestarts uint64
 }
 
 // newStats returns an initialised Stats.
@@ -125,6 +134,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.TLBInvalidations += o.TLBInvalidations
 	s.TLBShootdowns += o.TLBShootdowns
 	s.TLBShootdownInvalidations += o.TLBShootdownInvalidations
+	s.Checkpoints += o.Checkpoints
+	s.CheckpointBytes += o.CheckpointBytes
+	s.WarmRestarts += o.WarmRestarts
+	s.ColdRestarts += o.ColdRestarts
 }
 
 // EdgeCount is one row of a call-count report.

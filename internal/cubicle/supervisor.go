@@ -375,17 +375,44 @@ func (s *Supervisor) restart(c *Cubicle) bool {
 	for _, th := range m.threads {
 		delete(th.stacks, c.ID)
 	}
-	// Component re-initialisation hooks registered at load time.
-	for _, fn := range m.restartHooks[c.ID] {
-		fn()
+	// Warm path: restore the last good checkpoint instead of rebuilding
+	// from empty. A decode/restore failure tears the partial restore back
+	// down, drops the poisoned checkpoint, and falls through to the cold
+	// OnRestart rebuild — warm recovery must never make a restart fail
+	// that would have succeeded cold.
+	warm := false
+	failedRestore := uint64(0)
+	if ck := m.ckpts[c.ID]; ck != nil {
+		if err := m.restoreCheckpoint(c, ck); err == nil {
+			warm = true
+		} else {
+			delete(m.ckpts, c.ID)
+			failedRestore = 1
+		}
+	}
+	if !warm {
+		// Component re-initialisation hooks registered at load time.
+		for _, fn := range m.restartHooks[c.ID] {
+			fn()
+		}
 	}
 	c.health = Healthy
 	c.restarts++
 	c.restartAt = 0
 	c.restartLog = append(c.restartLog, now)
 	m.Stats.Restarts++
+	if warm {
+		m.Stats.WarmRestarts++
+	} else {
+		m.Stats.ColdRestarts++
+	}
 	if m.trc != nil {
 		m.trc.Restart(int(c.ID), c.restarts)
+		if warm {
+			m.trc.WarmRestart(int(c.ID), m.ckpts[c.ID].pages)
+		} else {
+			m.trc.ColdRestart(int(c.ID), failedRestore)
+		}
 	}
 	return true
 }

@@ -43,6 +43,10 @@ func StatsFromTrace(trc *trace.Tracer) Stats {
 	s.TLBInvalidations = c.TLBInvalidations
 	s.TLBShootdowns = c.TLBShootdowns
 	s.TLBShootdownInvalidations = c.TLBShootdownInvalidations
+	s.Checkpoints = c.Checkpoints
+	s.CheckpointBytes = c.CheckpointBytes
+	s.WarmRestarts = c.WarmRestarts
+	s.ColdRestarts = c.ColdRestarts
 	for e, n := range c.Calls {
 		s.Calls[Edge{From: ID(e.From), To: ID(e.To)}] = n
 	}

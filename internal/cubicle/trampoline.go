@@ -141,6 +141,12 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	// other defer so it releases last, after popFrame/contain.
 	m.enter(t)
 	defer m.exit(t)
+	if m.ckptInterval != 0 && len(t.frames) == 0 {
+		// Checkpoint cadence: outermost call entries are the monitor's
+		// quiescent points — the big lock is held across whole crossings,
+		// so no other thread is mid-crossing here.
+		m.maybeCheckpoint(t)
+	}
 	callee := m.cubicle(tr.callee)
 
 	// Same-cubicle call: a plain function call, no TCB involvement.

@@ -12,6 +12,7 @@ package httpd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -552,6 +553,55 @@ func (s *Server) Provision(e *cubicle.Env, path string, data []byte) uint64 {
 	return 0
 }
 
+// Snapshot serializes the server's idle-point state: the listening
+// socket, persistent buffer addresses and the request counters. A server
+// with connections in flight vetoes the round — per-connection buffers,
+// file descriptors and shared windows cannot be re-established from a
+// byte image, and HTTP/1.0 connections drain quickly anyway.
+func (s *Server) Snapshot(sc *cubicle.SnapCtx) ([]byte, error) {
+	if len(s.conns) > 0 {
+		return nil, fmt.Errorf("httpd: %d connections in flight", len(s.conns))
+	}
+	b := make([]byte, 0, 1+7*8)
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	if s.inited {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	u64(s.lfd)
+	u64(uint64(s.logBuf))
+	u64(uint64(s.shedBuf))
+	u64(s.Requests)
+	u64(s.Errors503)
+	u64(s.Shed429)
+	u64(s.Shed503)
+	return b, nil
+}
+
+// Restore rebuilds the server from a Snapshot blob. The buffer addresses
+// stay valid because either they live in the server's own restored heap
+// (Local allocator) or in ALLOC's arena, which survives this cubicle's
+// restart (Remote allocator); the listening socket likewise persists in
+// LWIP's table across an NGINX-only restart.
+func (s *Server) Restore(sc *cubicle.SnapCtx, blob []byte) error {
+	if len(blob) != 1+7*8 {
+		return fmt.Errorf("httpd: snapshot blob is %d bytes, want %d", len(blob), 1+7*8)
+	}
+	u64 := func(off int) uint64 { return binary.LittleEndian.Uint64(blob[off:]) }
+	s.inited = blob[0] == 1
+	s.lfd = u64(1)
+	s.logBuf = vm.Addr(u64(9))
+	s.shedBuf = vm.Addr(u64(17))
+	s.Requests = u64(25)
+	s.Errors503 = u64(33)
+	s.Shed429 = u64(41)
+	s.Shed503 = u64(49)
+	s.conns = make(map[uint64]*conn)
+	s.order = s.order[:0]
+	return nil
+}
+
 // Component returns the NGINX component for the builder.
 func (s *Server) Component() *cubicle.Component {
 	return &cubicle.Component{
@@ -565,5 +615,7 @@ func (s *Server) Component() *cubicle.Component {
 				return []uint64{s.step(e)}
 			}},
 		},
+		Snapshot: s.Snapshot,
+		Restore:  s.Restore,
 	}
 }

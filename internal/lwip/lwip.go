@@ -10,6 +10,7 @@ package lwip
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/netdev"
@@ -504,11 +505,140 @@ func (l *Module) get(fd uint64) (*sock, uint64) {
 	return s, EOK
 }
 
+// snapIdle reports whether a socket is in a checkpointable state: a
+// listener with an empty accept queue, a closed socket, or a fully
+// drained post-FIN socket. Anything mid-connection vetoes the round.
+func snapIdle(s *sock) bool {
+	if s.rx.len != 0 || s.tx.len != 0 || s.needAck || s.synAckPending || len(s.acceptQ) != 0 {
+		return false
+	}
+	switch s.state {
+	case stListen, stClosed:
+		return true
+	case stFinSent:
+		return s.inflight() == 0 && !s.finQueued
+	}
+	return false
+}
+
+// Snapshot serialises the stack for warm recovery, or returns an error
+// when any socket is mid-connection — an in-flight TCP exchange cannot be
+// resumed from a checkpoint, so the round is vetoed and the previous
+// checkpoint stays good. Ring buffer ADDRESSES are recorded (their pages
+// are part of the cubicle's page image, or survive in the foreign
+// allocator); ring contents are empty by the idleness rule.
+func (l *Module) Snapshot(sc *cubicle.SnapCtx) ([]byte, error) {
+	for _, s := range l.order {
+		if !snapIdle(s) {
+			return nil, fmt.Errorf("lwip: socket %d not idle (state %d)", s.fd, s.state)
+		}
+	}
+	var b []byte
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64(l.nextFD)
+	u64(uint64(l.stage))
+	u64(l.SegmentsTx)
+	u64(l.SegmentsRx)
+	u64(l.TxBackpressure)
+	u64(l.Reaped)
+	u32(uint32(len(l.order)))
+	for _, s := range l.order {
+		u64(s.fd)
+		u32(uint32(s.state))
+		u32(uint32(s.localPort))
+		u32(uint32(s.remotePort))
+		u64(uint64(s.rx.buf))
+		u64(s.rx.cap)
+		u64(uint64(s.tx.buf))
+		u64(s.tx.cap)
+		u32(s.sndNxt)
+		u32(s.sndUna)
+		u32(s.rcvNxt)
+		u32(s.peerWnd)
+		u32(uint32(s.backlog))
+		var flags uint32
+		if s.finRcvd {
+			flags |= 1
+		}
+		u32(flags)
+	}
+	return b, nil
+}
+
+// Restore rebuilds the stack's socket table from a Snapshot blob. The
+// listener and connection maps are reconstructed from the per-socket
+// port state, so only the socket list travels in the image.
+func (l *Module) Restore(sc *cubicle.SnapCtx, blob []byte) error {
+	off := 0
+	bad := false
+	u64 := func() uint64 {
+		if bad || len(blob)-off < 8 {
+			bad = true
+			return 0
+		}
+		v := binary.LittleEndian.Uint64(blob[off:])
+		off += 8
+		return v
+	}
+	u32 := func() uint32 {
+		if bad || len(blob)-off < 4 {
+			bad = true
+			return 0
+		}
+		v := binary.LittleEndian.Uint32(blob[off:])
+		off += 4
+		return v
+	}
+	nextFD := u64()
+	stage := vm.Addr(u64())
+	segTx, segRx, backp, reaped := u64(), u64(), u64(), u64()
+	count := u32()
+	if bad || count > 1<<20 {
+		return fmt.Errorf("lwip: corrupt snapshot blob")
+	}
+	socks := make(map[uint64]*sock, count)
+	listeners := make(map[uint16]*sock)
+	conns := make(map[connKey]*sock)
+	var order []*sock
+	for i := uint32(0); i < count; i++ {
+		s := &sock{fd: u64(), state: int(u32()),
+			localPort: uint16(u32()), remotePort: uint16(u32())}
+		s.rx = ring{buf: vm.Addr(u64()), cap: u64()}
+		s.tx = ring{buf: vm.Addr(u64()), cap: u64()}
+		s.sndNxt, s.sndUna, s.rcvNxt, s.peerWnd = u32(), u32(), u32(), u32()
+		s.backlog = int(u32())
+		s.finRcvd = u32()&1 != 0
+		if bad {
+			return fmt.Errorf("lwip: truncated snapshot blob")
+		}
+		socks[s.fd] = s
+		order = append(order, s)
+		if s.state == stListen {
+			listeners[s.localPort] = s
+		}
+		if s.remotePort != 0 {
+			conns[connKey{local: s.localPort, remote: s.remotePort}] = s
+		}
+	}
+	if off != len(blob) {
+		return fmt.Errorf("lwip: trailing bytes in snapshot blob")
+	}
+	l.socks, l.listeners, l.conns, l.order = socks, listeners, conns, order
+	l.nextFD = nextFD
+	l.stage = stage
+	l.SegmentsTx, l.SegmentsRx = segTx, segRx
+	l.TxBackpressure, l.Reaped = backp, reaped
+	return nil
+}
+
 // Component returns the LWIP component for the builder.
 func (l *Module) Component() *cubicle.Component {
 	return &cubicle.Component{
-		Name: Name,
-		Kind: cubicle.KindIsolated,
+		Name:     Name,
+		Kind:     cubicle.KindIsolated,
+		Snapshot: l.Snapshot,
+		Restore:  l.Restore,
 		Exports: []cubicle.ExportDecl{
 			{Name: "lwip_socket", Fn: func(e *cubicle.Env, a []uint64) []uint64 {
 				l.ensureInit(e)
@@ -516,6 +646,7 @@ func (l *Module) Component() *cubicle.Component {
 				return []uint64{l.newSock(e).fd, EOK}
 			}},
 			{Name: "lwip_bind", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				cubicle.GuardArgs(e, "lwip_bind", a, 2)
 				e.Work(100)
 				s, errno := l.get(a[0])
 				if errno != EOK {
@@ -528,6 +659,7 @@ func (l *Module) Component() *cubicle.Component {
 				return []uint64{0, EOK}
 			}},
 			{Name: "lwip_listen", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				cubicle.GuardArgs(e, "lwip_listen", a, 2)
 				e.Work(100)
 				s, errno := l.get(a[0])
 				if errno != EOK {
@@ -545,6 +677,7 @@ func (l *Module) Component() *cubicle.Component {
 				return []uint64{0, EOK}
 			}},
 			{Name: "lwip_accept", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				cubicle.GuardArgs(e, "lwip_accept", a, 1)
 				e.Work(150)
 				s, errno := l.get(a[0])
 				if errno != EOK {
@@ -561,6 +694,7 @@ func (l *Module) Component() *cubicle.Component {
 				return []uint64{fd, EOK}
 			}},
 			{Name: "lwip_recv", RegArgs: 3, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				cubicle.GuardArgs(e, "lwip_recv", a, 3)
 				e.Work(200)
 				s, errno := l.get(a[0])
 				if errno != EOK {
@@ -577,6 +711,7 @@ func (l *Module) Component() *cubicle.Component {
 				return []uint64{n, EOK}
 			}},
 			{Name: "lwip_send", RegArgs: 3, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				cubicle.GuardArgs(e, "lwip_send", a, 3)
 				e.Work(200)
 				s, errno := l.get(a[0])
 				if errno != EOK {
@@ -604,6 +739,7 @@ func (l *Module) Component() *cubicle.Component {
 				return []uint64{n, EOK}
 			}},
 			{Name: "lwip_close", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
+				cubicle.GuardArgs(e, "lwip_close", a, 1)
 				e.Work(150)
 				s, errno := l.get(a[0])
 				if errno != EOK {

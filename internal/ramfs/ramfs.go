@@ -8,6 +8,8 @@
 package ramfs
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sort"
 	"strings"
 
@@ -214,6 +216,20 @@ func (fs *Module) zeroRange(e *cubicle.Env, node *inode, from, to uint64) {
 	}
 }
 
+// pageAt returns the file page covering chunk pi, converting a page-table
+// drift (size says the data exists, the page list says it does not — the
+// signature of a fault interrupting a multi-step update) into a typed
+// fault the supervisor can contain, instead of a raw Go index panic that
+// would kill the simulator.
+func (fs *Module) pageAt(e *cubicle.Env, node *inode, pi uint64) vm.Addr {
+	if pi >= uint64(len(node.pages)) {
+		panic(&cubicle.APIError{Cubicle: e.T.Current(), Op: "ramfs_page",
+			Reason: fmt.Sprintf("inode %d: size %d implies page %d but only %d allocated",
+				node.ino, node.size, pi, len(node.pages))})
+	}
+	return node.pages[pi]
+}
+
 func (fs *Module) node(ino uint64) (*inode, uint64) {
 	n, ok := fs.inodes[ino]
 	if !ok {
@@ -249,7 +265,7 @@ func (fs *Module) read(e *cubicle.Env, ino, off, buf, n uint64) []uint64 {
 		// Copy file page -> caller buffer via shared LIBC, running with
 		// RAMFS's privileges: the caller buffer access trap-and-maps
 		// against the caller's open window.
-		fs.libc.Memcpy(e, vm.Addr(buf+done), node.pages[pi].Add(po), chunk)
+		fs.libc.Memcpy(e, vm.Addr(buf+done), fs.pageAt(e, node, pi).Add(po), chunk)
 		done += chunk
 	}
 	return okRet(n)
@@ -279,7 +295,7 @@ func (fs *Module) write(e *cubicle.Env, ino, off, buf, n uint64) []uint64 {
 		if chunk > n-done {
 			chunk = n - done
 		}
-		fs.libc.Memcpy(e, node.pages[pi].Add(po), vm.Addr(buf+done), chunk)
+		fs.libc.Memcpy(e, fs.pageAt(e, node, pi).Add(po), vm.Addr(buf+done), chunk)
 		done += chunk
 	}
 	if off+n > node.size {
@@ -377,29 +393,211 @@ func (fs *Module) rename(e *cubicle.Env, p1, l1, p2, l2 uint64) []uint64 {
 	return okRet(0)
 }
 
+// Snapshot serialises the file-system tree — inode metadata, page
+// addresses and file CONTENT — into a deterministic blob for warm
+// recovery. Content must travel in the blob because in the NGINX
+// deployment file pages are owned by ALLOC: they are not part of RAMFS's
+// own page image, and their bytes at restore time may postdate the
+// checkpoint. Inodes and directory entries are emitted in sorted order so
+// identical trees encode identically.
+func (fs *Module) Snapshot(sc *cubicle.SnapCtx) ([]byte, error) {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, fs.next)
+	b = binary.LittleEndian.AppendUint64(b, fs.OpCount)
+	inos := make([]uint64, 0, len(fs.inodes))
+	for ino := range fs.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(inos)))
+	for _, ino := range inos {
+		n := fs.inodes[ino]
+		b = binary.LittleEndian.AppendUint64(b, n.ino)
+		if n.dir {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint64(b, n.size)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(n.pages)))
+		for _, p := range n.pages {
+			b = binary.LittleEndian.AppendUint64(b, uint64(p))
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(names)))
+		for _, name := range names {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(name)))
+			b = append(b, name...)
+			b = binary.LittleEndian.AppendUint64(b, n.children[name])
+		}
+		// File content, page by page, via the monitor-privileged context.
+		for off := uint64(0); off < n.size; {
+			pi := off / vm.PageSize
+			chunk := vm.PageSize - off%vm.PageSize
+			if chunk > n.size-off {
+				chunk = n.size - off
+			}
+			if pi >= uint64(len(n.pages)) {
+				return nil, fmt.Errorf("ramfs: inode %d size %d exceeds its %d pages", n.ino, n.size, len(n.pages))
+			}
+			data, err := sc.ReadMem(n.pages[pi].Add(off%vm.PageSize), chunk)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, data...)
+			off += chunk
+		}
+	}
+	return b, nil
+}
+
+// snapReader is a bounds-checked little-endian cursor over a Restore blob.
+type snapReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.bad || n < 0 || len(r.b)-r.off < n {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+func (r *snapReader) u8() uint8 {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+func (r *snapReader) u32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+func (r *snapReader) u64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// Restore rebuilds the file-system tree from a Snapshot blob and writes
+// every file's content back to its recorded page addresses. An unmapped
+// page address (the owning allocator was itself restarted, or the page
+// was reclaimed) fails the restore, and the supervisor falls back to the
+// cold rebuild.
+func (fs *Module) Restore(sc *cubicle.SnapCtx, blob []byte) error {
+	r := &snapReader{b: blob}
+	next := r.u64()
+	opCount := r.u64()
+	count := r.u32()
+	if count > 1<<20 {
+		return fmt.Errorf("ramfs: implausible inode count %d", count)
+	}
+	inodes := make(map[uint64]*inode, count)
+	type writeback struct {
+		addr vm.Addr
+		data []byte
+	}
+	var wbs []writeback
+	for i := uint32(0); i < count && !r.bad; i++ {
+		n := &inode{ino: r.u64(), dir: r.u8() == 1, size: r.u64()}
+		npages := r.u32()
+		if npages > 1<<20 {
+			return fmt.Errorf("ramfs: implausible page count %d", npages)
+		}
+		for j := uint32(0); j < npages; j++ {
+			n.pages = append(n.pages, vm.Addr(r.u64()))
+		}
+		nchildren := r.u32()
+		if nchildren > 1<<20 {
+			return fmt.Errorf("ramfs: implausible child count %d", nchildren)
+		}
+		if n.dir || nchildren > 0 {
+			n.children = make(map[string]uint64, nchildren)
+		}
+		for j := uint32(0); j < nchildren; j++ {
+			nameLen := r.u32()
+			name := string(r.take(int(nameLen)))
+			n.children[name] = r.u64()
+		}
+		for off := uint64(0); off < n.size && !r.bad; {
+			pi := off / vm.PageSize
+			chunk := vm.PageSize - off%vm.PageSize
+			if chunk > n.size-off {
+				chunk = n.size - off
+			}
+			if pi >= uint64(len(n.pages)) {
+				return fmt.Errorf("ramfs: inode %d content exceeds its pages", n.ino)
+			}
+			data := r.take(int(chunk))
+			wbs = append(wbs, writeback{addr: n.pages[pi].Add(off % vm.PageSize), data: data})
+			off += chunk
+		}
+		inodes[n.ino] = n
+	}
+	if r.bad || r.off != len(blob) {
+		return fmt.Errorf("ramfs: corrupt snapshot blob (off %d of %d)", r.off, len(blob))
+	}
+	if inodes[1] == nil || !inodes[1].dir {
+		return fmt.Errorf("ramfs: snapshot has no root directory")
+	}
+	// Parse-then-commit: simulated memory is only touched once the whole
+	// blob validated, so a corrupt snapshot cannot half-apply.
+	for _, wb := range wbs {
+		if err := sc.WriteMem(wb.addr, wb.data); err != nil {
+			return err
+		}
+	}
+	fs.inodes = inodes
+	fs.next = next
+	fs.OpCount = opCount
+	return nil
+}
+
 // Component returns the RAMFS component for the builder. Its exports form
 // the backend callback table that VFSCORE invokes.
 func (fs *Module) Component() *cubicle.Component {
+	guard := func(op string, n int, fn func(e *cubicle.Env, a []uint64) []uint64) func(e *cubicle.Env, a []uint64) []uint64 {
+		return func(e *cubicle.Env, a []uint64) []uint64 {
+			cubicle.GuardArgs(e, op, a, n)
+			return fn(e, a)
+		}
+	}
 	return &cubicle.Component{
 		Name:      Name,
 		Kind:      cubicle.KindIsolated,
 		OnRestart: fs.Reset,
+		Snapshot:  fs.Snapshot,
+		Restore:   fs.Restore,
 		Exports: []cubicle.ExportDecl{
-			{Name: "ramfs_lookup", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.lookup(e, a[0], a[1]) }},
-			{Name: "ramfs_create", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.create(e, a[0], a[1]) }},
-			{Name: "ramfs_read", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.read(e, a[0], a[1], a[2], a[3]) }},
-			{Name: "ramfs_write", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.write(e, a[0], a[1], a[2], a[3]) }},
-			{Name: "ramfs_getsize", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.getSize(e, a[0]) }},
-			{Name: "ramfs_setsize", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.setSize(e, a[0], a[1]) }},
-			{Name: "ramfs_unlink", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.unlink(e, a[0], a[1]) }},
-			{Name: "ramfs_mkdir", RegArgs: 2, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.mkdir(e, a[0], a[1]) }},
-			{Name: "ramfs_readdir", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.readdir(e, a[0], a[1], a[2], a[3]) }},
+			{Name: "ramfs_lookup", RegArgs: 2, Fn: guard("ramfs_lookup", 2, func(e *cubicle.Env, a []uint64) []uint64 { return fs.lookup(e, a[0], a[1]) })},
+			{Name: "ramfs_create", RegArgs: 2, Fn: guard("ramfs_create", 2, func(e *cubicle.Env, a []uint64) []uint64 { return fs.create(e, a[0], a[1]) })},
+			{Name: "ramfs_read", RegArgs: 4, Fn: guard("ramfs_read", 4, func(e *cubicle.Env, a []uint64) []uint64 { return fs.read(e, a[0], a[1], a[2], a[3]) })},
+			{Name: "ramfs_write", RegArgs: 4, Fn: guard("ramfs_write", 4, func(e *cubicle.Env, a []uint64) []uint64 { return fs.write(e, a[0], a[1], a[2], a[3]) })},
+			{Name: "ramfs_getsize", RegArgs: 1, Fn: guard("ramfs_getsize", 1, func(e *cubicle.Env, a []uint64) []uint64 { return fs.getSize(e, a[0]) })},
+			{Name: "ramfs_setsize", RegArgs: 2, Fn: guard("ramfs_setsize", 2, func(e *cubicle.Env, a []uint64) []uint64 { return fs.setSize(e, a[0], a[1]) })},
+			{Name: "ramfs_unlink", RegArgs: 2, Fn: guard("ramfs_unlink", 2, func(e *cubicle.Env, a []uint64) []uint64 { return fs.unlink(e, a[0], a[1]) })},
+			{Name: "ramfs_mkdir", RegArgs: 2, Fn: guard("ramfs_mkdir", 2, func(e *cubicle.Env, a []uint64) []uint64 { return fs.mkdir(e, a[0], a[1]) })},
+			{Name: "ramfs_readdir", RegArgs: 4, Fn: guard("ramfs_readdir", 4, func(e *cubicle.Env, a []uint64) []uint64 { return fs.readdir(e, a[0], a[1], a[2], a[3]) })},
 			{Name: "ramfs_fsync", RegArgs: 1, Fn: func(e *cubicle.Env, a []uint64) []uint64 {
 				e.Work(fs.opWork)
 				fs.OpCount++
 				return okRet(0)
 			}},
-			{Name: "ramfs_rename", RegArgs: 4, Fn: func(e *cubicle.Env, a []uint64) []uint64 { return fs.rename(e, a[0], a[1], a[2], a[3]) }},
+			{Name: "ramfs_rename", RegArgs: 4, Fn: guard("ramfs_rename", 4, func(e *cubicle.Env, a []uint64) []uint64 { return fs.rename(e, a[0], a[1], a[2], a[3]) })},
 		},
 	}
 }

@@ -1,0 +1,374 @@
+package siege
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cubicleos/internal/cubicle"
+	"cubicleos/internal/faultinject"
+	"cubicleos/internal/ramfs"
+	"cubicleos/internal/trace"
+)
+
+// chaosRamfs is the fault-injection schedule shared by the recovery
+// tests: deterministic faults aimed at the RAMFS cubicle.
+func chaosRamfs(seed uint64) *faultinject.Config {
+	return &faultinject.Config{
+		Seed:             seed,
+		Target:           ramfs.Name,
+		ProtAtCrossing:   0.010,
+		CFIAtCrossing:    0.003,
+		BudgetAtCrossing: 0.002,
+		LeakAtCrossing:   0.005,
+		ProtAtWindowOp:   0.003,
+		ProtAtRetag:      0.002,
+	}
+}
+
+// pattern returns n distinctive bytes so byte-identity after a warm
+// restart is a real check, not an all-zero coincidence.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + 7)
+	}
+	return b
+}
+
+// TestWarmRestartRestoresRamfs is the headline robustness property: with
+// checkpoints armed, a RAMFS restart restores the file system from the
+// last checkpoint — the provisioned file is served byte-identically after
+// recovery with NO operator re-provisioning, where a cold restart would
+// 404 until PutFile ran again.
+func TestWarmRestartRestoresRamfs(t *testing.T) {
+	policy := cubicle.DefaultRestartPolicy()
+	policy.MaxRestarts = 1000
+	policy.CrossingBudget = 200_000_000
+	tgt, err := NewTargetOpts(Options{
+		Mode:               cubicle.ModeFull,
+		TraceEvents:        1 << 15,
+		Supervision:        &policy,
+		CheckpointInterval: 300_000,
+		Chaos:              chaosRamfs(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(16 << 10)
+	if err := tgt.PutFile("/f.bin", want); err != nil {
+		t.Fatal(err)
+	}
+	m := tgt.Sys.M
+	ramfsCub := tgt.Sys.Cubs[ramfs.Name]
+
+	// Run unarmed until RAMFS has a checkpoint covering the file.
+	for i := 0; i < 10; i++ {
+		if _, ok := m.LastCheckpoint(ramfsCub.ID); ok {
+			break
+		}
+		if _, err := tgt.Fetch("/f.bin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := m.LastCheckpoint(ramfsCub.ID); !ok {
+		t.Fatal("no RAMFS checkpoint after warm-up traffic")
+	}
+
+	// Chaos until the supervisor warm-restarts RAMFS at least once. No
+	// re-provisioning happens anywhere past this point.
+	tgt.Sys.Chaos.Arm()
+	for i := 0; i < 200 && m.Stats.WarmRestarts == 0; i++ {
+		_, _ = tgt.Fetch("/f.bin")
+	}
+	tgt.Sys.Chaos.Disarm()
+	if m.Stats.WarmRestarts == 0 {
+		t.Fatalf("no warm restart over the chaos run: %+v", m.Stats)
+	}
+
+	// Recovery without operator action: wait out any remaining backoff and
+	// the restored file system must serve the original bytes.
+	var res *Result
+	for i := 0; i < 50; i++ {
+		res, err = tgt.Fetch("/f.bin")
+		if err == nil && res.Status == 200 {
+			break
+		}
+		m.Clock.Charge(policy.BackoffMax)
+	}
+	if err != nil {
+		t.Fatalf("post-recovery fetch: %v", err)
+	}
+	if res.Status != 200 {
+		t.Fatalf("post-recovery status = %d, want 200 with no re-provisioning", res.Status)
+	}
+	if !bytes.Equal(res.Body, want) {
+		t.Fatalf("restored file diverges: got %d bytes, want %d byte-identical", len(res.Body), len(want))
+	}
+	if h := ramfsCub.Health(); h != cubicle.Healthy {
+		t.Errorf("RAMFS health after recovery = %v, want Healthy", h)
+	}
+
+	// Trace/stats equality must hold across checkpoint and warm-restart
+	// events like any other monitor activity.
+	derived := cubicle.StatsFromTrace(m.Tracer())
+	if !reflect.DeepEqual(derived, m.Stats) {
+		t.Errorf("trace-derived stats diverge\n derived: %+v\n  legacy: %+v", derived, m.Stats)
+	}
+	if m.Stats.Restarts != m.Stats.WarmRestarts+m.Stats.ColdRestarts {
+		t.Errorf("Restarts=%d != Warm %d + Cold %d",
+			m.Stats.Restarts, m.Stats.WarmRestarts, m.Stats.ColdRestarts)
+	}
+}
+
+// recoveryRun drives one chaos siege and reports the availability
+// metrics the warm-vs-cold comparison is about.
+type recoveryRun struct {
+	stats    cubicle.Stats
+	failed   int    // responses that were not 200 (shed, degraded, truncated)
+	mttr     uint64 // virtual cycles spent in degraded spans (non-200 until the next 200)
+	requests int
+}
+
+func driveRecovery(t *testing.T, checkpointInterval uint64) recoveryRun {
+	t.Helper()
+	policy := cubicle.DefaultRestartPolicy()
+	policy.MaxRestarts = 1000
+	policy.CrossingBudget = 200_000_000
+	tgt, err := NewTargetOpts(Options{
+		Mode:               cubicle.ModeFull,
+		Supervision:        &policy,
+		CheckpointInterval: checkpointInterval,
+		Chaos:              chaosRamfs(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(16 << 10)
+	if err := tgt.PutFile("/f.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	m := tgt.Sys.M
+	tgt.Sys.Chaos.Arm()
+	out := recoveryRun{requests: 60}
+	degradedSince := uint64(0)
+	for i := 0; i < out.requests; i++ {
+		before := m.Clock.Cycles()
+		res, err := tgt.Fetch("/f.bin")
+		ok := err == nil && res.Status == 200
+		if ok {
+			if degradedSince != 0 {
+				out.mttr += m.Clock.Cycles() - degradedSince
+				degradedSince = 0
+			}
+		} else {
+			out.failed++
+			if degradedSince == 0 {
+				degradedSince = before
+			}
+			// Operator recovery action for the cold path: a 404 after a
+			// restart means the file system came back empty. The warm path
+			// never hits this; the cold path pays it on the virtual clock.
+			if err == nil && res.Status == 404 {
+				_ = tgt.PutFile("/f.bin", data)
+			}
+		}
+	}
+	if degradedSince != 0 {
+		out.mttr += m.Clock.Cycles() - degradedSince
+	}
+	tgt.Sys.Chaos.Disarm()
+	out.stats = m.Stats
+	return out
+}
+
+// TestWarmVsColdSiege runs the same chaos schedule (same seed) with and
+// without checkpoints: the warm run must restart warm, shed strictly
+// fewer requests, and spend strictly fewer virtual cycles degraded.
+func TestWarmVsColdSiege(t *testing.T) {
+	warm := driveRecovery(t, 300_000)
+	cold := driveRecovery(t, 0)
+
+	if warm.stats.WarmRestarts == 0 {
+		t.Fatalf("checkpointed run had no warm restarts: %+v", warm.stats)
+	}
+	if warm.stats.ColdRestarts != 0 {
+		t.Errorf("checkpointed run fell back cold %d times", warm.stats.ColdRestarts)
+	}
+	if cold.stats.WarmRestarts != 0 || cold.stats.Checkpoints != 0 {
+		t.Fatalf("uncheckpointed run warm-restarted: %+v", cold.stats)
+	}
+	if cold.stats.Restarts == 0 {
+		t.Fatalf("uncheckpointed run never restarted; the comparison is vacuous: %+v", cold.stats)
+	}
+	if warm.failed >= cold.failed {
+		t.Errorf("warm run shed %d of %d requests, cold shed %d — want strictly fewer warm",
+			warm.failed, warm.requests, cold.failed)
+	}
+	if warm.mttr >= cold.mttr {
+		t.Errorf("warm run spent %d virtual cycles degraded, cold %d — want strictly lower warm",
+			warm.mttr, cold.mttr)
+	}
+	t.Logf("warm: %d/%d failed, %d cycles degraded, %d warm restarts, %d checkpoints",
+		warm.failed, warm.requests, warm.mttr, warm.stats.WarmRestarts, warm.stats.Checkpoints)
+	t.Logf("cold: %d/%d failed, %d cycles degraded, %d cold restarts",
+		cold.failed, cold.requests, cold.mttr, cold.stats.ColdRestarts)
+}
+
+// TestRestartBudgetExhaustionUnderLoad: when RAMFS exhausts its restart
+// budget and dies under sustained load, the server keeps answering — 503s
+// for requests needing the dead file system — and the monitor never
+// panics out of the siege loop.
+func TestRestartBudgetExhaustionUnderLoad(t *testing.T) {
+	policy := cubicle.DefaultRestartPolicy()
+	policy.MaxRestarts = 2
+	policy.RestartWindow = 1 << 62 // strikes never age out: death is certain
+	policy.CrossingBudget = 200_000_000
+	tgt, err := NewTargetOpts(Options{
+		Mode:               cubicle.ModeFull,
+		Supervision:        &policy,
+		CheckpointInterval: 300_000,
+		Chaos: &faultinject.Config{
+			Seed:           11,
+			Target:         ramfs.Name,
+			ProtAtCrossing: 0.15, // hammer RAMFS so the budget drains fast
+			LeakAtCrossing: 0.05,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.PutFile("/f.bin", pattern(8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	m := tgt.Sys.M
+	ramfsCub := tgt.Sys.Cubs[ramfs.Name]
+
+	tgt.Sys.Chaos.Arm()
+	statuses := map[int]int{}
+	after503 := 0
+	for i := 0; i < 80; i++ {
+		if ramfsCub.Health() == cubicle.Dead {
+			// Keep serving against a dead dependency: these must all come
+			// back as clean 503s, never a crash.
+			m.Clock.Charge(policy.BackoffMax)
+		}
+		res, err := tgt.Fetch("/f.bin")
+		if err != nil {
+			continue // truncated response: contained, not a crash
+		}
+		statuses[res.Status]++
+		if ramfsCub.Health() == cubicle.Dead && res.Status == 503 {
+			after503++
+		}
+	}
+	tgt.Sys.Chaos.Disarm()
+
+	if ramfsCub.Health() != cubicle.Dead {
+		t.Fatalf("RAMFS health = %v after %d restarts, want Dead (budget %d)",
+			ramfsCub.Health(), ramfsCub.Restarts(), policy.MaxRestarts)
+	}
+	if m.Supervisor().Deaths() != 1 {
+		t.Errorf("Deaths() = %d, want 1", m.Supervisor().Deaths())
+	}
+	if after503 == 0 {
+		t.Errorf("no 503 served after RAMFS died: statuses %v", statuses)
+	}
+	if m.Stats.Restarts != uint64(policy.MaxRestarts) {
+		t.Errorf("Restarts = %d, want exactly the budget %d", m.Stats.Restarts, policy.MaxRestarts)
+	}
+	if m.Stats.Restarts != m.Stats.WarmRestarts+m.Stats.ColdRestarts {
+		t.Errorf("Restarts=%d != Warm %d + Cold %d",
+			m.Stats.Restarts, m.Stats.WarmRestarts, m.Stats.ColdRestarts)
+	}
+}
+
+// replayEvents drives the chaos+checkpoint workload and returns the
+// shard-merged trace events with Cycle <= stop (stop=0: the full run).
+func replayEvents(t *testing.T, cores int, stop uint64) []trace.Event {
+	t.Helper()
+	policy := cubicle.DefaultRestartPolicy()
+	policy.MaxRestarts = 1000
+	policy.CrossingBudget = 200_000_000
+	tgt, err := NewTargetOpts(Options{
+		Mode:               cubicle.ModeFull,
+		TraceEvents:        1 << 16,
+		Supervision:        &policy,
+		CheckpointInterval: 300_000,
+		Chaos:              chaosRamfs(7),
+		SMPCores:           cores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.PutFile("/f.bin", pattern(8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	tgt.Sys.Chaos.Arm()
+	for i := 0; i < 15; i++ {
+		var res *Result
+		var err error
+		if stop != 0 {
+			res, err = tgt.FetchUntil("/f.bin", stop)
+			if errors.Is(err, ErrHalted) {
+				break
+			}
+		} else {
+			res, err = tgt.Fetch("/f.bin")
+		}
+		if err == nil && res.Status == 404 {
+			_ = tgt.PutFile("/f.bin", pattern(8<<10))
+		}
+	}
+	tgt.Sys.Chaos.Disarm()
+	trc := tgt.Sys.M.Tracer()
+	if d := trc.Dropped(); d != 0 {
+		t.Fatalf("trace ring dropped %d events; prefix comparison unsound", d)
+	}
+	events := trc.Events()
+	cutoff := stop
+	if cutoff == 0 {
+		cutoff = tgt.Sys.M.Clock.Cycles()
+	}
+	for i, ev := range events {
+		if ev.Cycle > cutoff {
+			return events[:i]
+		}
+	}
+	return events
+}
+
+// TestReplayDeterminism: re-executing a recorded run with the same seed
+// and halting the virtual clock mid-flight yields a bit-identical event
+// prefix — at one core and at four.
+func TestReplayDeterminism(t *testing.T) {
+	for _, cores := range []int{1, 4} {
+		full := replayEvents(t, cores, 0)
+		if len(full) == 0 {
+			t.Fatalf("cores=%d: recorded run produced no events", cores)
+		}
+		// Halt roughly mid-run at an exact cycle from the recorded stream.
+		until := full[len(full)/2].Cycle
+		replayed := replayEvents(t, cores, until)
+		want := full
+		for i, ev := range want {
+			if ev.Cycle > until {
+				want = want[:i]
+				break
+			}
+		}
+		if len(replayed) != len(want) {
+			t.Fatalf("cores=%d: %d events with cycle <= %d recorded, %d replayed",
+				cores, len(want), until, len(replayed))
+		}
+		for i := range want {
+			if want[i] != replayed[i] {
+				t.Fatalf("cores=%d: replay diverged at event %d:\n  recorded: %+v\n  replayed: %+v",
+					cores, i, want[i], replayed[i])
+			}
+		}
+		t.Logf("cores=%d: %d events bit-identical up to cycle %d (full run: %d events)",
+			cores, len(replayed), until, len(full))
+	}
+}

@@ -6,6 +6,7 @@
 package siege
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -71,6 +72,11 @@ type Options struct {
 	// SMPCores passes through to boot.Config: > 1 gives the deployment
 	// per-core virtual clocks and per-core trace ring shards.
 	SMPCores int
+	// CheckpointInterval passes through to boot.Config: > 0 makes the
+	// monitor checkpoint quiescent cubicles on that virtual-clock cadence,
+	// so supervised restarts can restore warm state instead of rebuilding
+	// from empty.
+	CheckpointInterval uint64
 }
 
 // NewTarget boots the Figure 5 deployment: eight isolated cubicles
@@ -94,22 +100,23 @@ func NewTargetTraced(mode cubicle.Mode, ringCap int, samplePeriod uint64) (*Targ
 func NewTargetOpts(o Options) (*Target, error) {
 	srv := httpd.New(80)
 	sys, err := boot.NewFS(boot.Config{
-		Mode:              o.Mode,
-		Net:               true,
-		RamfsViaAlloc:     true,
-		LwipViaAlloc:      true,
-		Extra:             []*cubicle.Component{srv.Component()},
-		TraceEvents:       o.TraceEvents,
-		TraceSamplePeriod: o.TraceSamplePeriod,
-		MetricsInterval:   o.MetricsInterval,
-		MetricsRing:       o.MetricsRing,
-		Supervision:       o.Supervision,
-		Chaos:             o.Chaos,
-		MemQuotas:         o.MemQuotas,
-		AllocClientQuota:  o.AllocClientQuota,
-		WireCap:           o.WireCap,
-		LwipReapClosed:    o.ReapClosed,
-		SMPCores:          o.SMPCores,
+		Mode:               o.Mode,
+		Net:                true,
+		RamfsViaAlloc:      true,
+		LwipViaAlloc:       true,
+		Extra:              []*cubicle.Component{srv.Component()},
+		TraceEvents:        o.TraceEvents,
+		TraceSamplePeriod:  o.TraceSamplePeriod,
+		MetricsInterval:    o.MetricsInterval,
+		MetricsRing:        o.MetricsRing,
+		Supervision:        o.Supervision,
+		Chaos:              o.Chaos,
+		MemQuotas:          o.MemQuotas,
+		AllocClientQuota:   o.AllocClientQuota,
+		WireCap:            o.WireCap,
+		LwipReapClosed:     o.ReapClosed,
+		SMPCores:           o.SMPCores,
+		CheckpointInterval: o.CheckpointInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -228,6 +235,64 @@ func (t *Target) Fetch(path string) (*Result, error) {
 		return nil, fmt.Errorf("siege: bad status %q", fields[1])
 	}
 	used := t.Sys.M.Clock.Cycles() - start
+	return &Result{
+		Status:  status,
+		Body:    []byte(body),
+		Cycles:  used,
+		Latency: cycles.Duration(used + t.RequestFloor),
+	}, nil
+}
+
+// ErrHalted is returned by FetchUntil when the virtual clock reached the
+// stop cycle before the response completed.
+var ErrHalted = errors.New("siege: virtual clock reached the stop cycle")
+
+// FetchUntil is Fetch with a replay halt: it stops driving the system as
+// soon as the virtual clock reaches stop, returning ErrHalted. Virtual
+// time advances in discrete charges inside each step, so the clock halts
+// at the first step boundary at or after stop — every event with
+// Cycle <= stop has been emitted by then, which is what makes the
+// record/replay prefix comparison exact.
+func (t *Target) FetchUntil(path string, stop uint64) (*Result, error) {
+	clk := t.Sys.M.Clock
+	if clk.Cycles() >= stop {
+		return nil, ErrHalted
+	}
+	start := clk.Cycles()
+	conn := t.Peer.Connect(80)
+	req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", path)
+	sentReq := false
+	for i := 0; i < 5_000_000; i++ {
+		t.stepH.Call(t.Sys.Env)
+		t.Peer.Pump()
+		if clk.Cycles() >= stop {
+			return nil, ErrHalted
+		}
+		if conn.Established && !sentReq {
+			conn.Send([]byte(req))
+			sentReq = true
+		}
+		if conn.FinRcvd {
+			break
+		}
+	}
+	if !conn.FinRcvd {
+		return nil, fmt.Errorf("siege: request for %s did not complete", path)
+	}
+	raw := string(conn.Received())
+	head, body, ok := strings.Cut(raw, "\r\n\r\n")
+	if !ok {
+		return nil, fmt.Errorf("siege: malformed response %q", truncate(raw, 80))
+	}
+	fields := strings.Fields(strings.SplitN(head, "\r\n", 2)[0])
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("siege: malformed status line %q", truncate(head, 80))
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("siege: bad status %q", fields[1])
+	}
+	used := clk.Cycles() - start
 	return &Result{
 		Status:  status,
 		Body:    []byte(body),

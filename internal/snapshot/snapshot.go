@@ -1,0 +1,338 @@
+// Package snapshot defines the versioned, deterministic byte image of one
+// cubicle's architectural state: its heap pages (contents and per-page MPK
+// metadata), its sub-allocator free lists, its window layout, its journal
+// position and the opaque per-component state blobs. The image is what the
+// checkpoint manager captures at quiescent points and what a warm
+// supervised restart restores instead of rebuilding from empty.
+//
+// The encoding is deliberately boring: a fixed magic, a version word, and
+// length-prefixed little-endian records in a canonical order (pages sorted
+// by page number, extents by address, components in registration order).
+// Two captures of identical state are bit-identical, so images can be
+// compared, hashed and replayed. Decode is strict — every length is
+// bounds-checked, order is validated, trailing bytes are an error — so a
+// corrupted or adversarial image fails with a typed *DecodeError instead
+// of corrupting the restore path.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cubicleos/internal/vm"
+)
+
+// Magic identifies a cubicle snapshot image; Version is bumped on any
+// layout change (decode rejects versions it does not know).
+const (
+	Magic   = "CBOSNAP1"
+	Version = 1
+)
+
+// Decode hard limits: an image claiming more than these is corrupt by
+// definition (they are far above anything the simulated machine produces)
+// and is rejected before any allocation is sized from attacker-controlled
+// counts.
+const (
+	MaxPages      = 1 << 20
+	MaxExtents    = 1 << 22
+	MaxWindows    = 1 << 16
+	MaxComponents = 1 << 10
+	MaxBlob       = 1 << 28
+	MaxName       = 1 << 12
+)
+
+// PageImage is one checkpointed page: its page number and the full
+// architectural state the simulated MMU keeps per page.
+type PageImage struct {
+	PN   uint64
+	Key  uint8 // MPK key the page was tagged with at capture
+	Perm uint8
+	Type uint8
+	Data [vm.PageSize]byte
+}
+
+// Extent is an (address, size) pair: a free-list block or an allocation.
+type Extent struct {
+	Addr uint64
+	Size uint64
+}
+
+// HeapImage is the sub-allocator's bookkeeping: the sorted free list, the
+// live allocation sizes (sorted by address), and the arena/live byte
+// counters the quota accounting derives from.
+type HeapImage struct {
+	Free       []Extent
+	Sizes      []Extent
+	ArenaBytes uint64
+	LiveBytes  uint64
+}
+
+// WindowImage is one window owned by the cubicle at capture time. The
+// quiescence rule guarantees captured windows are closed (no grantee bit
+// set) and unpinned, so only the identity and ranges need recording.
+type WindowImage struct {
+	WID    uint32
+	Ranges []Extent
+}
+
+// ComponentImage is one component's opaque state blob, produced by its
+// Snapshot hook and fed back to its Restore hook.
+type ComponentImage struct {
+	Name string
+	Data []byte
+}
+
+// Image is the complete checkpoint of one cubicle.
+type Image struct {
+	Cubicle uint32
+	Cycle   uint64 // virtual clock at capture
+	Journal uint64 // containment-journal position at capture (0 when quiescent)
+	Pages   []PageImage
+	Heap    HeapImage
+	Windows []WindowImage
+	Comps   []ComponentImage
+}
+
+// DecodeError reports why an image failed to decode, with the byte offset
+// at which decoding stopped.
+type DecodeError struct {
+	Off    int
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("snapshot: corrupt image at byte %d: %s", e.Off, e.Reason)
+}
+
+// Encode serializes the image. The output is a pure function of the
+// image's contents: no maps are iterated, no timestamps are stamped.
+func Encode(img *Image) []byte {
+	b := make([]byte, 0, encodedSize(img))
+	b = append(b, Magic...)
+	b = le16(b, Version)
+	b = le32(b, img.Cubicle)
+	b = le64(b, img.Cycle)
+	b = le64(b, img.Journal)
+
+	b = le32(b, uint32(len(img.Pages)))
+	for i := range img.Pages {
+		p := &img.Pages[i]
+		b = le64(b, p.PN)
+		b = append(b, p.Key, p.Perm, p.Type)
+		b = append(b, p.Data[:]...)
+	}
+
+	b = extents(b, img.Heap.Free)
+	b = extents(b, img.Heap.Sizes)
+	b = le64(b, img.Heap.ArenaBytes)
+	b = le64(b, img.Heap.LiveBytes)
+
+	b = le32(b, uint32(len(img.Windows)))
+	for i := range img.Windows {
+		w := &img.Windows[i]
+		b = le32(b, w.WID)
+		b = extents(b, w.Ranges)
+	}
+
+	b = le32(b, uint32(len(img.Comps)))
+	for i := range img.Comps {
+		c := &img.Comps[i]
+		b = le32(b, uint32(len(c.Name)))
+		b = append(b, c.Name...)
+		b = le32(b, uint32(len(c.Data)))
+		b = append(b, c.Data...)
+	}
+	return b
+}
+
+func encodedSize(img *Image) int {
+	n := len(Magic) + 2 + 4 + 8 + 8
+	n += 4 + len(img.Pages)*(8+3+vm.PageSize)
+	n += 4 + len(img.Heap.Free)*16
+	n += 4 + len(img.Heap.Sizes)*16
+	n += 16
+	n += 4
+	for i := range img.Windows {
+		n += 4 + 4 + len(img.Windows[i].Ranges)*16
+	}
+	n += 4
+	for i := range img.Comps {
+		n += 4 + len(img.Comps[i].Name) + 4 + len(img.Comps[i].Data)
+	}
+	return n
+}
+
+// Decode parses and validates an image. It never panics on malformed
+// input; any structural violation returns a *DecodeError.
+func Decode(b []byte) (*Image, error) {
+	d := &decoder{b: b}
+	if string(d.take(len(Magic))) != Magic {
+		return nil, d.fail("bad magic")
+	}
+	if v := d.u16(); v != Version {
+		return nil, d.failf("unsupported version %d", v)
+	}
+	img := &Image{}
+	img.Cubicle = d.u32()
+	img.Cycle = d.u64()
+	img.Journal = d.u64()
+
+	np := d.count(MaxPages, "pages")
+	img.Pages = make([]PageImage, 0, min(int(np), 4096))
+	var lastPN uint64
+	for i := uint32(0); i < np && d.err == nil; i++ {
+		var p PageImage
+		p.PN = d.u64()
+		meta := d.take(3)
+		if d.err == nil {
+			p.Key, p.Perm, p.Type = meta[0], meta[1], meta[2]
+		}
+		data := d.take(vm.PageSize)
+		if d.err == nil {
+			copy(p.Data[:], data)
+		}
+		if i > 0 && d.err == nil && p.PN <= lastPN {
+			return nil, d.fail("pages out of order")
+		}
+		lastPN = p.PN
+		img.Pages = append(img.Pages, p)
+	}
+
+	img.Heap.Free = d.extents("heap free list")
+	img.Heap.Sizes = d.extents("heap size table")
+	img.Heap.ArenaBytes = d.u64()
+	img.Heap.LiveBytes = d.u64()
+
+	nw := d.count(MaxWindows, "windows")
+	img.Windows = make([]WindowImage, 0, min(int(nw), 64))
+	for i := uint32(0); i < nw && d.err == nil; i++ {
+		var w WindowImage
+		w.WID = d.u32()
+		w.Ranges = d.extents("window ranges")
+		img.Windows = append(img.Windows, w)
+	}
+
+	nc := d.count(MaxComponents, "components")
+	img.Comps = make([]ComponentImage, 0, min(int(nc), 16))
+	for i := uint32(0); i < nc && d.err == nil; i++ {
+		var c ComponentImage
+		nn := d.count(MaxName, "component name")
+		c.Name = string(d.take(int(nn)))
+		nd := d.count(MaxBlob, "component blob")
+		c.Data = append([]byte(nil), d.take(int(nd))...)
+		img.Comps = append(img.Comps, c)
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, d.fail("trailing bytes")
+	}
+	return img, nil
+}
+
+// decoder is a cursor over the image bytes; the first structural violation
+// latches err and turns every further read into a no-op.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(reason string) error {
+	if d.err == nil {
+		d.err = &DecodeError{Off: d.off, Reason: reason}
+	}
+	return d.err
+}
+
+func (d *decoder) failf(format string, args ...any) error {
+	return d.fail(fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) || d.off+n < d.off {
+		d.fail("truncated")
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	v := d.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(v)
+}
+
+func (d *decoder) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (d *decoder) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// count reads a u32 element count and rejects values past the hard limit
+// before any slice is sized from it.
+func (d *decoder) count(limit uint32, what string) uint32 {
+	n := d.u32()
+	if d.err == nil && n > limit {
+		d.failf("%s count %d exceeds limit %d", what, n, limit)
+		return 0
+	}
+	return n
+}
+
+// extents reads a length-prefixed extent list, validating address order.
+func (d *decoder) extents(what string) []Extent {
+	n := d.count(MaxExtents, what)
+	out := make([]Extent, 0, min(int(n), 64))
+	var last uint64
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		e := Extent{Addr: d.u64(), Size: d.u64()}
+		if i > 0 && d.err == nil && e.Addr <= last {
+			d.failf("%s out of order", what)
+			return nil
+		}
+		last = e.Addr
+		out = append(out, e)
+	}
+	return out
+}
+
+func le16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func le32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func le64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func extents(b []byte, es []Extent) []byte {
+	b = le32(b, uint32(len(es)))
+	for _, e := range es {
+		b = le64(b, e.Addr)
+		b = le64(b, e.Size)
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

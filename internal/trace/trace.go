@@ -118,6 +118,19 @@ const (
 	// charged (ShootdownIPI per remote core). Single-core runs never
 	// record one.
 	EvShootdown
+	// EvCheckpoint is one cubicle checkpoint captured at a quiescent
+	// point: Cubicle is the checkpointed cubicle, Arg the encoded image
+	// size in bytes, Cost the virtual cycles the capture charged.
+	EvCheckpoint
+	// EvWarmRestart is a supervisor restart that restored the cubicle's
+	// last good checkpoint instead of rebuilding from empty; Arg is the
+	// number of heap pages re-established. Every restart also records an
+	// EvRestart, so Restarts == WarmRestarts + ColdRestarts.
+	EvWarmRestart
+	// EvColdRestart is a supervisor restart that rebuilt the cubicle from
+	// empty (no checkpoint existed, or the restore failed and fell back);
+	// Arg is 1 when a restore was attempted and failed, 0 otherwise.
+	EvColdRestart
 
 	numKinds
 )
@@ -145,6 +158,9 @@ var kindNames = [numKinds]string{
 	EvQuota:        "quota",
 	EvRetry:        "retry",
 	EvShootdown:    "shootdown",
+	EvCheckpoint:   "checkpoint",
+	EvWarmRestart:  "warm_restart",
+	EvColdRestart:  "cold_restart",
 }
 
 func (k Kind) String() string {
@@ -237,6 +253,7 @@ func newShard(core int16, clock *cycles.Clock, ringCap int) *shard {
 // weightedKind marks the kinds whose Arg accumulates into weights.
 var weightedKind = [numKinds]bool{
 	EvCallEnter: true, EvWindowSearch: true, EvCopy: true, EvIPC: true, EvShootdown: true,
+	EvCheckpoint: true,
 }
 
 // record stamps one event and writes it in place into the shard's ring
@@ -603,6 +620,27 @@ func (t *Tracer) Restart(id int, count uint64) {
 	t.s0.record(EvRestart, -1, int32(id), 0, count, 0, "")
 }
 
+// Checkpoint records one cubicle checkpoint captured at a quiescent
+// point; size is the encoded image in bytes, cost the virtual cycles the
+// capture charged. Checkpoints are monitor-context work: shard 0.
+func (t *Tracer) Checkpoint(id int, size, cost uint64) {
+	t.s0.record(EvCheckpoint, -1, int32(id), 0, size, cost, "")
+}
+
+// WarmRestart records a supervisor restart that restored cubicle id from
+// its last good checkpoint; pages is the number of heap pages
+// re-established. Recorded in addition to the EvRestart for the restart.
+func (t *Tracer) WarmRestart(id int, pages uint64) {
+	t.s0.record(EvWarmRestart, -1, int32(id), 0, pages, 0, "")
+}
+
+// ColdRestart records a supervisor restart that rebuilt cubicle id from
+// empty; failedRestore is 1 when a checkpoint restore was attempted and
+// fell back, 0 when no checkpoint existed.
+func (t *Tracer) ColdRestart(id int, failedRestore uint64) {
+	t.s0.record(EvColdRestart, -1, int32(id), 0, failedRestore, 0, "")
+}
+
 // Injected records one deterministic fault injection against cubicle cub
 // at the named site (a constant string).
 func (t *Tracer) Injected(cub int, site string) {
@@ -878,6 +916,13 @@ type Counts struct {
 	// cleared (the EvShootdown weight).
 	TLBShootdowns             uint64
 	TLBShootdownInvalidations uint64
+	// Checkpoints counts captured cubicle checkpoints; CheckpointBytes
+	// sums their encoded sizes (the EvCheckpoint weight). WarmRestarts and
+	// ColdRestarts split Restarts by recovery path.
+	Checkpoints     uint64
+	CheckpointBytes uint64
+	WarmRestarts    uint64
+	ColdRestarts    uint64
 	// TLBHits/TLBMisses/TLBInvalidations are the monitor's span-TLB
 	// counters. They are not event-derived: a TLB hit is the hot path the
 	// tracer exists to stay off of, so recording one event per hit would
@@ -933,6 +978,10 @@ func (t *Tracer) Counts() Counts {
 		Retries:                   counts[EvRetry],
 		TLBShootdowns:             counts[EvShootdown],
 		TLBShootdownInvalidations: weights[EvShootdown],
+		Checkpoints:               counts[EvCheckpoint],
+		CheckpointBytes:           weights[EvCheckpoint],
+		WarmRestarts:              counts[EvWarmRestart],
+		ColdRestarts:              counts[EvColdRestart],
 		TLBHits:                   tlbHits,
 		TLBMisses:                 tlbMisses,
 		TLBInvalidations:          tlbInval,

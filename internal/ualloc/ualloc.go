@@ -232,20 +232,25 @@ func (a *Module) Component() *cubicle.Component {
 		Kind: cubicle.KindIsolated,
 		Exports: []cubicle.ExportDecl{
 			{Name: "alloc_malloc", RegArgs: 1, Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				cubicle.GuardArgs(e, "alloc_malloc", args, 1)
 				return []uint64{uint64(a.malloc(e, args[0]))}
 			}},
 			{Name: "alloc_free", RegArgs: 1, Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				cubicle.GuardArgs(e, "alloc_free", args, 1)
 				a.freeAlloc(e, vm.Addr(args[0]))
 				return nil
 			}},
 			{Name: "alloc_palloc", RegArgs: 1, Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				cubicle.GuardArgs(e, "alloc_palloc", args, 1)
 				return []uint64{uint64(a.malloc(e, args[0]*vm.PageSize))}
 			}},
 			{Name: "alloc_share", RegArgs: 2, Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				cubicle.GuardArgs(e, "alloc_share", args, 2)
 				a.share(e, vm.Addr(args[0]), cubicle.ID(args[1]))
 				return nil
 			}},
 			{Name: "alloc_unshare", RegArgs: 2, Fn: func(e *cubicle.Env, args []uint64) []uint64 {
+				cubicle.GuardArgs(e, "alloc_unshare", args, 2)
 				a.unshare(e, vm.Addr(args[0]), cubicle.ID(args[1]))
 				return nil
 			}},

@@ -32,12 +32,14 @@ func Component() *cubicle.Component {
 
 // memcpy(dst, src, n) copies n bytes and returns dst.
 func memcpy(e *cubicle.Env, args []uint64) []uint64 {
+	cubicle.GuardArgs(e, "memcpy", args, 3)
 	e.Memcpy(vm.Addr(args[0]), vm.Addr(args[1]), args[2])
 	return []uint64{args[0]}
 }
 
 // memset(dst, c, n) fills n bytes with c and returns dst.
 func memset(e *cubicle.Env, args []uint64) []uint64 {
+	cubicle.GuardArgs(e, "memset", args, 3)
 	e.Memset(vm.Addr(args[0]), byte(args[1]), args[2])
 	return []uint64{args[0]}
 }
@@ -46,6 +48,7 @@ func memset(e *cubicle.Env, args []uint64) []uint64 {
 // in a uint64). It compares paired zero-copy views page chunk by page
 // chunk instead of materialising both ranges.
 func memcmp(e *cubicle.Env, args []uint64) []uint64 {
+	cubicle.GuardArgs(e, "memcmp", args, 3)
 	a, b, n := vm.Addr(args[0]), vm.Addr(args[1]), args[2]
 	r := 0
 	// No early exit on a difference: C memcmp may stop, but the legacy
@@ -86,6 +89,7 @@ func chunkLen(a, b vm.Addr, n uint64) uint64 {
 // runs a page-sized zero-copy view at a time — access checks are
 // page-granular, so it touches exactly the pages the byte-wise scan would.
 func strlen(e *cubicle.Env, args []uint64) []uint64 {
+	cubicle.GuardArgs(e, "strlen", args, 1)
 	addr := vm.Addr(args[0])
 	var n uint64
 	for {
@@ -105,6 +109,7 @@ func strlen(e *cubicle.Env, args []uint64) []uint64 {
 // strncmp(a, b, n) compares at most n bytes of two NUL-terminated strings,
 // chunked over paired views like memcmp.
 func strncmp(e *cubicle.Env, args []uint64) []uint64 {
+	cubicle.GuardArgs(e, "strncmp", args, 3)
 	a, b := vm.Addr(args[0]), vm.Addr(args[1])
 	r := 0
 	for done := uint64(0); done < args[2] && r == 0; {

@@ -223,6 +223,37 @@ func (as *AddrSpace) takeRun(npages int) (uint64, bool) {
 	return 0, false
 }
 
+// MapAt maps a single page at the specific page number pn with the given
+// metadata, removing pn from the free list (or growing the page table) as
+// needed. It is the restore primitive underneath cubicle checkpoints: a
+// warm restart re-establishes checkpointed heap pages at their original
+// addresses so that every address the cubicle's state holds — free-list
+// blocks, file page pointers — stays valid. Mapping over an already-mapped
+// page is an error; the caller decides whether that aborts the restore.
+// Like Map, MapAt bumps the translation epoch, so every software TLB drops
+// its cached bindings.
+func (as *AddrSpace) MapAt(pn uint64, owner int, typ PageType, perm Perm, key uint8) (*Page, error) {
+	if pn == 0 {
+		return nil, fmt.Errorf("vm: MapAt of reserved page 0")
+	}
+	if pn < uint64(len(as.pages)) && as.pages[pn] != nil {
+		return nil, fmt.Errorf("vm: MapAt of already-mapped page %#x", pn<<PageShift)
+	}
+	for i, f := range as.free {
+		if f == pn {
+			as.free = append(as.free[:i], as.free[i+1:]...)
+			break
+		}
+	}
+	for uint64(len(as.pages)) <= pn {
+		as.pages = append(as.pages, nil)
+	}
+	p := as.newPage(owner, typ, perm, key)
+	as.pages[pn] = p
+	as.epoch++
+	return p, nil
+}
+
 // Unmap releases npages pages starting at addr, which must be page-aligned
 // and mapped.
 func (as *AddrSpace) Unmap(addr Addr, npages int) error {

@@ -257,3 +257,56 @@ func TestMapRejectsNonPositivePages(t *testing.T) {
 		t.Error("failed Map left pages mapped")
 	}
 }
+
+func TestMapAtRestoresSpecificPage(t *testing.T) {
+	as := NewAddrSpace()
+	a, err := as.Map(3, 4, PageHeap, PermRead|PermWrite, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := a.PageNum() + 1
+	if err := as.Unmap(PageAddr(pn), 1); err != nil {
+		t.Fatal(err)
+	}
+	before := as.Epoch()
+	p, err := as.MapAt(pn, 5, PageHeap, PermRead, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Owner != 5 || p.Key != 9 || p.Perm != PermRead || p.Type != PageHeap {
+		t.Errorf("restored page metadata = %+v", *p)
+	}
+	if as.Page(PageAddr(pn)) != p {
+		t.Error("MapAt did not install the page at the requested number")
+	}
+	if as.Epoch() != before+1 {
+		t.Errorf("MapAt bumped epoch by %d, want 1", as.Epoch()-before)
+	}
+	// The freed page number must have left the free list: a later Map must
+	// not hand it out again.
+	if b, err := as.Map(1, 0, PageHeap, PermRead, 0); err != nil || b.PageNum() == pn {
+		t.Errorf("free list still contains restored page (Map returned %#x, err %v)", uint64(b), err)
+	}
+}
+
+func TestMapAtErrors(t *testing.T) {
+	as := NewAddrSpace()
+	a, err := as.Map(1, 0, PageHeap, PermRead, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapAt(a.PageNum(), 0, PageHeap, PermRead, 0); err == nil {
+		t.Error("MapAt over a mapped page did not error")
+	}
+	if _, err := as.MapAt(0, 0, PageHeap, PermRead, 0); err == nil {
+		t.Error("MapAt of page 0 did not error")
+	}
+	// Growing past the current table end is fine: restores may re-create
+	// pages the teardown's pool recycling has not reused yet.
+	if _, err := as.MapAt(100, 1, PageStack, PermRead|PermWrite, 3); err != nil {
+		t.Errorf("MapAt past table end: %v", err)
+	}
+	if as.Page(PageAddr(100)) == nil {
+		t.Error("MapAt past table end did not map the page")
+	}
+}

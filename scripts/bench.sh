@@ -57,6 +57,11 @@ if [ "$MODE" != assert ]; then
     go test -run '^$' -bench 'FastpathHTTPD' -benchtime "$HTTPTIME" . | tee -a "$TMP"
     go test -run '^$' -bench 'Fig7Nginx/65536B' -benchtime "$HTTPTIME" . | tee -a "$TMP"
     go test -run '^$' -bench 'SMPSiege' -benchtime "$HTTPTIME" . | tee -a "$TMP"
+    # Warm-restart MTTR: checkpointed vs cold chaos-siege recovery. The
+    # interesting metrics are deterministic virtual-clock series
+    # (warm/colddegradedcycles, warm/coldfailed), so one iteration is
+    # enough; TestWarmVsColdSiege asserts warm strictly beats cold.
+    go test -run '^$' -bench 'WarmRestartMTTR' -benchtime 1x . | tee -a "$TMP"
 fi
 # The ratio gate reads BenchmarkCallTracingPaired's "ratio" metric:
 # traced and untraced batches interleave at ~100 µs granularity inside

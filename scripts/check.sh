@@ -53,6 +53,19 @@ else
 fi
 go run ./cmd/httpbench -cores 2 -rates 2000 -requests 100 >/dev/null
 
+# Recovery gates: the snapshot codec (round-trip, determinism, corruption
+# rejection, fuzz seeds run as unit tests), the checkpoint/warm-restart
+# suite (warm restore, snapshot veto, cold fallback, quiescence skip,
+# budget exhaustion, warm-vs-cold siege) under the race detector, and a
+# record/replay smoke at 1 and 4 cores: -replay -until re-executes the
+# chaos run and requires the event streams to be bit-identical up to the
+# halt cycle.
+go test -race ./internal/snapshot/
+go test -race -run FuzzSnapshotDecode ./internal/snapshot/
+go test -race -run 'Checkpoint|Snapshot|Restore|WarmRestart|WarmVsCold|RestartBudget|ReplayDeterminism' ./internal/cubicle/ ./internal/siege/
+go run ./cmd/cubicle-trace -replay -requests 10 -chaos-seed 7 -checkpoint 500000 -until 3000000 >/dev/null
+go run ./cmd/cubicle-trace -replay -cores 4 -requests 10 -chaos-seed 7 -checkpoint 500000 -until 3000000 >/dev/null
+
 # Observability gates: SMP merge invariants over the sharded rings at
 # cores=4, the /metrics exposition and dashboard smoke, and the
 # tracing-overhead ratio (paired benchmark, drift-immune; <= 1.6).
