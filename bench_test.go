@@ -18,6 +18,7 @@ import (
 
 	"cubicleos"
 	"cubicleos/internal/boot"
+	"cubicleos/internal/cluster"
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/experiments"
 	"cubicleos/internal/siege"
@@ -142,6 +143,41 @@ func BenchmarkSMPSiege(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(last.WallRPS, "wallrps")
 			b.ReportMetric(float64(last.GVT), "gvtcycles")
+			b.ReportMetric(float64(last.OK), "ok")
+		})
+	}
+}
+
+// --- Cluster: goodput across fleet sizes ----------------------------------------
+
+// BenchmarkClusterGoodput floods a virtual cluster of 1, 2 and 4
+// backends at a per-backend rate of 1500 rps through the health-aware
+// balancer. wallms is the simulator cost; the virtual-time metrics
+// (goodputrps, ok) are deterministic per fleet size — goodput must scale
+// near-linearly with backends, which the cluster tests and
+// `httpbench -cluster N -assert-degrade` gate.
+func BenchmarkClusterGoodput(b *testing.B) {
+	for _, backends := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends-%d", backends), func(b *testing.B) {
+			var last *cluster.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := cluster.New(cluster.Options{Backends: backends, Mode: cubicleos.ModeFull})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.PutFile("/index.html", make([]byte, 4096)); err != nil {
+					b.Fatal(err)
+				}
+				st, err := c.RunOpenLoop(cluster.RunOptions{
+					Path: "/index.html", Rate: 1500 * float64(backends), Requests: 40 * backends})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = st
+			}
+			b.StopTimer()
+			b.ReportMetric(last.GoodputRPS, "goodputrps")
 			b.ReportMetric(float64(last.OK), "ok")
 		})
 	}

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"cubicleos"
+	"cubicleos/internal/cluster"
 	"cubicleos/internal/cubicle"
 	"cubicleos/internal/siege"
 	"cubicleos/internal/vm"
@@ -232,13 +233,112 @@ func buildReport(m *cubicleos.Monitor) *report {
 	return r
 }
 
+// clusterReport is the machine-readable fleet dump (-cluster -json).
+type clusterReport struct {
+	Backends    int              `json:"backends"`
+	Policy      string           `json:"policy"`
+	Retries     uint64           `json:"retries"`
+	Hedges      uint64           `json:"hedges"`
+	HedgeWins   uint64           `json:"hedge_wins"`
+	Failovers   uint64           `json:"failovers"`
+	Drains      uint64           `json:"drains"`
+	Readmits    uint64           `json:"readmits"`
+	RouteFaults uint64           `json:"route_faults"`
+	Fleet       []clusterBackend `json:"fleet"`
+}
+
+type clusterBackend struct {
+	Index        int    `json:"index"`
+	Health       string `json:"health"`
+	Routed       uint64 `json:"routed"`
+	OK           uint64 `json:"ok"`
+	Shed         uint64 `json:"shed"`
+	Errors       uint64 `json:"errors"`
+	Dropped      uint64 `json:"dropped"`
+	Drains       uint64 `json:"drains"`
+	Readmits     uint64 `json:"readmits"`
+	Routes       uint64 `json:"routes"`
+	Failovers    uint64 `json:"failovers"`
+	WarmRestarts uint64 `json:"warm_restarts"`
+	ColdRestarts uint64 `json:"cold_restarts"`
+	Quarantines  uint64 `json:"quarantines"`
+}
+
+// inspectCluster boots an N-backend virtual cluster, floods it while a
+// scripted kill takes one backend through the drain → warm restart →
+// re-admission ladder, and dumps the balancer's view of the fleet.
+func inspectCluster(n int, asJSON bool) {
+	c, err := cluster.New(cluster.Options{
+		Backends:           n,
+		Mode:               cubicleos.ModeFull,
+		Seed:               7,
+		CheckpointInterval: 5_000_000,
+		HedgeAfter:         20_000_000,
+		Script:             []cluster.Event{{AtCycle: 25_000_000, Backend: n / 2, Action: cluster.ActKill}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.PutFile("/probe.bin", make([]byte, 16<<10)); err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.RunOpenLoop(cluster.RunOptions{Path: "/probe.bin", Rate: 1500 * float64(n), Requests: 90 * n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := clusterReport{
+		Backends: n, Policy: c.O.Policy.String(),
+		Retries: st.Retries, Hedges: st.Hedges, HedgeWins: st.HedgeWins,
+		Failovers: st.Failovers, Drains: st.Drains, Readmits: st.Readmits,
+		RouteFaults: st.RouteFaults,
+	}
+	for _, pb := range st.PerBackend {
+		rep.Fleet = append(rep.Fleet, clusterBackend{
+			Index: pb.Index, Health: pb.Health,
+			Routed: pb.Routed, OK: pb.OK, Shed: pb.Shed, Errors: pb.Errors, Dropped: pb.Dropped,
+			Drains: pb.Drains, Readmits: pb.Readmits,
+			Routes: pb.Sys.Routes, Failovers: pb.Sys.Failovers,
+			WarmRestarts: pb.Sys.WarmRestarts, ColdRestarts: pb.Sys.ColdRestarts,
+			Quarantines: pb.Sys.Quarantines,
+		})
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("CLUSTER (%d backends, %s policy)\n", n, rep.Policy)
+	fmt.Printf("%-4s %-9s %7s %6s %5s %5s %5s %7s %8s %5s %5s %6s\n",
+		"idx", "health", "routed", "ok", "shed", "err", "drop", "drains", "readmits", "warm", "cold", "quar")
+	for _, b := range rep.Fleet {
+		fmt.Printf("%-4d %-9s %7d %6d %5d %5d %5d %7d %8d %5d %5d %6d\n",
+			b.Index, b.Health, b.Routed, b.OK, b.Shed, b.Errors, b.Dropped,
+			b.Drains, b.Readmits, b.WarmRestarts, b.ColdRestarts, b.Quarantines)
+	}
+	fmt.Println("\nBALANCER")
+	fmt.Printf("  retries     %6d\n", rep.Retries)
+	fmt.Printf("  hedges      %6d (%d won)\n", rep.Hedges, rep.HedgeWins)
+	fmt.Printf("  failovers   %6d\n", rep.Failovers)
+	fmt.Printf("  drains      %6d (%d re-admissions)\n", rep.Drains, rep.Readmits)
+	fmt.Printf("  route faults %5d\n", rep.RouteFaults)
+}
+
 func main() {
 	workload := flag.Bool("workload", true, "run a short HTTP workload before dumping")
 	asJSON := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	ring := flag.Int("ring", 1<<14, "trace ring capacity in events per core shard (0 = tracing off)")
 	metricsInterval := flag.Uint64("metrics-interval", 500_000, "metrics snapshot interval in virtual cycles (0 = metrics off)")
 	checkpoint := flag.Uint64("checkpoint", 500_000, "checkpoint interval in virtual cycles (0 = checkpoints off)")
+	clusterN := flag.Int("cluster", 0, "inspect an N-backend virtual cluster after a scripted failover instead of one system")
 	flag.Parse()
+
+	if *clusterN > 0 {
+		inspectCluster(*clusterN, *asJSON)
+		return
+	}
 
 	tgt, err := siege.NewTargetOpts(siege.Options{
 		Mode:               cubicleos.ModeFull,

@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
 	"time"
 
 	"cubicleos"
+	"cubicleos/internal/cluster"
 	"cubicleos/internal/dash"
 	"cubicleos/internal/httpd"
 	"cubicleos/internal/siege"
@@ -216,6 +218,111 @@ func parallelSweep(rateList string, requests, cores int, assertScale float64) {
 	fmt.Printf("assert-scale ok: >= %.2fx\n", assertScale)
 }
 
+// clusterRun drives the virtual cluster (httpbench -cluster N): a
+// goodput-scaling sweep over 1..N backends, then the failover scenario —
+// one backend killed mid-flood — against an undisturbed reference run.
+// With assert it exits non-zero unless goodput scales near-proportionally,
+// the kill keeps goodput at >= 60% of steady state, the killed backend is
+// drained and re-admitted after a warm (checkpoint-restored) restart, and
+// two identically-seeded chaos runs produce bit-identical reports.
+func clusterRun(n int, rate float64, requests int, seed uint64, assert bool) {
+	if n < 1 {
+		log.Fatal("-cluster needs at least 1 backend")
+	}
+	fail := func(f string, a ...any) { log.Fatalf("assert-degrade: "+f, a...) }
+	boot := func(size int, script []cluster.Event) *cluster.Cluster {
+		c, err := cluster.New(cluster.Options{
+			Backends:           size,
+			Mode:               cubicleos.ModeFull,
+			Seed:               seed,
+			CheckpointInterval: 5_000_000,
+			Script:             script,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.PutFile("/index.html", make([]byte, 4096)); err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+	perBackendRate := rate / float64(n)
+
+	fmt.Printf("goodput scaling sweep (%.0f rps per backend, %d arrivals per backend)\n", perBackendRate, requests)
+	fmt.Printf("%9s %9s %8s %5s %5s %5s %8s %8s\n",
+		"backends", "offered", "goodput", "ok", "shed", "drop", "p50", "p99")
+	sweep := map[int]*cluster.Stats{}
+	for size := 1; size <= n; size *= 2 {
+		c := boot(size, nil)
+		st, err := c.RunOpenLoop(cluster.RunOptions{
+			Path: "/index.html", Rate: perBackendRate * float64(size), Requests: requests * size})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep[size] = st
+		fmt.Printf("%9d %9.0f %8.0f %5d %5d %5d %8s %8s\n",
+			size, st.OfferedRPS, st.GoodputRPS, st.OK, st.Shed, st.Dropped,
+			st.P50.Round(10_000).String(), st.P99.Round(10_000).String())
+	}
+
+	run := cluster.RunOptions{Path: "/index.html", Rate: rate, Requests: requests * n}
+	baseline, err := boot(n, nil).RunOpenLoop(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := n / 2
+	script := []cluster.Event{{AtCycle: 25_000_000, Backend: victim, Action: cluster.ActKill}}
+	chaos, err := boot(n, script).RunOpenLoop(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := boot(n, script).RunOpenLoop(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfailover: kill backend %d of %d mid-flood at %.0f rps\n", victim, n, rate)
+	fmt.Printf("%-10s %8s %5s %5s %5s %7s %7s %9s %8s\n",
+		"config", "goodput", "ok", "shed", "drop", "drains", "readmit", "failovers", "p99")
+	row := func(name string, st *cluster.Stats) {
+		fmt.Printf("%-10s %8.0f %5d %5d %5d %7d %7d %9d %8s\n",
+			name, st.GoodputRPS, st.OK, st.Shed, st.Dropped,
+			st.Drains, st.Readmits, st.Failovers, st.P99.Round(10_000).String())
+	}
+	row("steady", baseline)
+	row("kill-one", chaos)
+	v := chaos.PerBackend[victim]
+	fmt.Printf("victim backend %d: health=%s warm-restarts=%d routed=%d\n",
+		v.Index, v.Health, v.Sys.WarmRestarts, v.Routed)
+
+	if !assert {
+		return
+	}
+	for size := 2; size <= n; size *= 2 {
+		want := 0.8 * float64(size) * sweep[1].GoodputRPS
+		if sweep[size].GoodputRPS < want {
+			fail("goodput does not scale: %d backends reach %.0f rps, want >= %.0f",
+				size, sweep[size].GoodputRPS, want)
+		}
+	}
+	if chaos.GoodputRPS < 0.6*baseline.GoodputRPS {
+		fail("kill-one goodput %.0f rps below 60%% of steady-state %.0f rps",
+			chaos.GoodputRPS, baseline.GoodputRPS)
+	}
+	if chaos.Drains < 1 || chaos.Readmits < 1 {
+		fail("victim not drained+readmitted (drains %d, readmits %d)", chaos.Drains, chaos.Readmits)
+	}
+	if v.Health != "healthy" {
+		fail("victim ended %q, want healthy after re-admission", v.Health)
+	}
+	if v.Sys.WarmRestarts < 1 {
+		fail("victim restarted cold (%d warm restarts) — checkpoint restore did not run", v.Sys.WarmRestarts)
+	}
+	if !reflect.DeepEqual(chaos, replay) {
+		fail("two identically-seeded chaos runs diverged")
+	}
+	fmt.Println("assert-degrade ok: goodput scales, failover holds >= 60%, warm re-admission, bit-identical replay")
+}
+
 func main() {
 	mode := flag.String("mode", "both", "isolation mode: unikraft, full, both")
 	repeats := flag.Int("repeats", 2, "measured requests per size (after one warm-up)")
@@ -228,8 +335,15 @@ func main() {
 	live := flag.Bool("live", false, "drive one governed open-loop run with the live cubicle-top dashboard")
 	liveRate := flag.Float64("live-rate", 6000, "offered rate for -live")
 	liveRefresh := flag.Duration("live-refresh", 80*time.Millisecond, "wall-clock pause per -live frame (0 = render once at the end)")
+	clusterN := flag.Int("cluster", 0, "run the virtual-cluster scaling + failover scenario with N backends")
+	clusterRate := flag.Float64("cluster-rate", 6000, "cluster-wide offered rate (rps) for -cluster")
+	clusterSeed := flag.Uint64("cluster-seed", 7, "seed for the -cluster chaos and hash streams")
 	flag.Parse()
 
+	if *clusterN > 0 {
+		clusterRun(*clusterN, *clusterRate, 90, *clusterSeed, *assertDegrade)
+		return
+	}
 	if *live {
 		liveRun(*liveRate, *requests, *liveRefresh)
 		return

@@ -103,6 +103,13 @@ type Config struct {
 	// TLB shootdowns on every retag. The default (0 or 1) keeps the
 	// single-core monitor, whose figures are byte-identical to the seed.
 	SMPCores int
+	// Cluster is this system's backend index when it boots as one member
+	// of a virtual cluster (internal/cluster); 0 for standalone systems.
+	// It keys the per-backend chaos decision streams — most importantly
+	// the wire-drop schedule, which is wired here when Chaos sets
+	// DropAtWire — so every backend loses different frames under the same
+	// cluster seed.
+	Cluster int
 }
 
 // System is a booted deployment.
@@ -254,6 +261,10 @@ func NewFS(cfg Config) (*System, error) {
 		// still boots disarmed so provisioning also runs fault-free.
 		s.Chaos = faultinject.New(*cfg.Chaos)
 		m.SetInjector(s.Chaos)
+		if cfg.Net && cfg.Chaos.DropAtWire > 0 {
+			inj, key := s.Chaos, cfg.Cluster
+			s.Netdev.Wire().SetDropper(func() bool { return inj.AtWire(key) })
+		}
 	}
 	return s, nil
 }

@@ -80,6 +80,10 @@ type Monitor struct {
 	machine  *cycles.Machine
 	lk       smpLock
 
+	// healthHook, when set, observes supervisor health-ladder transitions
+	// (see SetHealthHook) — the cluster balancer's drain/re-admit signal.
+	healthHook HealthHook
+
 	cubicles    []*Cubicle
 	byName      map[string]*Cubicle
 	compOf      map[string]*Cubicle // component name -> hosting cubicle

@@ -91,12 +91,24 @@ type Stats struct {
 	// empty. Restarts == WarmRestarts + ColdRestarts.
 	WarmRestarts uint64
 	ColdRestarts uint64
+	// Routes counts cluster balancer decisions that routed a request to
+	// this system; Drains counts balancer health-ladder transitions for it
+	// (drain + readmit, see Monitor.NoteDrain); Failovers counts requests
+	// the balancer re-issued away from it (retry/hedge/drain).
+	Routes    uint64
+	Drains    uint64
+	Failovers uint64
 }
 
 // newStats returns an initialised Stats.
 func newStats() Stats {
 	return Stats{Calls: make(map[Edge]uint64)}
 }
+
+// NewStats returns an empty, mergeable Stats (initialised maps) —
+// accumulator seed for callers that Merge many monitors' counters, like
+// the cluster driver's fleet-wide roll-up.
+func NewStats() Stats { return newStats() }
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
@@ -138,6 +150,9 @@ func (s *Stats) Merge(o *Stats) {
 	s.CheckpointBytes += o.CheckpointBytes
 	s.WarmRestarts += o.WarmRestarts
 	s.ColdRestarts += o.ColdRestarts
+	s.Routes += o.Routes
+	s.Drains += o.Drains
+	s.Failovers += o.Failovers
 }
 
 // EdgeCount is one row of a call-count report.

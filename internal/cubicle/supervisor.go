@@ -297,12 +297,14 @@ func (s *Supervisor) quarantine(id ID, cause error) {
 		return
 	}
 	backoff := s.backoffFor(c.consecFaults)
+	old := c.health
 	c.health = Quarantined
 	c.restartAt = s.m.smpNow() + backoff
 	s.m.Stats.Quarantines++
 	if s.m.trc != nil {
 		s.m.trc.Quarantine(int(id), backoff)
 	}
+	s.m.notifyHealth(c, old, Quarantined)
 }
 
 // backoffFor computes the quarantine backoff for the n-th consecutive
@@ -351,8 +353,10 @@ func (s *Supervisor) restart(c *Cubicle) bool {
 	}
 	c.restartLog = keep
 	if s.policy.MaxRestarts > 0 && len(c.restartLog) >= s.policy.MaxRestarts {
+		old := c.health
 		c.health = Dead
 		s.deaths++
+		s.m.notifyHealth(c, old, Dead)
 		return false
 	}
 
@@ -396,6 +400,7 @@ func (s *Supervisor) restart(c *Cubicle) bool {
 			fn()
 		}
 	}
+	old := c.health
 	c.health = Healthy
 	c.restarts++
 	c.restartAt = 0
@@ -414,6 +419,7 @@ func (s *Supervisor) restart(c *Cubicle) bool {
 			m.trc.ColdRestart(int(c.ID), failedRestore)
 		}
 	}
+	m.notifyHealth(c, old, Healthy)
 	return true
 }
 

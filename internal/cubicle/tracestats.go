@@ -47,6 +47,9 @@ func StatsFromTrace(trc *trace.Tracer) Stats {
 	s.CheckpointBytes = c.CheckpointBytes
 	s.WarmRestarts = c.WarmRestarts
 	s.ColdRestarts = c.ColdRestarts
+	s.Routes = c.Routes
+	s.Drains = c.Drains
+	s.Failovers = c.Failovers
 	for e, n := range c.Calls {
 		s.Calls[Edge{From: ID(e.From), To: ID(e.To)}] = n
 	}

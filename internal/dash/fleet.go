@@ -1,0 +1,32 @@
+// Fleet rendering: the cluster half of the dashboard. A fleet frame is
+// the balancer's view of every backend — health ladder state, routing
+// share, drain/re-admission history and restart kinds — plus the
+// cluster-wide retry/hedge/failover gauges, rendered from a cluster
+// run's report the same way Dash renders one monitor's counters.
+
+package dash
+
+import (
+	"fmt"
+	"io"
+
+	"cubicleos/internal/cluster"
+)
+
+// FleetFrame renders the per-backend fleet table and balancer gauges of
+// one cluster run.
+func FleetFrame(st *cluster.Stats, w io.Writer) {
+	fmt.Fprintf(w, "FLEET  %d backends  offered %.0f rps  goodput %.0f rps  p50 %s  p99 %s\n",
+		st.Backends, st.OfferedRPS, st.GoodputRPS,
+		st.P50.Round(10_000), st.P99.Round(10_000))
+	fmt.Fprintf(w, "%-4s %-9s %7s %6s %5s %5s %5s %7s %8s %5s %5s\n",
+		"idx", "health", "routed", "ok", "shed", "err", "drop", "drains", "readmits", "warm", "cold")
+	for _, b := range st.PerBackend {
+		fmt.Fprintf(w, "%-4d %-9s %7d %6d %5d %5d %5d %7d %8d %5d %5d\n",
+			b.Index, b.Health, b.Routed, b.OK, b.Shed, b.Errors, b.Dropped,
+			b.Drains, b.Readmits, b.Sys.WarmRestarts, b.Sys.ColdRestarts)
+	}
+	fmt.Fprintf(w, "balancer: retries %d  hedges %d (%d won)  failovers %d  drains %d  readmits %d  route-faults %d\n",
+		st.Retries, st.Hedges, st.HedgeWins, st.Failovers,
+		st.Drains, st.Readmits, st.RouteFaults)
+}

@@ -35,7 +35,34 @@ type Config struct {
 	ProtAtWindowOp float64
 	// Probability of a protection fault per trap-and-map retag.
 	ProtAtRetag float64
+
+	// DropAtWire is the probability that a frame crossing the NETDEV wire
+	// is lost in flight (consulted per frame, both directions — see
+	// netdev.Wire.SetDropper). The Target filter does not apply: the wire
+	// is hardware, not a cubicle.
+	DropAtWire float64
+	// KillAtRoute / SlowAtRoute are cluster failover sites, consulted by
+	// the balancer per routing decision against the chosen backend: Kill
+	// quarantines the backend's target cubicle (whole-backend crash from
+	// the balancer's point of view), Slow degrades its compute for a
+	// window. One draw decides via a cumulative ladder, so their sum must
+	// stay ≤ 1.
+	KillAtRoute float64
+	SlowAtRoute float64
 }
+
+// RouteChaos is the decision of the per-route cluster site.
+type RouteChaos uint8
+
+const (
+	// RouteNone fires nothing.
+	RouteNone RouteChaos = iota
+	// RouteKill crashes the routed-to backend (its target cubicle is
+	// quarantined through the standard supervision ladder).
+	RouteKill
+	// RouteSlow degrades the routed-to backend's compute for a window.
+	RouteSlow
+)
 
 // Injector is a deterministic cubicle.Injector. It starts disarmed so
 // that boot wiring and provisioning run fault-free; call Arm when the
@@ -60,8 +87,20 @@ type Injector struct {
 	Crossings uint64
 	WindowOps uint64
 	Retags    uint64
+	WireDraws uint64
+	Routes    uint64
 	Fired     uint64
 }
+
+// Stream-key bases for the non-crossing decision streams. Each site
+// family draws from its own splitmix64 stream per key, offset far from
+// any plausible core number, so wire and route decisions never shift the
+// crossing streams (and vice versa) — chaos schedules stay reproducible
+// when the sites interleave differently run to run.
+const (
+	wireKeyBase  = 1 << 20
+	routeKeyBase = 2 << 20
+)
 
 // New returns a disarmed injector for the given config.
 func New(cfg Config) *Injector {
@@ -165,6 +204,51 @@ func (j *Injector) AtWindowOp(core int, owner, op string) cubicle.InjectKind {
 		return cubicle.InjectProt
 	}
 	return cubicle.InjectNone
+}
+
+// AtWire decides whether one frame crossing the NETDEV wire is lost in
+// flight. key identifies the wire's decision stream — the backend index
+// in a cluster, 0 for a standalone system — so each backend's drop
+// schedule is independent of the others' traffic. Consumes no draw while
+// disarmed or with DropAtWire unset, so arming packet loss never shifts
+// the other sites' streams.
+func (j *Injector) AtWire(key int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.armed || j.cfg.DropAtWire <= 0 {
+		return false
+	}
+	j.WireDraws++
+	if j.draw(wireKeyBase+key) < j.cfg.DropAtWire {
+		j.Fired++
+		return true
+	}
+	return false
+}
+
+// AtRoute decides, per balancer routing decision, whether chaos strikes
+// the chosen backend: one draw over the KillAtRoute/SlowAtRoute ladder.
+// backend keys the decision stream, so each backend's kill/slow schedule
+// depends only on how many requests were routed to it.
+func (j *Injector) AtRoute(backend int) RouteChaos {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.armed || (j.cfg.KillAtRoute <= 0 && j.cfg.SlowAtRoute <= 0) {
+		return RouteNone
+	}
+	j.Routes++
+	u := j.draw(routeKeyBase + backend)
+	p := j.cfg.KillAtRoute
+	if u < p {
+		j.Fired++
+		return RouteKill
+	}
+	p += j.cfg.SlowAtRoute
+	if u < p {
+		j.Fired++
+		return RouteSlow
+	}
+	return RouteNone
 }
 
 // AtRetag implements cubicle.Injector.

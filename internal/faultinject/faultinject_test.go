@@ -159,3 +159,89 @@ func TestWindowOpAndRetagSites(t *testing.T) {
 		t.Errorf("site counters = %d/%d, want 1000/1000", j.WindowOps, j.Retags)
 	}
 }
+
+// TestWireDropScheduleDeterministic: the wire-drop site must produce the
+// same drop schedule for the same seed, and its per-key stream must be
+// independent of the crossing streams — interleaving crossing decisions
+// (whose count varies with workload timing) must not shift which frames
+// are lost.
+func TestWireDropScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DropAtWire: 0.1, ProtAtCrossing: 0.1}
+	wire := func(j *Injector, n, key int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = j.AtWire(key)
+		}
+		return out
+	}
+	a, b := New(cfg), New(cfg)
+	a.Arm()
+	b.Arm()
+	want := wire(a, 5000, 0)
+	// Same seed, but crossing draws interleaved between wire draws.
+	got := make([]bool, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		if i%3 == 0 {
+			b.AtCrossing(0, "RAMFS", "sym")
+		}
+		got = append(got, b.AtWire(0))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("crossing draws shifted the wire schedule at frame %d", i)
+		}
+	}
+	if a.WireDraws != 5000 || a.Fired == 0 {
+		t.Fatalf("WireDraws=%d Fired=%d over 5000 frames at p=0.1", a.WireDraws, a.Fired)
+	}
+	// Different backend keys get independent schedules.
+	c := New(cfg)
+	c.Arm()
+	other := wire(c, 5000, 1)
+	same := 0
+	for i := range want {
+		if want[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(want) {
+		t.Fatal("backend keys 0 and 1 produced identical drop schedules")
+	}
+	// Disarmed or unconfigured sites consume no draw.
+	d := New(Config{Seed: 42})
+	d.Arm()
+	if d.AtWire(0) || d.WireDraws != 0 {
+		t.Fatal("wire site drew with DropAtWire unset")
+	}
+}
+
+// TestRouteChaosLadder: the per-route kill/slow ladder fires at roughly
+// the configured rates, deterministically per backend key.
+func TestRouteChaosLadder(t *testing.T) {
+	cfg := Config{Seed: 9, KillAtRoute: 0.05, SlowAtRoute: 0.15}
+	j, k := New(cfg), New(cfg)
+	j.Arm()
+	k.Arm()
+	kills, slows := 0, 0
+	for i := 0; i < 10000; i++ {
+		d := j.AtRoute(2)
+		if d != k.AtRoute(2) {
+			t.Fatalf("route schedules diverge at decision %d", i)
+		}
+		switch d {
+		case RouteKill:
+			kills++
+		case RouteSlow:
+			slows++
+		}
+	}
+	if kills < 350 || kills > 650 {
+		t.Errorf("kills = %d of 10000 at p=0.05", kills)
+	}
+	if slows < 1200 || slows > 1800 {
+		t.Errorf("slows = %d of 10000 at p=0.15", slows)
+	}
+	if j.Routes != 10000 {
+		t.Errorf("route draws = %d, want 10000", j.Routes)
+	}
+}

@@ -40,6 +40,12 @@ const (
 // parseWork models request-line parsing and header handling.
 const parseWork = 900
 
+// defaultConnRequests caps responses served on one keep-alive connection
+// when Governance leaves MaxConnRequests unset (nginx's
+// keepalive_requests default): long-lived connections must still cycle so
+// per-connection state cannot accrete forever.
+const defaultConnRequests = 100
+
 // connState is the per-connection state machine.
 type connState int
 
@@ -72,6 +78,35 @@ type conn struct {
 	// aborted by the stale deadline.
 	deadline uint64
 	expired  bool
+	// http11 records the request's protocol version; keepAlive whether
+	// the connection persists after the current response (HTTP/1.1
+	// default, overridable per request via the Connection header);
+	// served counts responses completed on this connection so the
+	// requests-per-conn cap can force a close.
+	http11    bool
+	keepAlive bool
+	served    int
+}
+
+// proto is the response protocol version, echoing the request's.
+func (c *conn) proto() string {
+	if c.http11 {
+		return "HTTP/1.1"
+	}
+	return "HTTP/1.0"
+}
+
+// connHeader is the Connection response header for the current request —
+// empty on the legacy HTTP/1.0 close path so pre-keep-alive responses
+// stay byte-identical (the golden figures depend on it).
+func (c *conn) connHeader() string {
+	if c.keepAlive {
+		return "Connection: keep-alive\r\n"
+	}
+	if c.http11 {
+		return "Connection: close\r\n"
+	}
+	return ""
 }
 
 // Governance configures the server's overload protection. The zero value
@@ -90,6 +125,11 @@ type Governance struct {
 	// Retry bounds re-attempts of transient allocation faults before a
 	// connection is shed (zero value = single attempt, no backoff).
 	Retry cubicle.RetryPolicy
+	// MaxConnRequests caps responses served over one keep-alive
+	// connection before the server answers Connection: close and recycles
+	// it (0 = the defaultConnRequests default). HTTP/1.0 connections
+	// without keep-alive are unaffected — they close after one response.
+	MaxConnRequests int
 }
 
 // Server is the NGINX component state.
@@ -320,6 +360,9 @@ func (s *Server) shed(e *cubicle.Env, fd uint64, status uint64, reason string) {
 // Transient causes (quota, deadline) count as sheds, not component errors.
 func (s *Server) fail503(e *cubicle.Env, c *conn, cf *cubicle.ContainedFault) {
 	s.Errors503++
+	// A degraded connection never persists: whatever request framing the
+	// fault interrupted is lost.
+	c.keepAlive = false
 	if cf != nil && cubicle.IsTransient(cf) {
 		s.Shed503++
 		reason := "quota"
@@ -357,6 +400,13 @@ func (s *Server) fail503(e *cubicle.Env, c *conn, cf *cubicle.ContainedFault) {
 func (s *Server) advance(e *cubicle.Env, c *conn) uint64 {
 	switch c.state {
 	case stReadRequest:
+		// A pipelined request may already sit complete in the bookkeeping
+		// buffer from the previous keep-alive exchange; serve it before
+		// asking the stack for more bytes.
+		if bytes.Contains(c.req, []byte("\r\n\r\n")) {
+			s.parseRequest(e, c)
+			return 1
+		}
 		n, errno := s.lwip.Recv(e, c.fd, c.reqBuf, reqBufSize)
 		if errno == lwip.EAGAIN {
 			return 0
@@ -388,14 +438,54 @@ func (s *Server) advance(e *cubicle.Env, c *conn) uint64 {
 	return 0
 }
 
-// parseRequest handles the request line and opens the file.
+// connDirective extracts the request's Connection header value,
+// lower-cased, or "" when absent.
+func connDirective(head string) string {
+	for _, line := range strings.Split(head, "\r\n")[1:] {
+		k, v, ok := strings.Cut(line, ":")
+		if ok && strings.EqualFold(strings.TrimSpace(k), "Connection") {
+			return strings.ToLower(strings.TrimSpace(v))
+		}
+	}
+	return ""
+}
+
+// parseRequest handles the request line and opens the file. It consumes
+// exactly one request head from the bookkeeping buffer; pipelined bytes
+// beyond the terminator stay queued for the next keep-alive round.
 func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
 	e.TraceMark("http.request.parsed")
 	e.Work(parseWork)
-	line, _, _ := strings.Cut(string(c.req), "\r\n")
+	idx := bytes.Index(c.req, []byte("\r\n\r\n"))
+	head := string(c.req[:idx])
+	c.req = c.req[idx+4:]
+	line, _, _ := strings.Cut(head, "\r\n")
 	fields := strings.Fields(line)
+	c.http11 = len(fields) >= 3 && fields[2] == "HTTP/1.1"
+	switch connDirective(head) {
+	case "close":
+		c.keepAlive = false
+	case "keep-alive":
+		c.keepAlive = true
+	default:
+		c.keepAlive = c.http11
+	}
+	maxReq := s.gov.MaxConnRequests
+	if maxReq == 0 {
+		maxReq = defaultConnRequests
+	}
+	if c.served+1 >= maxReq {
+		c.keepAlive = false
+	}
+	if s.gov.RequestDeadline != 0 && c.deadline == 0 {
+		// Recycled keep-alive connections get a fresh per-request budget;
+		// the first request keeps the one armed at accept.
+		c.deadline = e.Now() + s.gov.RequestDeadline
+	}
 	if len(fields) < 2 || (fields[0] != "GET" && fields[0] != "HEAD") {
+		// Framing past a malformed request is unknowable: answer and close.
 		c.status = 400
+		c.keepAlive = false
 		s.startResponse(e, c, "400 Bad Request", []byte("bad request\n"))
 		return
 	}
@@ -420,7 +510,7 @@ func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
 	}
 	c.fileFD = fd
 	c.size = size
-	hdr := fmt.Sprintf("HTTP/1.0 200 OK\r\nServer: cubicle-nginx\r\nContent-Length: %d\r\n\r\n", size)
+	hdr := fmt.Sprintf("%s 200 OK\r\nServer: cubicle-nginx\r\n%sContent-Length: %d\r\n\r\n", c.proto(), c.connHeader(), size)
 	e.Write(c.ioBuf, []byte(hdr))
 	c.pending = uint64(len(hdr))
 	c.pendOff = 0
@@ -439,7 +529,7 @@ func (s *Server) parseRequest(e *cubicle.Env, c *conn) {
 // checked copy into the connection's I/O buffer, LWIP send, access log.
 func (s *Server) serveMetrics(e *cubicle.Env, c *conn) {
 	body := s.metricsSource()
-	hdr := fmt.Sprintf("HTTP/1.0 200 OK\r\nServer: cubicle-nginx\r\nContent-Type: application/openmetrics-text; version=1.0.0\r\nContent-Length: %d\r\n\r\n", len(body))
+	hdr := fmt.Sprintf("%s 200 OK\r\nServer: cubicle-nginx\r\nContent-Type: application/openmetrics-text; version=1.0.0\r\n%sContent-Length: %d\r\n\r\n", c.proto(), c.connHeader(), len(body))
 	if uint64(len(hdr)+len(body)) > ioBufSize {
 		body = body[:ioBufSize-uint64(len(hdr))]
 	}
@@ -456,7 +546,7 @@ func (s *Server) serveMetrics(e *cubicle.Env, c *conn) {
 
 // startResponse stages a small error response.
 func (s *Server) startResponse(e *cubicle.Env, c *conn, status string, body []byte) {
-	hdr := fmt.Sprintf("HTTP/1.0 %s\r\nServer: cubicle-nginx\r\nContent-Length: %d\r\n\r\n", status, len(body))
+	hdr := fmt.Sprintf("%s %s\r\nServer: cubicle-nginx\r\n%sContent-Length: %d\r\n\r\n", c.proto(), status, c.connHeader(), len(body))
 	e.Write(c.ioBuf, append([]byte(hdr), body...))
 	c.pending = uint64(len(hdr) + len(body))
 	c.pendOff = 0
@@ -508,7 +598,8 @@ func (s *Server) serve(e *cubicle.Env, c *conn) uint64 {
 	}
 }
 
-// finish logs the request and closes the connection.
+// finish logs the request, then closes the connection or — on a
+// keep-alive exchange — recycles it for the next request.
 func (s *Server) finish(e *cubicle.Env, c *conn) {
 	ts := s.time.WallNs(e)
 	line := fmt.Sprintf("%d GET %s %d %d\n", ts/1_000_000_000, c.path, c.status, c.size)
@@ -519,7 +610,32 @@ func (s *Server) finish(e *cubicle.Env, c *conn) {
 	s.plat.ConsoleWrite(e, s.logBuf, uint64(len(line)))
 	s.Requests++
 	e.TraceMark("http.request.done")
-	s.closeConn(e, c)
+	if c.keepAlive {
+		s.resetConn(e, c)
+	} else {
+		s.closeConn(e, c)
+	}
+}
+
+// resetConn recycles a keep-alive connection for its next request:
+// per-request state clears, the connection-scoped buffers and their
+// windows stay mapped. Pipelined bytes already received remain queued in
+// c.req and are parsed on the next step without another Recv.
+func (s *Server) resetConn(e *cubicle.Env, c *conn) {
+	if c.fileFD != 0 {
+		s.vfs.Close(e, c.fileFD)
+		c.fileFD = 0
+	}
+	c.served++
+	c.state = stReadRequest
+	c.size, c.sent, c.pending, c.pendOff = 0, 0, 0, 0
+	c.hdrDone = false
+	c.headOnly = false
+	c.path = ""
+	c.status = 200
+	c.wrote = 0
+	c.deadline = 0
+	c.expired = false
 }
 
 // Provision writes a static file into the file system through the normal

@@ -39,12 +39,35 @@ type Wire struct {
 	// DropsIn counts host frames dropped at a full receive queue;
 	// DropsOut counts device transmits refused at a full send queue.
 	DropsIn, DropsOut uint64
+	// InjectedDropsIn / InjectedDropsOut count frames the dropper lost in
+	// flight (seeded chaos, not queue pressure) per direction.
+	InjectedDropsIn, InjectedDropsOut uint64
+
+	// dropper, when set, is consulted once per frame in each direction;
+	// true loses the frame in flight (see SetDropper).
+	dropper func() bool
 }
+
+// SetDropper installs fn as the wire's in-flight loss decision: it is
+// consulted once per frame in each direction (host→device before the
+// frame reaches the receive queue, device→host after the device believes
+// the transmit succeeded — real wire loss is invisible to the sender).
+// Implementations are seeded injector streams (faultinject.AtWire) so the
+// drop schedule is a deterministic function of the frame sequence. nil
+// detaches.
+func (w *Wire) SetDropper(fn func() bool) { w.dropper = fn }
 
 // HostSend injects a frame from the host side (load generator). When the
 // bounded receive queue is full the frame is dropped — the silicon has no
 // flow control to the wire, exactly like a NIC ring overflow.
 func (w *Wire) HostSend(frame []byte) {
+	if w.dropper != nil && w.dropper() {
+		// Lost in flight before reaching the NIC: the host-side sender has
+		// no way to know (no wire-level flow control), the device never
+		// sees an arrival.
+		w.InjectedDropsIn++
+		return
+	}
 	if w.Cap > 0 && len(w.toDevice) >= w.Cap {
 		w.DropsIn++
 		return
@@ -107,9 +130,15 @@ func (d *Module) tx(e *cubicle.Env, ptr, n uint64) []uint64 {
 	e.Memcpy(d.staging, vm.Addr(ptr), n)
 	frame := make([]byte, n)
 	e.Read(d.staging, frame)
-	d.wire.toHost = append(d.wire.toHost, frame)
 	d.wire.FramesOut++
 	d.wire.BytesOut += n
+	if d.wire.dropper != nil && d.wire.dropper() {
+		// Lost in flight after leaving the device: the transmit succeeded
+		// as far as the stack can tell, the peer never sees the frame.
+		d.wire.InjectedDropsOut++
+		return []uint64{n, 0}
+	}
+	d.wire.toHost = append(d.wire.toHost, frame)
 	return []uint64{n, 0}
 }
 

@@ -117,3 +117,42 @@ func TestWireCounters(t *testing.T) {
 		t.Errorf("host pending = %d", w.HostPending())
 	}
 }
+
+// TestWireDropperLosesFramesInFlight: an injected drop on the transmit
+// path must look like a successful send to the stack (the frame left the
+// device) while never reaching the host, and a drop on the receive path
+// must vanish before the device sees an arrival.
+func TestWireDropperLosesFramesInFlight(t *testing.T) {
+	s, c := bootNet(t)
+	w := s.Netdev.Wire()
+	drops := []bool{false, true, false, true, true, false}
+	i := 0
+	w.SetDropper(func() bool { d := drops[i%len(drops)]; i++; return d })
+	err := s.RunAs("APP", func(e *cubicle.Env) {
+		buf := e.HeapAlloc(vm.PageSize)
+		wid := e.WindowInit()
+		e.WindowAdd(wid, buf, vm.PageSize)
+		e.WindowOpen(wid, e.CubicleOf(netdev.Name))
+		e.Write(buf, []byte("abcd"))
+		for j := 0; j < len(drops); j++ {
+			n, errno := c.Tx(e, buf, 4)
+			if errno != 0 || n != 4 {
+				t.Fatalf("tx %d: n=%d errno=%d — wire loss must be invisible to the sender", j, n, errno)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FramesOut != 6 || w.InjectedDropsOut != 3 || w.HostPending() != 3 {
+		t.Fatalf("out: frames=%d injected=%d pending=%d, want 6/3/3",
+			w.FramesOut, w.InjectedDropsOut, w.HostPending())
+	}
+	i = 0
+	for j := 0; j < len(drops); j++ {
+		w.HostSend([]byte("host frame"))
+	}
+	if w.InjectedDropsIn != 3 || w.FramesIn != 3 {
+		t.Fatalf("in: injected=%d arrived=%d, want 3/3", w.InjectedDropsIn, w.FramesIn)
+	}
+}

@@ -243,6 +243,13 @@ func (t *Target) OpenLoop(o OpenLoopOptions) (*OpenLoopStats, error) {
 
 // percentile returns the p-quantile of sorted cycle latencies as a
 // duration (nearest-rank; zero when empty).
+// Percentile converts the p-th percentile of an ascending cycle-latency
+// slice to a duration (nearest-rank). Exported for the cluster driver,
+// which pools latencies across backends but classifies them itself.
+func Percentile(sorted []uint64, p float64) time.Duration {
+	return percentile(sorted, p)
+}
+
 func percentile(sorted []uint64, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0

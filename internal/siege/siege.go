@@ -77,6 +77,10 @@ type Options struct {
 	// so supervised restarts can restore warm state instead of rebuilding
 	// from empty.
 	CheckpointInterval uint64
+	// Cluster passes through to boot.Config: this target's backend index
+	// when it boots as one member of a virtual cluster, keying the
+	// per-backend chaos decision streams. 0 for standalone targets.
+	Cluster int
 }
 
 // NewTarget boots the Figure 5 deployment: eight isolated cubicles
@@ -117,6 +121,7 @@ func NewTargetOpts(o Options) (*Target, error) {
 		LwipReapClosed:     o.ReapClosed,
 		SMPCores:           o.SMPCores,
 		CheckpointInterval: o.CheckpointInterval,
+		Cluster:            o.Cluster,
 	})
 	if err != nil {
 		return nil, err
@@ -300,6 +305,12 @@ func (t *Target) FetchUntil(path string, stop uint64) (*Result, error) {
 		Latency: cycles.Duration(used + t.RequestFloor),
 	}, nil
 }
+
+// Step drives one server iteration (nginx_step) without pumping the
+// peer. The cluster driver uses it to advance each backend in lockstep
+// with the cluster clock; callers own the CatchContained wrapping, since
+// a quarantined NGINX refuses the crossing with a ContainedFault.
+func (t *Target) Step() uint64 { return t.stepH.Call(t.Sys.Env)[0] }
 
 func truncate(s string, n int) string {
 	if len(s) <= n {

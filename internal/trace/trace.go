@@ -131,6 +131,19 @@ const (
 	// empty (no checkpoint existed, or the restore failed and fell back);
 	// Arg is 1 when a restore was attempted and failed, 0 otherwise.
 	EvColdRestart
+	// EvRoute is one cluster balancer routing decision that selected this
+	// backend: Name is the policy label (hash/least), Other the backend
+	// index in the cluster, Arg the request attempt number (0 = first).
+	EvRoute
+	// EvDrain is a cluster health-ladder transition for this backend:
+	// Name is the phase ("drain" when the balancer stops routing to the
+	// backend, "readmit" when it returns to rotation), Arg the drain
+	// deadline in virtual cycles (0 on readmit).
+	EvDrain
+	// EvFailover is a request re-issued away from this backend: Name is
+	// the reason label (retry/hedge/drain), Arg the attempt number of the
+	// re-issue.
+	EvFailover
 
 	numKinds
 )
@@ -161,6 +174,9 @@ var kindNames = [numKinds]string{
 	EvCheckpoint:   "checkpoint",
 	EvWarmRestart:  "warm_restart",
 	EvColdRestart:  "cold_restart",
+	EvRoute:        "route",
+	EvDrain:        "drain",
+	EvFailover:     "failover",
 }
 
 func (k Kind) String() string {
@@ -641,6 +657,29 @@ func (t *Tracer) ColdRestart(id int, failedRestore uint64) {
 	t.s0.record(EvColdRestart, -1, int32(id), 0, failedRestore, 0, "")
 }
 
+// Route records one cluster balancer routing decision that selected
+// backend; policy is the balancer policy label (a constant string) and
+// attempt the request attempt number (0 = first try). Routing decisions
+// are balancer-context work, recorded on the backend's shard 0.
+func (t *Tracer) Route(policy string, backend int, attempt uint64) {
+	t.s0.record(EvRoute, -1, int32(backend), 0, attempt, 0, policy)
+}
+
+// Drain records a cluster health-ladder transition for backend: phase is
+// "drain" when the balancer takes it out of rotation, "readmit" when it
+// returns; deadline is the drain deadline in virtual cycles (0 on
+// readmit).
+func (t *Tracer) Drain(phase string, backend int, deadline uint64) {
+	t.s0.record(EvDrain, -1, int32(backend), 0, deadline, 0, phase)
+}
+
+// Failover records a request re-issued away from backend; reason is the
+// constant label (retry/hedge/drain) and attempt the attempt number of
+// the re-issue.
+func (t *Tracer) Failover(reason string, backend int, attempt uint64) {
+	t.s0.record(EvFailover, -1, int32(backend), 0, attempt, 0, reason)
+}
+
 // Injected records one deterministic fault injection against cubicle cub
 // at the named site (a constant string).
 func (t *Tracer) Injected(cub int, site string) {
@@ -923,6 +962,13 @@ type Counts struct {
 	CheckpointBytes uint64
 	WarmRestarts    uint64
 	ColdRestarts    uint64
+	// Routes counts cluster balancer decisions that selected this system
+	// as the backend; Drains counts its balancer health-ladder
+	// transitions (drain + readmit); Failovers counts requests re-issued
+	// away from it (retry/hedge/drain).
+	Routes    uint64
+	Drains    uint64
+	Failovers uint64
 	// TLBHits/TLBMisses/TLBInvalidations are the monitor's span-TLB
 	// counters. They are not event-derived: a TLB hit is the hot path the
 	// tracer exists to stay off of, so recording one event per hit would
@@ -982,6 +1028,9 @@ func (t *Tracer) Counts() Counts {
 		CheckpointBytes:           weights[EvCheckpoint],
 		WarmRestarts:              counts[EvWarmRestart],
 		ColdRestarts:              counts[EvColdRestart],
+		Routes:                    counts[EvRoute],
+		Drains:                    counts[EvDrain],
+		Failovers:                 counts[EvFailover],
 		TLBHits:                   tlbHits,
 		TLBMisses:                 tlbMisses,
 		TLBInvalidations:          tlbInval,

@@ -12,6 +12,9 @@
 #       "ratio" metric is the drift-immune tracing-overhead measurement
 #   SMPSiege/cores-{1,2,4} sharded open-loop siege per core count: wallrps
 #       shows wall-clock scaling, gvtcycles/ok are deterministic
+#   ClusterGoodput/backends-{1,2,4}  the virtual cluster behind the
+#       health-aware balancer: goodputrps/ok are deterministic and must
+#       scale near-linearly with fleet size
 #
 # The JSON also records tracing_overhead_ratio (CallTracingPaired's ratio
 # metric): the cost of leaving the observability layer on. -assert gates
@@ -57,6 +60,7 @@ if [ "$MODE" != assert ]; then
     go test -run '^$' -bench 'FastpathHTTPD' -benchtime "$HTTPTIME" . | tee -a "$TMP"
     go test -run '^$' -bench 'Fig7Nginx/65536B' -benchtime "$HTTPTIME" . | tee -a "$TMP"
     go test -run '^$' -bench 'SMPSiege' -benchtime "$HTTPTIME" . | tee -a "$TMP"
+    go test -run '^$' -bench 'ClusterGoodput' -benchtime "$HTTPTIME" . | tee -a "$TMP"
     # Warm-restart MTTR: checkpointed vs cold chaos-siege recovery. The
     # interesting metrics are deterministic virtual-clock series
     # (warm/colddegradedcycles, warm/coldfailed), so one iteration is

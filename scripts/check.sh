@@ -66,6 +66,19 @@ go test -race -run 'Checkpoint|Snapshot|Restore|WarmRestart|WarmVsCold|RestartBu
 go run ./cmd/cubicle-trace -replay -requests 10 -chaos-seed 7 -checkpoint 500000 -until 3000000 >/dev/null
 go run ./cmd/cubicle-trace -replay -cores 4 -requests 10 -chaos-seed 7 -checkpoint 500000 -until 3000000 >/dev/null
 
+# Cluster gates: the virtual cluster behind the health-aware balancer —
+# keep-alive/pipelining, wire-drop determinism, the failover suite (drain,
+# warm re-admission, retry budget, five-run DeepEqual under chaos) under
+# the race detector, and the end-to-end acceptance scenario: killing one
+# of four backends mid-flood keeps goodput >= 60% of steady state, the
+# victim is re-admitted after a warm restart, and two seeded runs are
+# bit-identical.
+go test -race ./internal/cluster/
+go test -race -run 'KeepAlive|HTTP10|WireDrop' ./internal/siege/ ./internal/netdev/ ./internal/faultinject/
+go run ./cmd/httpbench -cluster 4 -assert-degrade >/dev/null
+go run ./cmd/cubicle-top -cluster 2 -requests 180 >/dev/null
+go run ./cmd/cubicle-inspect -cluster 2 -json >/dev/null
+
 # Observability gates: SMP merge invariants over the sharded rings at
 # cores=4, the /metrics exposition and dashboard smoke, and the
 # tracing-overhead ratio (paired benchmark, drift-immune; <= 1.6).
