@@ -7,6 +7,7 @@ package cubicleos_test
 
 import (
 	"testing"
+	"time"
 
 	"cubicleos"
 	"cubicleos/internal/siege"
@@ -44,5 +45,55 @@ func BenchmarkFastpathHTTPD(b *testing.B) {
 			per := float64(tgt.Sys.M.Clock.Cycles()-start) / float64(b.N)
 			b.ReportMetric(per, "vcycles/op")
 		})
+	}
+}
+
+// BenchmarkFastpathHTTPDPaired measures the TLB-on/TLB-off wall-clock
+// ratio with the two variants interleaved batch-by-batch on one server
+// (SetTLBEnabled flips at runtime and leaves virtual time untouched), so
+// process warm-up and host-load drift hit both sides equally and cancel
+// in the quotient — the sequential sub-benchmarks above always run "tlb"
+// first into a cold process, which biases their difference. The "ratio"
+// metric (tlb over naive; below 1.0 means the TLB wins) is what
+// scripts/bench.sh -assert gates.
+func BenchmarkFastpathHTTPDPaired(b *testing.B) {
+	tgt, err := siege.NewTargetOpts(siege.Options{Mode: cubicleos.ModeFull, ReapClosed: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tgt.PutFile("/f.bin", make([]byte, 64<<10)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tgt.Fetch("/f.bin"); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	const batch = 4
+	var tTLB, tNaive time.Duration
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		k := batch
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		tgt.Sys.M.SetTLBEnabled(true)
+		t0 := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := tgt.Fetch("/f.bin"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		t1 := time.Now()
+		tgt.Sys.M.SetTLBEnabled(false)
+		for i := 0; i < k; i++ {
+			if _, err := tgt.Fetch("/f.bin"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tTLB += t1.Sub(t0)
+		tNaive += time.Since(t1)
+	}
+	b.StopTimer()
+	if tNaive > 0 {
+		b.ReportMetric(float64(tTLB)/float64(tNaive), "ratio")
 	}
 }

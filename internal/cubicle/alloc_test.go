@@ -17,8 +17,8 @@ func TestHeapAllocOwnership(t *testing.T) {
 	if p.Type != vm.PageHeap {
 		t.Errorf("heap page type = %v", p.Type)
 	}
-	if p.Key != uint8(ts.cubs["FOO"].Key) {
-		t.Errorf("heap page key = %d, want %d", p.Key, ts.cubs["FOO"].Key)
+	if p.Key() != uint8(ts.cubs["FOO"].Key) {
+		t.Errorf("heap page key = %d, want %d", p.Key(), ts.cubs["FOO"].Key)
 	}
 }
 

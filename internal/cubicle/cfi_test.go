@@ -58,8 +58,8 @@ func TestGuardPagePlacement(t *testing.T) {
 	if p.Owner != int(fooID) {
 		t.Errorf("guard page owned by %d, want FOO (%d)", p.Owner, fooID)
 	}
-	if p.Perm != vm.PermExec {
-		t.Errorf("guard page perm %v, want execute-only", p.Perm)
+	if p.Perm() != vm.PermExec {
+		t.Errorf("guard page perm %v, want execute-only", p.Perm())
 	}
 	// Guard page content: wrpkru, jmp, then nop slide.
 	if p.Data[0] != isa.OpWRPKRU[0] || p.Data[1] != isa.OpWRPKRU[1] || p.Data[2] != isa.OpWRPKRU[2] {

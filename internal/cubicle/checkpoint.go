@@ -25,9 +25,11 @@ import (
 // Quiescence rule: a cubicle may only be checkpointed when no thread has a
 // frame executing inside it (so no crossing is in flight) and every window
 // it owns is closed and unpinned (so no temporal grant is half-made). The
-// cadence hook sits at trampoline Call entry at frame depth zero — the
-// monitor's big lock is held across entire crossings, so at that point no
-// other thread is mid-crossing anywhere and the check is a cheap scan.
+// cadence hook sits at trampoline Call entry at frame depth zero, driven
+// only by non-parallel threads: cooperative threads never run concurrently,
+// so at that point no cooperative thread is mid-crossing anywhere, and any
+// parallel worker mid-crossing shows up in the cubicle's active-crossing
+// counter, which quiescent() consults first.
 
 // snapHook is one component's snapshot/restore callback pair, registered
 // by the loader in load order.
@@ -81,6 +83,7 @@ func (sc *SnapCtx) WriteMem(addr vm.Addr, b []byte) error {
 func (m *Monitor) EnableCheckpoints(interval uint64) {
 	m.ckptInterval = interval
 	m.ckptNext = interval
+	m.recomputeFastCross()
 }
 
 // CheckpointInterval returns the armed cadence (0 = disabled).
@@ -109,6 +112,8 @@ func (m *Monitor) LastCheckpoint(id ID) (CheckpointInfo, bool) {
 // interval threshold, stamped against global virtual time so SMP cores
 // agree on the schedule.
 func (m *Monitor) maybeCheckpoint(t *Thread) {
+	m.lockGlobal(t)
+	defer m.unlockGlobal(t)
 	now := m.smpNow()
 	if now < m.ckptNext {
 		return
@@ -154,7 +159,15 @@ func (m *Monitor) checkpointable(c *Cubicle) bool {
 // quiescent applies the quiescence rule: no thread frame executing inside
 // the cubicle, and all owned windows closed and unpinned.
 func (m *Monitor) quiescent(c *Cubicle) bool {
+	// Parallel workers are accounted by the active-crossing counter; their
+	// frame slices belong to their own goroutines and are never scanned.
+	if c.active.Load() != 0 {
+		return false
+	}
 	for _, th := range m.threads {
+		if th.parallel {
+			continue
+		}
 		for i := range th.frames {
 			if th.frames[i].exec == c.ID {
 				return false
@@ -199,7 +212,8 @@ func (m *Monitor) checkpointOne(t *Thread, c *Cubicle, now uint64) {
 		if ID(p.Owner) != c.ID || p.Type != vm.PageHeap {
 			return
 		}
-		pi := snapshot.PageImage{PN: pn, Key: p.Key, Perm: uint8(p.Perm), Type: uint8(p.Type)}
+		perm, key := p.Meta()
+		pi := snapshot.PageImage{PN: pn, Key: key, Perm: uint8(perm), Type: uint8(p.Type)}
 		pi.Data = p.Data
 		img.Pages = append(img.Pages, pi)
 	})
@@ -235,8 +249,9 @@ func (m *Monitor) checkpointOne(t *Thread, c *Cubicle, now uint64) {
 	cost := (size + 15) / 16 * m.Costs.CopyChunk16
 	m.clkOf(t).Charge(cost)
 	m.ckpts[c.ID] = &checkpointRecord{img: enc, cycle: now, pages: uint64(len(img.Pages))}
-	m.Stats.Checkpoints++
-	m.Stats.CheckpointBytes += size
+	st := m.st(t)
+	st.Checkpoints++
+	st.CheckpointBytes += size
 	if m.trc != nil {
 		m.trc.Checkpoint(int(c.ID), size, cost)
 	}
@@ -348,7 +363,9 @@ func (m *Monitor) restoreCheckpoint(c *Cubicle, ck *checkpointRecord) error {
 
 	// The restore itself is a bulk copy of the image back through the
 	// monitor; charged at the same checked-memcpy rate as capture.
-	m.Clock.Charge((uint64(len(ck.img)) + 15) / 16 * m.Costs.CopyChunk16)
+	// clkOf(nil) is the legacy monitor clock in non-parallel deployments
+	// and the lock-protected shadow clock under parallel workers.
+	m.clkOf(nil).Charge((uint64(len(ck.img)) + 15) / 16 * m.Costs.CopyChunk16)
 	if len(img.Pages) > 0 {
 		// One summary shootdown round synchronises the re-tagged pages
 		// across cores (single-core machines charge nothing).

@@ -84,6 +84,8 @@ func (s *Supervisor) Kill(name string, cause error) bool {
 	if cause == nil {
 		cause = ErrQuarantined
 	}
-	s.quarantine(c.ID, cause)
+	s.m.lockGlobal(nil)
+	s.quarantine(nil, c.ID, cause)
+	s.m.unlockGlobal(nil)
 	return true
 }

@@ -15,6 +15,12 @@ import (
 // Env plays the role of the CPU executing untrusted component code: loads
 // and stores are checked against the thread's PKRU register exactly as the
 // memory-management unit would check them.
+//
+// No Env method takes a shared lock on its own behalf: the checked
+// accessors run the lock-free TLB/page-walk fast path and only a trap
+// locks (monitor.go); allocation takes the owning cubicle's inner lock;
+// window calls lock inside the monitor's window layer. This is what lets
+// component code on different cores proceed independently.
 type Env struct {
 	M *Monitor
 	T *Thread
@@ -27,12 +33,10 @@ func (m *Monitor) NewEnv(t *Thread) *Env { return &Env{M: m, T: t} }
 // public main is entered at boot — runs fn with that cubicle's
 // privileges, and returns any isolation fault fn raised as an error.
 func (m *Monitor) RunAs(e *Env, id ID, fn func(e *Env)) error {
-	m.enter(e.T)
-	defer m.exit(e.T)
 	e.T.pushFrame(id, true)
 	defer e.T.popFrame()
 	if m.Mode.MPKEnabled() {
-		m.wrpkru(e.T, m.pkruFor(id))
+		m.wrpkru(e.T, m.pkruForFast(e.T, id))
 	}
 	return Catch(func() { fn(e) })
 }
@@ -46,7 +50,8 @@ func (e *Env) Caller() ID { return e.T.Caller() }
 
 // CubicleOf returns the cubicle hosting the named component. All cubicle
 // IDs are known at link time, so components legitimately embed them in
-// window-open calls (Figure 2: "open_window(BUF, RAMFS)").
+// window-open calls (Figure 2: "open_window(BUF, RAMFS)"). The component
+// table is immutable after loading, so the lookup needs no lock.
 func (e *Env) CubicleOf(component string) ID {
 	c, ok := e.M.compOf[component]
 	if !ok {
@@ -59,8 +64,6 @@ func (e *Env) CubicleOf(component string) ID {
 // identical across all isolation modes, scaled by the deployment's
 // runtime-efficiency factor).
 func (e *Env) Work(n uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.T.clk.ChargeWork(n)
 	if e.M.sup != nil {
 		// Modelled work is a watchdog checkpoint: it is how a runaway
@@ -83,8 +86,6 @@ func (e *Env) Work(n uint64) {
 
 // Read copies len(b) bytes at addr into b, after access checks.
 func (e *Env) Read(addr vm.Addr, b []byte) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	n := uint64(len(b))
 	if n == 0 {
 		return
@@ -102,8 +103,6 @@ func (e *Env) Read(addr vm.Addr, b []byte) {
 
 // Write copies b to memory at addr, after access checks.
 func (e *Env) Write(addr vm.Addr, b []byte) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	n := uint64(len(b))
 	if n == 0 {
 		return
@@ -126,8 +125,6 @@ func (e *Env) Write(addr vm.Addr, b []byte) {
 // retained. This is the bulk read primitive for component hot loops — no
 // intermediate buffer, no per-byte walk.
 func (e *Env) View(addr vm.Addr, n uint64, fn func(off uint64, chunk []byte)) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if n == 0 {
 		return
 	}
@@ -145,8 +142,6 @@ func (e *Env) View(addr vm.Addr, n uint64, fn func(off uint64, chunk []byte)) {
 // MutableView is View for writing: fn receives writable zero-copy chunks
 // of [addr, addr+n) after a write access check.
 func (e *Env) MutableView(addr vm.Addr, n uint64, fn func(off uint64, chunk []byte)) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if n == 0 {
 		return
 	}
@@ -170,8 +165,6 @@ func (e *Env) ReadBytes(addr vm.Addr, n uint64) []byte {
 
 // ReadU64 reads a 64-bit little-endian word.
 func (e *Env) ReadU64(addr vm.Addr) uint64 {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if v, ok := e.M.fastView(e.T, mpk.AccessRead, addr, 8); ok {
 		return binary.LittleEndian.Uint64(v)
 	}
@@ -186,8 +179,6 @@ func (e *Env) ReadU64(addr vm.Addr) uint64 {
 
 // WriteU64 writes a 64-bit little-endian word.
 func (e *Env) WriteU64(addr vm.Addr, v uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if b, ok := e.M.fastView(e.T, mpk.AccessWrite, addr, 8); ok {
 		binary.LittleEndian.PutUint64(b, v)
 		return
@@ -201,8 +192,6 @@ func (e *Env) WriteU64(addr vm.Addr, v uint64) {
 
 // LoadByte reads one byte.
 func (e *Env) LoadByte(addr vm.Addr) byte {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if v, ok := e.M.fastView(e.T, mpk.AccessRead, addr, 1); ok {
 		return v[0]
 	}
@@ -213,8 +202,6 @@ func (e *Env) LoadByte(addr vm.Addr) byte {
 
 // StoreByte writes one byte.
 func (e *Env) StoreByte(addr vm.Addr, v byte) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if b, ok := e.M.fastView(e.T, mpk.AccessWrite, addr, 1); ok {
 		b[0] = v
 		return
@@ -226,7 +213,7 @@ func (e *Env) StoreByte(addr vm.Addr, v byte) {
 // chargeCopy charges the streaming cost of moving n bytes.
 func (e *Env) chargeCopy(n uint64) {
 	e.T.clk.Charge(((n + 15) / 16) * e.M.Costs.CopyChunk16)
-	e.M.Stats.BulkBytesCopied += n
+	e.M.st(e.T).BulkBytesCopied += n
 	if e.M.trc != nil {
 		e.M.trc.Copy(e.T.id, int(e.T.cur), n)
 	}
@@ -253,8 +240,6 @@ func (e *Env) TraceMark(label string) {
 // buffer. Overlapping ranges keep the old copy-through-a-buffer semantics
 // (memmove).
 func (e *Env) Memcpy(dst, src vm.Addr, n uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if n == 0 {
 		return
 	}
@@ -289,8 +274,6 @@ func (e *Env) Memcpy(dst, src vm.Addr, n uint64) {
 
 // Memset fills n bytes at dst with c.
 func (e *Env) Memset(dst vm.Addr, c byte, n uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if n == 0 {
 		return
 	}
@@ -316,18 +299,16 @@ func (e *Env) Memset(dst vm.Addr, c byte, n uint64) {
 
 // HeapAlloc allocates n bytes from the current cubicle's private
 // sub-allocator; the pages backing it are owned by and tagged for the
-// current cubicle.
+// current cubicle. The sub-allocator serialises concurrent workers with
+// the cubicle's inner lock; growing the arena additionally takes the
+// global lock in the documented order (alloc.go).
 func (e *Env) HeapAlloc(n uint64) vm.Addr {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
-	return e.M.cubicle(e.T.cur).heap.alloc(n)
+	return e.M.cubicle(e.T.cur).heap.alloc(e.T, n)
 }
 
 // HeapFree releases an allocation made by HeapAlloc in the same cubicle.
 func (e *Env) HeapFree(addr vm.Addr) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
-	e.M.cubicle(e.T.cur).heap.free_(addr)
+	e.M.cubicle(e.T.cur).heap.free_(e.T, addr)
 }
 
 // Alloca allocates n bytes on the current cubicle's stack; the space is
@@ -336,8 +317,6 @@ func (e *Env) HeapFree(addr vm.Addr) {
 // "char BUF[10]; char pad[4086]" — padding to a page boundary to prevent
 // unintended sharing).
 func (e *Env) Alloca(n uint64) vm.Addr {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.T.clk.Charge(e.M.Costs.Alloca)
 	return e.T.alloca(n)
 }
@@ -346,8 +325,6 @@ func (e *Env) Alloca(n uint64) vm.Addr {
 // allocation to whole pages), the alignment discipline §5.3 requires of
 // component developers for windowed stack data.
 func (e *Env) AllocaPage(n uint64) vm.Addr {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.T.clk.Charge(e.M.Costs.Alloca)
 	pages := vm.PagesFor(n)
 	// Carve enough to guarantee page alignment within the stack region.
@@ -357,12 +334,15 @@ func (e *Env) AllocaPage(n uint64) vm.Addr {
 }
 
 // --- Window API (Table 1) ----------------------------------------------------
+//
+// The window wrappers take no lock here: each monitor window operation
+// locks internally (global lock, then the owner cubicle's inner lock),
+// so the journal appends below run outside any lock, on thread-local
+// state.
 
 // WindowInit initialises an empty window owned by the current cubicle
 // (cubicle_window_init).
 func (e *Env) WindowInit() WID {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	wid := e.M.windowInit(e.T, e.T.cur)
 	if e.M.sup != nil {
 		e.T.journal = append(e.T.journal, undoEntry{kind: undoDestroyWindow,
@@ -374,24 +354,18 @@ func (e *Env) WindowInit() WID {
 // WindowAdd associates the memory range [ptr, ptr+size) with window wid
 // (cubicle_window_add). The memory must be owned by the current cubicle.
 func (e *Env) WindowAdd(wid WID, ptr vm.Addr, size uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.windowAdd(e.T, e.T.cur, wid, ptr, size)
 }
 
 // WindowRemove removes the range starting at ptr from window wid
 // (cubicle_window_remove).
 func (e *Env) WindowRemove(wid WID, ptr vm.Addr) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.windowRemove(e.T, e.T.cur, wid, ptr)
 }
 
 // WindowOpen allows cubicle cid to access the contents of window wid
 // (cubicle_window_open).
 func (e *Env) WindowOpen(wid WID, cid ID) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	if e.M.windowOpen(e.T, e.T.cur, wid, cid) && e.M.sup != nil {
 		e.T.journal = append(e.T.journal, undoEntry{kind: undoCloseWindow,
 			owner: e.T.cur, wid: wid, grantee: cid})
@@ -402,22 +376,16 @@ func (e *Env) WindowOpen(wid WID, cid ID) {
 // (cubicle_window_close). Pages are not retagged eagerly: causal tag
 // consistency (§5.6).
 func (e *Env) WindowClose(wid WID, cid ID) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.windowClose(e.T, e.T.cur, wid, cid)
 }
 
 // WindowCloseAll disallows all accesses to wid from other cubicles
 // (cubicle_window_close_all).
 func (e *Env) WindowCloseAll(wid WID) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.windowCloseAll(e.T, e.T.cur, wid)
 }
 
 // WindowDestroy destroys window wid (cubicle_window_destroy).
 func (e *Env) WindowDestroy(wid WID) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.windowDestroy(e.T, e.T.cur, wid)
 }

@@ -108,8 +108,6 @@ func (m *Monitor) checkDeadline(t *Thread) {
 // NoteShed records one request refused by admission control in the current
 // cubicle; reason is a constant label, status the HTTP status sent back.
 func (e *Env) NoteShed(reason string, status uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.noteShed(e.T, e.T.cur, reason, status)
 }
 
@@ -118,35 +116,33 @@ func (e *Env) NoteShed(reason string, status uint64) {
 // (e.g. the ALLOC per-client arena quota) use it so the fault carries the
 // client at fault, not the enforcing component.
 func (e *Env) RaiseQuota(victim ID, resource string, used, limit uint64) {
-	e.M.enter(e.T)
-	defer e.M.exit(e.T)
 	e.M.noteQuota(e.T, victim, resource, used, limit)
 	panic(&QuotaFault{Cubicle: victim, Resource: resource, Used: used, Limit: limit})
 }
 
 func (m *Monitor) noteShed(t *Thread, cub ID, reason string, status uint64) {
-	m.Stats.Sheds++
+	m.st(t).Sheds++
 	if m.trc != nil {
 		m.trc.Shed(tidOf(t), int(cub), reason, status)
 	}
 }
 
 func (m *Monitor) noteDeadline(t *Thread, deadline, now uint64) {
-	m.Stats.DeadlineFaults++
+	m.st(t).DeadlineFaults++
 	if m.trc != nil {
 		m.trc.DeadlineMiss(t.id, int(t.cur), deadline, now)
 	}
 }
 
 func (m *Monitor) noteQuota(t *Thread, cub ID, resource string, used, limit uint64) {
-	m.Stats.QuotaFaults++
+	m.st(t).QuotaFaults++
 	if m.trc != nil {
 		m.trc.QuotaHit(tidOf(t), int(cub), resource, used, limit)
 	}
 }
 
 func (m *Monitor) noteRetry(t *Thread, cub ID, attempt int, backoff uint64) {
-	m.Stats.Retries++
+	m.st(t).Retries++
 	if m.trc != nil {
 		m.trc.Retry(tidOf(t), int(cub), uint64(attempt), backoff)
 	}
@@ -216,10 +212,8 @@ func RetryContained(e *Env, p RetryPolicy, fn func()) *ContainedFault {
 		if p.BackoffMax > 0 && backoff > p.BackoffMax {
 			backoff = p.BackoffMax
 		}
-		e.M.enter(e.T)
 		e.T.clk.Charge(backoff)
 		e.M.noteRetry(e.T, e.T.cur, attempt, backoff)
-		e.M.exit(e.T)
 		if p.BackoffFactor > 1 {
 			backoff *= p.BackoffFactor
 		}

@@ -41,13 +41,17 @@ type Injector interface {
 // SetInjector attaches (or, with nil, detaches) a deterministic fault
 // injector. Injection only makes sense under containment, but the monitor
 // does not enforce that: an unsupervised injected fault simply unwinds to
-// the outermost Catch like any real fault.
-func (m *Monitor) SetInjector(inj Injector) { m.inj = inj }
+// the outermost Catch like any real fault. Boot wiring: an attached
+// injector disables the trusted-crossing fast path.
+func (m *Monitor) SetInjector(inj Injector) {
+	m.inj = inj
+	m.recomputeFastCross()
+}
 
 // noteInjected records one injection firing against cubicle id at the
 // named site (site must be a constant string).
-func (m *Monitor) noteInjected(id ID, site string) {
-	m.Stats.InjectedFaults++
+func (m *Monitor) noteInjected(t *Thread, id ID, site string) {
+	m.st(t).InjectedFaults++
 	if m.trc != nil {
 		m.trc.Injected(int(id), site)
 	}
@@ -61,7 +65,7 @@ func (m *Monitor) injectAtCrossing(t *Thread, tr *Trampoline) {
 	if kind == InjectNone {
 		return
 	}
-	m.noteInjected(tr.callee, "crossing")
+	m.noteInjected(t, tr.callee, "crossing")
 	switch kind {
 	case InjectCFI:
 		panic(&CFIFault{Cubicle: tr.callee, Target: tr.Symbol(),

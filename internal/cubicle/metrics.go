@@ -115,6 +115,7 @@ func (m *Monitor) EnableMetrics(interval uint64, ringCap int) {
 		prev:     m.metricsTotalsNow(),
 		prevCyc:  now,
 	}
+	m.recomputeFastCross()
 }
 
 // maybeSampleMetrics takes a snapshot when the crossing clock has passed

@@ -2,6 +2,7 @@ package cubicle
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cubicleos/internal/cycles"
 	"cubicleos/internal/mpk"
@@ -73,12 +74,38 @@ type Monitor struct {
 
 	// SMP state (see smp.go). smpN is the simulated core count (0/1 =
 	// single-core, every SMP hook a no-op); coreClks[0] aliases Clock;
-	// machine is the GVT view over the core clocks; lk is the monitor's
-	// reentrant big lock.
+	// machine is the GVT view over the core clocks.
 	smpN     int
 	coreClks []*cycles.Clock
 	machine  *cycles.Machine
-	lk       smpLock
+	// gmu is the global monitor lock of the smp.go hierarchy, guarding
+	// monitor-wide mutation (page table, key registry, windows/pins seen
+	// by trap-and-map, health transitions, restart/checkpoint machinery).
+	// parallel arms the hierarchy: it is set by the first SetThreadCore
+	// and never cleared; while false every lock helper is a no-op.
+	gmu      gLock
+	parallel bool
+	// lockCheck arms the lock-order checker (EnableLockCheck); heldBoot is
+	// the checker's held-lock stack for monitor-context callers (t == nil).
+	lockCheck bool
+	heldBoot  []int32
+	// monClk absorbs monitor-context (t == nil) virtual-time charges in
+	// parallel mode, where m.Clock belongs to whichever worker runs core 0
+	// and must keep its single-writer discipline. Serialised by gmu (all
+	// monitor-context charges happen under it). Never used outside
+	// parallel mode, so production accounting is untouched.
+	monClk cycles.Clock
+	// pkruEpoch (atomic, starts at 1) versions everything a cubicle's PKRU
+	// value derives from: key assignments and pinned-window grants. Any
+	// change bumps it, invalidating every cubicle's pkruCache at once;
+	// parallel-mode crossings recompute the PKRU under gmu on a stale
+	// epoch and otherwise read the cached value lock-free.
+	pkruEpoch uint64
+	// fastCross caches "no optional subsystem wants a hook at crossings":
+	// tracing, fault injection, metrics sampling and checkpoint cadence
+	// all disabled. The trampoline's trusted fast path tests this one flag
+	// instead of walking the individual slow-path setup checks.
+	fastCross bool
 
 	// healthHook, when set, observes supervisor health-ladder transitions
 	// (see SetHealthHook) — the cluster balancer's drain/re-admit signal.
@@ -121,7 +148,9 @@ func NewMonitor(mode Mode, costs cycles.Costs) *Monitor {
 		memQuota:     make(map[ID]uint64),
 		memUsed:      make(map[ID]uint64),
 		tlbOn:        true,
+		pkruEpoch:    1,
 	}
+	m.recomputeFastCross()
 	for i := range m.keyHolder {
 		m.keyHolder[i] = -1
 	}
@@ -153,7 +182,45 @@ func (m *Monitor) EnableTracing(ringCap int) *trace.Tracer {
 	if m.smpN > 1 {
 		m.installCoreResolver()
 	}
+	m.recomputeFastCross()
 	return m.trc
+}
+
+// recomputeFastCross refreshes the trusted-crossing fast-path flag after
+// an optional subsystem was attached or detached (boot-time wiring).
+func (m *Monitor) recomputeFastCross() {
+	m.fastCross = m.trc == nil && m.inj == nil && m.met == nil && m.ckptInterval == 0
+}
+
+// bumpPKRUEpoch invalidates every cubicle's cached PKRU value. Called
+// under gmu whenever key assignments or pinned grants change; a no-op
+// outside parallel mode, where thread PKRUs are rewritten eagerly and no
+// cache exists.
+func (m *Monitor) bumpPKRUEpoch() {
+	if m.parallel {
+		atomic.AddUint64(&m.pkruEpoch, 1)
+	}
+}
+
+// pkruForFast returns pkruFor(id), serving parallel-mode crossings from
+// the cubicle's lock-free epoch-validated cache. Outside parallel mode it
+// is exactly pkruFor, LRU key ticks included; in parallel mode a cache
+// hit skips the tick (key-use recency degrades to per-epoch granularity,
+// which only matters once 14 isolated cubicles contend for keys).
+func (m *Monitor) pkruForFast(t *Thread, id ID) mpk.PKRU {
+	if t == nil || !t.parallel {
+		return m.pkruFor(id)
+	}
+	c := m.cubicle(id)
+	ep := atomic.LoadUint64(&m.pkruEpoch)
+	if v := c.pkruCache.Load(); v != 0 && uint32(v>>32) == uint32(ep) {
+		return mpk.PKRU(uint32(v))
+	}
+	m.lockGlobal(t)
+	p := m.pkruFor(id)
+	c.pkruCache.Store(uint64(uint32(ep))<<32 | uint64(uint32(p)))
+	m.unlockGlobal(t)
+	return p
 }
 
 // Tracer returns the attached tracer, or nil when tracing is disabled.
@@ -245,8 +312,8 @@ func (m *Monitor) acquireKey(id ID) mpk.Key {
 	// pkey_mprotect through the host kernel — the price of key recycling
 	// that libmpk measures and the paper's design mostly avoids.
 	m.AS.ForEachPage(func(pn uint64, p *vm.Page) {
-		if mpk.Key(p.Key) == victim {
-			p.Key = uint8(monitorKey)
+		if mpk.Key(p.Key()) == victim {
+			p.SetKey(uint8(monitorKey))
 			m.noteRetag(nil, victimID, vm.PageAddr(pn), monitorKey)
 		}
 	})
@@ -271,6 +338,7 @@ func (m *Monitor) assignKey(id ID, k mpk.Key) mpk.Key {
 	if c := m.cubicleIfValid(id); c != nil {
 		c.Key = k
 	}
+	m.bumpPKRUEpoch()
 	return k
 }
 
@@ -355,6 +423,15 @@ func (m *Monitor) resolveSpan(t *Thread, kind mpk.AccessKind, addr vm.Addr, n ui
 // allowed path charges nothing; denial pays the watchdog checkpoint and
 // trap-and-map). It returns the page, whose metadata reflects any retag the
 // trap performed.
+//
+// The prefix up to and including the PKRU check is lock-free: the page
+// lookup is an atomic page-table read, (perm, key) is one atomic metadata
+// word, and t.pkru belongs to the calling thread. Only a denied access —
+// the trap — takes the global lock, under which the window search and the
+// retag run exclusively. The permission check is deliberately NOT repeated
+// under the lock: if a concurrent retag granted the access between check
+// and trap, the trap simply re-retags to the same key, an interleaving the
+// old big lock merely hid by picking one order.
 func (m *Monitor) checkPageSlow(t *Thread, kind mpk.AccessKind, pn uint64) *vm.Page {
 	pa := vm.PageAddr(pn)
 	p := m.AS.Page(pa)
@@ -362,13 +439,14 @@ func (m *Monitor) checkPageSlow(t *Thread, kind mpk.AccessKind, pn uint64) *vm.P
 		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: vm.NoOwner,
 			Reason: "unmapped page"})
 	}
+	perm, key := p.Meta()
 	// Page-table permissions are checked regardless of MPK; the
 	// trap-and-map handler never changes page permissions, only keys.
-	if !pageTablePerm(kind, p.Perm) {
+	if !pageTablePerm(kind, perm) {
 		panic(&ProtectionFault{Addr: pa, Access: kind, Cubicle: t.cur, Owner: ID(p.Owner),
-			PageType: p.Type, Reason: fmt.Sprintf("page-table permission %s denies %s", p.Perm, kind)})
+			PageType: p.Type, Reason: fmt.Sprintf("page-table permission %s denies %s", perm, kind)})
 	}
-	if t.pkru.Check(kind, p.Perm, mpk.Key(p.Key)) {
+	if t.pkru.Check(kind, perm, mpk.Key(key)) {
 		return p // fast path: no trap
 	}
 	if m.sup != nil {
@@ -376,6 +454,8 @@ func (m *Monitor) checkPageSlow(t *Thread, kind mpk.AccessKind, pn uint64) *vm.P
 		// keeps touching memory is caught here.
 		m.sup.watchdog(t)
 	}
+	m.lockGlobal(t)
+	defer m.unlockGlobal(t)
 	m.trapAndMap(t, kind, pa, p)
 	return p
 }
@@ -400,8 +480,12 @@ func pageTablePerm(kind mpk.AccessKind, perm vm.Perm) bool {
 //	❸ linearly search the owner's window descriptors of the page's class;
 //	❹ index the window's cubicle bitmask with the faulting cubicle, O(1);
 //	❺ if allowed, retag the page's MPK key to the faulting cubicle.
+//
+// Runs under the global lock (taken by checkPageSlow): the window search
+// reads owner window state and the retag mutates the key registry and
+// page metadata, both gmu-guarded.
 func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.Page) {
-	m.Stats.Faults++
+	m.st(t).Faults++
 	clk := m.clkOf(t)
 	trapStart := clk.Cycles()
 	clk.Charge(m.Costs.TrapEntry + m.Costs.PageMetaLookup)
@@ -409,7 +493,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 	cur := t.cur
 	owner := ID(p.Owner)
 	deny := func(reason string) {
-		m.Stats.DeniedFaults++
+		m.st(t).DeniedFaults++
 		if m.trc != nil {
 			m.trc.Fault(t.id, int(cur), int(owner), uint64(pa), clk.Cycles()-trapStart)
 			m.trc.DeniedFault(t.id, int(cur), int(owner), uint64(pa))
@@ -451,7 +535,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 		}
 	}
 	if searchSteps > 0 {
-		m.Stats.WindowSearchSteps += searchSteps
+		m.st(t).WindowSearchSteps += searchSteps
 		if m.trc != nil {
 			m.trc.WindowSearch(t.id, int(cur), searchSteps)
 		}
@@ -463,7 +547,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 		if k := m.inj.AtRetag(t.core, m.cubicle(cur).Name); k != InjectNone {
 			// An injected retag failure presents as a denied trap so the
 			// fault/denial accounting stays consistent with real denials.
-			m.noteInjected(cur, "retag")
+			m.noteInjected(t, cur, "retag")
 			deny("injected fault at retag")
 		}
 	}
@@ -485,7 +569,7 @@ func (m *Monitor) trapAndMap(t *Thread, kind mpk.AccessKind, pa vm.Addr, p *vm.P
 // shootdown synchronisation (smp.go).
 func (m *Monitor) noteRetag(t *Thread, cub ID, addr vm.Addr, key mpk.Key) {
 	m.clkOf(t).Charge(m.Costs.PkeyMprotect)
-	m.Stats.Retags++
+	m.st(t).Retags++
 	if m.trc != nil {
 		m.trc.Retag(tidOf(t), int(cub), uint64(addr), uint8(key))
 	}
@@ -497,7 +581,7 @@ func (m *Monitor) wrpkru(t *Thread, v mpk.PKRU) {
 	t.pkru = v
 	if m.Mode.MPKEnabled() {
 		t.clk.Charge(m.Costs.WRPKRU)
-		m.Stats.WRPKRUs++
+		m.st(t).WRPKRUs++
 		if m.trc != nil {
 			m.trc.WRPKRU(t.id, int(t.cur), uint64(v))
 		}
@@ -509,6 +593,22 @@ func (m *Monitor) wrpkru(t *Thread, v mpk.PKRU) {
 // page-granting primitive used by the loader and the sub-allocators;
 // pages are strictly assigned an owner and type at allocation time (§5.3).
 func (m *Monitor) MapOwned(id ID, npages int, typ vm.PageType, perm vm.Perm) vm.Addr {
+	return m.mapOwnedFor(nil, id, npages, typ, perm)
+}
+
+// mapOwnedFor is MapOwned on behalf of thread t, which identifies the
+// locker (lazy stack allocation runs inside a crossing; the lock must be
+// attributed to the crossing thread, not monitor context).
+func (m *Monitor) mapOwnedFor(t *Thread, id ID, npages int, typ vm.PageType, perm vm.Perm) vm.Addr {
+	m.lockGlobal(t)
+	defer m.unlockGlobal(t)
+	return m.mapOwnedLocked(t, id, npages, typ, perm)
+}
+
+// mapOwnedLocked is MapOwned under an already-held global lock, on behalf
+// of thread t (nil for monitor context). Internal callers that hold gmu —
+// the heap grow path, restart reclamation — use it directly.
+func (m *Monitor) mapOwnedLocked(t *Thread, id ID, npages int, typ vm.PageType, perm vm.Perm) vm.Addr {
 	bytes := uint64(npages) * vm.PageSize
 	// Stack pages are exempt from the quota: they are crossing
 	// infrastructure allocated lazily in pushFrame, BEFORE the crossing's
@@ -517,7 +617,7 @@ func (m *Monitor) MapOwned(id ID, npages int, typ vm.PageType, perm vm.Perm) vm.
 	// buffer growth; per-thread stacks are small and bounded.
 	if typ != vm.PageStack {
 		if q := m.memQuota[id]; q != 0 && m.memUsed[id]+bytes > q {
-			m.noteQuota(nil, id, "pages", m.memUsed[id]+bytes, q)
+			m.noteQuota(t, id, "pages", m.memUsed[id]+bytes, q)
 			panic(&QuotaFault{Cubicle: id, Resource: "pages", Used: m.memUsed[id] + bytes, Limit: q})
 		}
 	}
@@ -541,6 +641,6 @@ func (m *Monitor) setPagePermInternal(addr vm.Addr, npages int, perm vm.Perm) {
 		if p == nil {
 			panic("cubicle: setPagePermInternal on unmapped page")
 		}
-		p.Perm = perm
+		p.SetPerm(perm)
 	}
 }

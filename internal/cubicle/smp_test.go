@@ -17,22 +17,22 @@ func newWorker(m *Monitor, core int) *Env {
 }
 
 // enterOn switches a worker thread into the named cubicle the way the
-// boot loader enters application mains, under the monitor lock.
+// boot loader enters application mains. The PKRU computation touches the
+// key registry, so it runs under the global lock.
 func enterOn(ts *testSystem, e *Env, name string) {
 	cub := ts.cubs[name]
 	m := ts.m
-	m.enter(e.T)
 	e.T.pushFrame(cub.ID, true)
 	if m.Mode.MPKEnabled() {
-		m.wrpkru(e.T, m.pkruFor(cub.ID))
+		m.lockGlobal(e.T)
+		p := m.pkruFor(cub.ID)
+		m.unlockGlobal(e.T)
+		m.wrpkru(e.T, p)
 	}
-	m.exit(e.T)
 }
 
 func leaveOn(ts *testSystem, e *Env) {
-	ts.m.enter(e.T)
 	e.T.popFrame()
-	ts.m.exit(e.T)
 }
 
 // TestShootdownInvalidatesRemoteTLBs is the unit contract of the
@@ -55,25 +55,26 @@ func TestShootdownInvalidatesRemoteTLBs(t *testing.T) {
 	// read anything).
 	_ = ts.env.LoadByte(addr)
 	_ = e1.LoadByte(addr)
-	if got := e1.T.tlb[pn&tlbMask].pn; got != pn {
-		t.Fatalf("remote TLB not primed: slot holds pn %d, want %d", got, pn)
+	if !e1.T.tlbHolds(pn) {
+		t.Fatalf("remote TLB not primed for pn %d", pn)
 	}
 
 	before := t0.clk.Cycles()
-	m.enter(t0)
+	m.lockGlobal(t0)
 	m.shootdown(t0, ts.cubs["FOO"].ID, pn)
-	m.exit(t0)
+	m.unlockGlobal(t0)
 
-	if got := e1.T.tlb[pn&tlbMask]; got.pn != 0 {
-		t.Fatalf("remote TLB entry survived the shootdown: %+v", got)
+	if e1.T.tlbHolds(pn) {
+		t.Fatalf("remote TLB entry survived the shootdown")
 	}
-	if got := t0.tlb[pn&tlbMask].pn; got != pn {
+	if !t0.tlbHolds(pn) {
 		t.Fatalf("shootdown cleared the retagging thread's own entry")
 	}
 	wantCost := m.Costs.ShootdownIPI // one remote core
 	if got := t0.clk.Cycles() - before; got != wantCost {
 		t.Fatalf("shootdown charged %d cycles, want %d", got, wantCost)
 	}
+	m.FoldStats()
 	if m.Stats.TLBShootdowns != 1 || m.Stats.TLBShootdownInvalidations != 1 {
 		t.Fatalf("shootdown counters = %d/%d, want 1/1",
 			m.Stats.TLBShootdowns, m.Stats.TLBShootdownInvalidations)
@@ -97,7 +98,7 @@ func TestShootdownSingleCoreIsFree(t *testing.T) {
 		t.Fatalf("single-core shootdown counted: %d/%d",
 			m.Stats.TLBShootdowns, m.Stats.TLBShootdownInvalidations)
 	}
-	if got := ts.env.T.tlb[addr.PageNum()&tlbMask].pn; got != addr.PageNum() {
+	if !ts.env.T.tlbHolds(addr.PageNum()) {
 		t.Fatalf("single-core shootdown cleared the local entry")
 	}
 }
@@ -128,13 +129,14 @@ func TestSMPRetagShootsDownEndToEnd(t *testing.T) {
 		h.Call(e, uint64(addr), 3) // BAR's store traps and retags the page
 	})
 
+	m.FoldStats()
 	if m.Stats.Retags == 0 {
 		t.Fatalf("workload performed no retag")
 	}
 	if m.Stats.TLBShootdowns == 0 {
 		t.Fatalf("SMP retag recorded no shootdown")
 	}
-	if got := e1.T.tlb[pn&tlbMask].pn; got == pn {
+	if e1.T.tlbHolds(pn) {
 		t.Fatalf("remote translation survived the retag")
 	}
 	// The trace view and the live counters must agree, shootdowns included.
@@ -190,6 +192,7 @@ func smpCrossingWorkload(t *testing.T, iters int) ([2]uint64, Stats, Stats) {
 		}(c)
 	}
 	wg.Wait()
+	m.FoldStats() // merge the workers' staged counter shards
 
 	var clocks [2]uint64
 	for c := 0; c < 2; c++ {
@@ -281,6 +284,7 @@ func smpMergedStream(t *testing.T, cores, iters int) ([]trace.Event, Stats, Stat
 	for c := 0; c < cores; c++ {
 		leaveOn(ts, workers[c])
 	}
+	m.FoldStats()
 	return trc.Events(), m.Stats, StatsFromTrace(trc)
 }
 
@@ -329,8 +333,8 @@ func TestSMPMergedStreamDeterministic(t *testing.T) {
 	}
 }
 
-// TestSMPLockReentrancy pins the big lock's reentrancy: nested
-// enter/exit by the owning thread must not deadlock, and the lock must
+// TestSMPLockReentrancy pins the global lock's reentrancy: nested
+// acquisition by the owning thread must not deadlock, and the lock must
 // hand over cleanly between threads.
 func TestSMPLockReentrancy(t *testing.T) {
 	ts := bootPair(t, ModeFull)
@@ -338,17 +342,17 @@ func TestSMPLockReentrancy(t *testing.T) {
 	m.EnableSMP(2)
 	t0, e1 := ts.env.T, newWorker(m, 1)
 
-	m.enter(t0)
-	m.enter(t0) // reentrant: depth bump, no deadlock
-	m.exit(t0)
+	m.lockGlobal(t0)
+	m.lockGlobal(t0) // reentrant: depth bump, no deadlock
+	m.unlockGlobal(t0)
 
 	released := make(chan struct{})
 	go func() {
-		m.enter(e1.T)
-		m.exit(e1.T)
+		m.lockGlobal(e1.T)
+		m.unlockGlobal(e1.T)
 		close(released)
 	}()
-	m.exit(t0)
+	m.unlockGlobal(t0)
 	<-released
 }
 

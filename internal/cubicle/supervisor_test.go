@@ -269,7 +269,7 @@ func TestSupervisorRefusesRestartUnderLiveFrame(t *testing.T) {
 	svc.health = Quarantined
 	svc.restartAt = 0
 	ts.enter(t, "SVC", func(e *Env) {
-		if ts.m.sup.restart(svc) {
+		if ts.m.sup.restart(nil, svc) {
 			t.Error("restart succeeded while SVC had a live frame")
 		}
 	})
@@ -277,7 +277,7 @@ func TestSupervisorRefusesRestartUnderLiveFrame(t *testing.T) {
 		t.Errorf("health = %v, want still Quarantined", svc.Health())
 	}
 	// With the frame gone the same restart goes through.
-	if !ts.m.sup.restart(svc) {
+	if !ts.m.sup.restart(nil, svc) {
 		t.Error("restart refused with no live frames")
 	}
 	if svc.Health() != Healthy {

@@ -2,6 +2,8 @@ package cubicle
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"cubicleos/internal/cycles"
 	"cubicleos/internal/mpk"
@@ -17,6 +19,10 @@ type stack struct {
 	base vm.Addr // lowest address of the region
 	size uint64
 	sp   vm.Addr // current stack pointer (grows down)
+	// gen is the owning cubicle's restart generation at allocation time.
+	// A mismatch in stackFor means a supervisor restart reclaimed the
+	// pages; the cached entry is replaced instead of dereferenced.
+	gen uint64
 }
 
 // frame records state saved by a call so that the return path can restore
@@ -42,9 +48,10 @@ type frame struct {
 // per-thread register, §8). On a single-core deployment threads are
 // cooperative and never run concurrently, following Unikraft's model; on
 // an SMP deployment (EnableSMP) threads placed on different cores execute
-// on real goroutine workers concurrently, serialised only inside the
-// monitor by its big lock. A Thread itself must still be driven by at most
-// one goroutine at a time.
+// on real goroutine workers concurrently, synchronised inside the monitor
+// by the lock hierarchy of smp.go (lock-free on the read-mostly hot
+// paths). A Thread itself must still be driven by at most one goroutine at
+// a time.
 type Thread struct {
 	m      *Monitor
 	id     int // dense thread index, stamped into trace events
@@ -58,6 +65,20 @@ type Thread struct {
 	// behaviour exactly.
 	core int
 	clk  *cycles.Clock
+	// parallel marks a thread driven by its own goroutine worker
+	// (SetThreadCore). Parallel threads stage Stats in their own shard,
+	// maintain the per-cubicle active-crossing counters and take the real
+	// locks of smp.go; non-parallel threads (all production deployments)
+	// keep the lock-free single-threaded behaviour byte-identical to the
+	// legacy monitor.
+	parallel bool
+	// stats is the thread's staged counter shard in parallel mode, merged
+	// into Monitor.Stats by FoldStats at quiescence. Only the owning
+	// goroutine writes it.
+	stats Stats
+	// held is the thread's lock-order bookkeeping under EnableLockCheck
+	// (smp.go): the stack of lock slots currently held, owner-written only.
+	held []int32
 	// journal records window-state changes for containment rollback; it is
 	// only appended to while a supervisor is attached and is truncated when
 	// the thread unwinds to depth zero (everything below is committed).
@@ -67,13 +88,22 @@ type Thread struct {
 	// below it fault, so the arming cubicle always regains control.
 	deadline      uint64
 	deadlineFrame int
-	// tlb is the thread's direct-mapped span TLB (see tlb.go). Entries cache
-	// only the pn→page translation, validated against the address-space
-	// epoch; permissions are re-checked against the live (PKRU, key, perm)
-	// state on every lookup, so no explicit flush exists. MPK permissions
-	// being per-thread (the PKRU is a per-thread register) is exactly why
-	// the cache is per-thread too.
-	tlb [tlbSize]tlbEntry
+	// tlb is the thread's direct-mapped span TLB (see tlb.go). Each slot is
+	// an atomic pointer to an immutable entry caching only the pn→page
+	// translation, validated against the address-space epoch; permissions
+	// are re-checked against the live (PKRU, key, perm) state on every
+	// lookup, so no explicit flush exists. MPK permissions being per-thread
+	// (the PKRU is a per-thread register) is exactly why the cache is
+	// per-thread too. The atomic slots are what let a cross-core shootdown
+	// clear a remote thread's entry without stopping that thread.
+	tlb [tlbSize]atomic.Pointer[tlbEntry]
+
+	// tlbBuf backs the slots outside parallel mode: fills rewrite the
+	// slot's entry in place instead of allocating, which keeps the
+	// single-threaded hot path (every production deployment) free of
+	// per-miss garbage. Parallel mode never touches it — concurrent
+	// shootdown readers require published entries to stay immutable.
+	tlbBuf [tlbSize]tlbEntry
 }
 
 // NewThread creates a thread that starts executing in the monitor cubicle
@@ -85,6 +115,7 @@ func (m *Monitor) NewThread() *Thread {
 		cur:    MonitorID,
 		pkru:   mpk.AllAllowed,
 		stacks: make(map[ID]*stack),
+		stats:  newStats(),
 		clk:    m.Clock,
 	}
 	t.pkru = m.pkruFor(MonitorID)
@@ -120,11 +151,12 @@ func (t *Thread) Depth() int { return len(t.frames) }
 // first use (the loader "allocates the necessary per-cubicle stacks for
 // the current thread", §5.4).
 func (t *Thread) stackFor(id ID) *stack {
-	if s, ok := t.stacks[id]; ok {
+	gen := t.m.cubicle(id).gen.Load()
+	if s, ok := t.stacks[id]; ok && s.gen == gen {
 		return s
 	}
-	base := t.m.MapOwned(id, StackPages, vm.PageStack, vm.PermRead|vm.PermWrite)
-	s := &stack{base: base, size: StackPages * vm.PageSize}
+	base := t.m.mapOwnedFor(t, id, StackPages, vm.PageStack, vm.PermRead|vm.PermWrite)
+	s := &stack{base: base, size: StackPages * vm.PageSize, gen: gen}
 	s.sp = base.Add(s.size)
 	t.stacks[id] = s
 	return s
@@ -152,6 +184,30 @@ func (t *Thread) pushFrame(callee ID, crossing bool) {
 	caller := t.cur
 	if crossing {
 		t.cur = callee
+		if t.parallel {
+			// Parallel threads maintain the per-cubicle active-crossing
+			// counter so restart and checkpoint quiescence checks need not
+			// scan other workers' live frame slices. The increment pairs
+			// with the supervisor's restarting flag, Dekker-style: the
+			// restarter publishes restarting before loading active, we
+			// publish the increment before loading restarting, so either
+			// the restart aborts (it saw our crossing) or we back off and
+			// wait out the reclaim (we saw its flag) — a crossing can never
+			// run on a stack whose pages a concurrent restart is unmapping.
+			// Callers hold no monitor locks here (the restarter owns gmu
+			// for the whole reclaim), so the spin cannot deadlock.
+			cub := t.m.cubicle(callee)
+			for {
+				cub.active.Add(1)
+				if !cub.restarting.Load() {
+					break
+				}
+				cub.active.Add(-1)
+				for cub.restarting.Load() {
+					runtime.Gosched()
+				}
+			}
+		}
 		// The profiler attributes elapsed cycles to the executing
 		// cubicle; a crossing frame is exactly a cubicle switch.
 		if trc := t.m.trc; trc != nil {
@@ -184,6 +240,9 @@ func (t *Thread) popFrame() {
 	}
 	if f.crossing {
 		t.cur = f.caller
+		if t.parallel {
+			t.m.cubicle(f.exec).active.Add(-1)
+		}
 		if trc := t.m.trc; trc != nil {
 			trc.SwitchCubicle(t.id, int(f.caller))
 		}

@@ -26,14 +26,22 @@ import (
 //     t.pkru is read at lookup time, never cached;
 //   - trap-and-map retags, tag-virtualisation evictions, pinned-range
 //     retags and containment rollback's unpin retags take effect
-//     immediately, because p.Key and p.Perm are read at lookup time. A
-//     retag therefore does NOT flush the cache — the hot ping-pong pages
-//     of a cross-cubicle workload keep their translations;
+//     immediately, because p.Key and p.Perm are read at lookup time (one
+//     atomic metadata word). A retag therefore does NOT flush the cache —
+//     the hot ping-pong pages of a cross-cubicle workload keep their
+//     translations;
 //   - only a change to the translation itself — vm.Map and vm.Unmap, as
 //     on cubicle-restart page reclaim — invalidates, via the address
 //     space epoch stamped into the entry at fill time. A stale epoch
 //     means the pn→page binding may have been torn down or the page
 //     frame recycled, so the dangling pointer is never dereferenced.
+//
+// Concurrency: each slot is an atomic pointer to an immutable entry, so
+// the owning thread's lookups and fills never race with a cross-core
+// shootdown clearing the slot (smp.go CASes it to nil). The hit path —
+// one atomic slot load, one atomic epoch load, one atomic metadata load
+// and a register compare against the thread's own PKRU — takes no shared
+// lock, which is what lets crossings on different cores scale.
 //
 // A lookup whose translation is stale, or whose live permission check
 // denies the access (the cached page was retagged away, or the PKRU
@@ -47,10 +55,16 @@ const (
 	tlbMask = tlbSize - 1
 )
 
-// tlbEntry caches one page translation. The zero value is invalid: page
-// number 0 is reserved by the address space.
+// tlbEntry caches one page translation. In parallel mode entries are
+// immutable once published to a slot — invalidation replaces the pointer,
+// and the GC provides the grace period for concurrent readers. Outside
+// parallel mode nothing reads a slot but its owning thread (cooperative
+// shootdowns clear slots between accesses, never during one), so fills
+// recycle a per-slot backing entry in place and the hot path allocates
+// nothing. The zero page number never appears: page number 0 is reserved
+// by the address space.
 type tlbEntry struct {
-	pn    uint64 // page number (0 = empty slot)
+	pn    uint64 // page number
 	epoch uint64 // address-space epoch at fill time
 	p     *vm.Page
 }
@@ -61,23 +75,41 @@ type tlbEntry struct {
 // stale or no longer grants the access is an invalidation observed) and
 // returns nil.
 func (m *Monitor) tlbLookup(t *Thread, pn uint64, kind mpk.AccessKind) *vm.Page {
-	e := &t.tlb[pn&tlbMask]
-	if e.pn == pn {
-		if e.epoch == m.AS.Epoch() && t.pkru.Check(kind, e.p.Perm, mpk.Key(e.p.Key)) {
-			m.Stats.TLBHits++
+	st := m.st(t)
+	if e := t.tlb[pn&tlbMask].Load(); e != nil && e.pn == pn {
+		perm, key := e.p.Meta()
+		if e.epoch == m.AS.Epoch() && t.pkru.Check(kind, perm, mpk.Key(key)) {
+			st.TLBHits++
 			return e.p
 		}
-		m.Stats.TLBInvalidations++
+		st.TLBInvalidations++
 	}
-	m.Stats.TLBMisses++
+	st.TLBMisses++
 	return nil
 }
 
 // tlbFill caches page pn's translation after a successful slow-path
 // check. The epoch is read fresh: the slow path may just have mapped a
-// stack or heap arena.
+// stack or heap arena. Parallel mode publishes a fresh immutable entry
+// (cross-core shootdowns may be reading the old one); single-threaded
+// mode rewrites the slot's backing entry in place, allocation-free.
 func (m *Monitor) tlbFill(t *Thread, pn uint64, p *vm.Page) {
-	t.tlb[pn&tlbMask] = tlbEntry{pn: pn, epoch: m.AS.Epoch(), p: p}
+	slot := &t.tlb[pn&tlbMask]
+	if m.parallel {
+		slot.Store(&tlbEntry{pn: pn, epoch: m.AS.Epoch(), p: p})
+		return
+	}
+	e := &t.tlbBuf[pn&tlbMask]
+	e.pn, e.epoch, e.p = pn, m.AS.Epoch(), p
+	slot.Store(e)
+}
+
+// tlbHolds reports whether thread t's TLB currently caches a translation
+// for page pn. Test accessor: the contention and shootdown suites assert
+// invalidation effects through it instead of poking the atomic slots.
+func (t *Thread) tlbHolds(pn uint64) bool {
+	e := t.tlb[pn&tlbMask].Load()
+	return e != nil && e.pn == pn
 }
 
 // SetTLBEnabled turns the span TLB on or off. It defaults to on; tests and
@@ -90,18 +122,22 @@ func (m *Monitor) SetTLBEnabled(on bool) { m.tlbOn = on }
 // on a single page with a current translation whose live permission check
 // allows the access. It is the one-lookup fast path of the checked
 // accessors; ok=false sends the caller to resolveSpan. Like resolveSpan's
-// no-trap path it has zero virtual-time side effects.
+// no-trap path it has zero virtual-time side effects, and like tlbLookup
+// it takes no shared lock.
 func (m *Monitor) fastView(t *Thread, kind mpk.AccessKind, addr vm.Addr, n uint64) ([]byte, bool) {
 	off := addr.PageOff()
 	if addr == 0 || !m.tlbOn || off+n > vm.PageSize || n == 0 {
 		return nil, false
 	}
 	pn := addr.PageNum()
-	e := &t.tlb[pn&tlbMask]
-	if e.pn != pn || e.epoch != m.AS.Epoch() ||
-		!t.pkru.Check(kind, e.p.Perm, mpk.Key(e.p.Key)) {
+	e := t.tlb[pn&tlbMask].Load()
+	if e == nil || e.pn != pn || e.epoch != m.AS.Epoch() {
 		return nil, false
 	}
-	m.Stats.TLBHits++
+	perm, key := e.p.Meta()
+	if !t.pkru.Check(kind, perm, mpk.Key(key)) {
+		return nil, false
+	}
+	m.st(t).TLBHits++
 	return e.p.Data[off : off+n], true
 }

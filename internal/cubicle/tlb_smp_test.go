@@ -10,12 +10,17 @@ import (
 // FuzzSpanTLBConcurrent is the SMP extension of FuzzSpanTLBDifferential:
 // one worker performs fuzz-chosen retag-inducing operations on core 0
 // (cross-cubicle writes that trap pages to BAR, owner stores that trap
-// them back, window churn) while a second worker on core 1 reads the same
-// pages through its span TLB the whole time. The property under test is
-// that a concurrent retag never leaves a *stale grant* behind:
+// them back, window churn, warm restarts of BAR) while a second worker on
+// core 1 reads the same pages through its span TLB the whole time. The
+// property under test is that a concurrent retag or restart never leaves
+// a *stale grant* behind:
 //
-//   - every read core 1 completes returns a byte some store actually
-//     wrote (never garbage through a dangling translation);
+//   - every read core 1 completes returns a byte from the live page the
+//     translation claims to cache (never garbage through a dangling
+//     translation into a reclaimed frame); the reader sticks to offset
+//     32, which no store ever touches, so any nonzero byte is proof of
+//     a stale grant — and the reader/writer bytes stay disjoint, which
+//     is what real cores require of racing guests anyway;
 //   - after the workers join, every surviving TLB entry still translates
 //     to the live page of the address space (shootdowns and epoch checks
 //     did their job);
@@ -23,12 +28,22 @@ import (
 //     orders it after the writer.
 //
 // Run under -race this doubles as the data-race gate for the
-// shootdown/TLB protocol.
+// shootdown/TLB protocol, and with the lock-order checker armed every
+// interleaving also proves the documented lock hierarchy (global before
+// cubicle, cubicles in ID order) is respected.
 func FuzzSpanTLBConcurrent(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
 	f.Add([]byte{3, 3, 3, 0, 0, 1, 1, 2, 2, 9, 9, 9})
 	f.Add([]byte{2, 0, 2, 0, 2, 0, 1, 3, 1, 3})
 	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 255, 128, 64, 32})
+	// Cross-core retag while the reader is mid-translation: alternate
+	// BAR-call retags (op 0) with owner stores that trap the page back
+	// (op 1) so ownership ping-pongs every step.
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	// Restart-during-read: warm restarts of BAR (op 4) interleaved with
+	// retags and loads, so page reclaim + generation bumps race the
+	// reader's lock-free lookups.
+	f.Add([]byte{4, 0, 4, 1, 4, 3, 4, 0, 4, 2, 4, 1, 4, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			t.Skip()
@@ -36,6 +51,8 @@ func FuzzSpanTLBConcurrent(f *testing.F) {
 		ts := bootPair(t, ModeFull)
 		m := ts.m
 		m.EnableSMP(2)
+		m.EnableLockCheck()
+		m.EnableContainment(DefaultRestartPolicy())
 		reader := newWorker(m, 1)
 		barID := ts.cubs["BAR"].ID
 
@@ -43,14 +60,6 @@ func FuzzSpanTLBConcurrent(f *testing.F) {
 		var addrs [pages]vm.Addr
 		for i := range addrs {
 			addrs[i] = ts.heapIn(t, "FOO", 64)
-		}
-
-		// written[i] is every byte value a store may have left at addrs[i]
-		// (both BAR's 0xAA marker and the owner's counter bytes). Reads on
-		// core 1 must only ever observe one of these, or the initial 0.
-		valid := map[byte]bool{0: true, 0xAA: true}
-		for i := 0; i < len(data); i++ {
-			valid[data[i]] = true
 		}
 
 		var wg sync.WaitGroup
@@ -72,7 +81,7 @@ func FuzzSpanTLBConcurrent(f *testing.F) {
 			}
 			for i, b := range data {
 				p := i % pages
-				switch b % 4 {
+				switch b % 5 {
 				case 0: // BAR stores 0xAA at offset 0: retag to BAR + shootdown
 					barH.Call(e, uint64(addrs[p]), 0)
 					last[p] = 0xAA
@@ -84,6 +93,11 @@ func FuzzSpanTLBConcurrent(f *testing.F) {
 					e.WindowOpen(wids[p], barID)
 					e.StoreByte(addrs[p], b)
 					last[p] = b
+				case 4: // warm restart of BAR: reclaims its pages and bumps
+					// the restart generation while core 1 keeps reading.
+					m.lockGlobal(e.T)
+					m.sup.restart(e.T, ts.cubs["BAR"])
+					m.unlockGlobal(e.T)
 				default: // plain owner read keeps the page hot
 					_ = e.LoadByte(addrs[p])
 				}
@@ -100,9 +114,12 @@ func FuzzSpanTLBConcurrent(f *testing.F) {
 				default:
 				}
 				for p := 0; p < pages; p++ {
-					v := reader.LoadByte(addrs[p])
-					if !valid[v] {
-						panic("stale TLB grant: read byte no store ever wrote")
+					// Offset 32 is never stored to: the writer and BAR both
+					// write offset 0 only, so the bytes the two cores touch
+					// are disjoint and any nonzero read means the TLB served
+					// a dangling translation into a reclaimed frame.
+					if v := reader.LoadByte(addrs[p].Add(32)); v != 0 {
+						panic("stale TLB grant: read a byte no store ever wrote")
 					}
 				}
 			}
@@ -113,8 +130,8 @@ func FuzzSpanTLBConcurrent(f *testing.F) {
 		// cached page is the address space's current page for that pn.
 		for _, th := range []*Thread{ts.env.T, reader.T} {
 			for s := range th.tlb {
-				e := th.tlb[s]
-				if e.pn == 0 || e.epoch != m.AS.Epoch() {
+				e := th.tlb[s].Load()
+				if e == nil || e.epoch != m.AS.Epoch() {
 					continue
 				}
 				if live := m.AS.Page(vm.PageAddr(e.pn)); live != e.p {

@@ -240,8 +240,7 @@ func TestTLBInvalidationOnRestartReclaim(t *testing.T) {
 	// stale (epoch mismatch) — a lookup can never return its dangling
 	// data pointer.
 	pn := svcBuf.PageNum()
-	entry := &ts.env.T.tlb[pn&tlbMask]
-	if entry.pn == pn && entry.epoch == ts.m.AS.Epoch() {
+	if e := ts.env.T.tlb[pn&tlbMask].Load(); e != nil && e.pn == pn && e.epoch == ts.m.AS.Epoch() {
 		t.Fatal("TLB entry for reclaimed page still validates against the current epoch")
 	}
 

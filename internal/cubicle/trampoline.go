@@ -134,17 +134,17 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		panic(&CFIFault{Cubicle: e.T.cur, Target: "<nil>", Reason: "call through unresolved handle"})
 	}
 	m, t, tr := h.m, e.T, h.tr
-	// The whole call sequence — admission, accounting, the callee body and
-	// the return path — runs under the monitor's big lock. The lock is
-	// reentrant per thread, so nested crossings and the Env calls the
-	// callee makes just bump the depth counter. Registered before every
-	// other defer so it releases last, after popFrame/contain.
-	m.enter(t)
-	defer m.exit(t)
-	if m.ckptInterval != 0 && len(t.frames) == 0 {
-		// Checkpoint cadence: outermost call entries are the monitor's
-		// quiescent points — the big lock is held across whole crossings,
-		// so no other thread is mid-crossing here.
+	// No lock is taken for the call sequence itself: admission reads the
+	// callee's atomic health bit, accounting goes to the thread's stats
+	// shard, charges go to the thread's own clock and the PKRU values come
+	// from the lock-free epoch cache. Only genuinely global slow paths —
+	// a trap inside the callee, a restart, a heap grow — lock, inside the
+	// operations that need it (see smp.go).
+	if m.ckptInterval != 0 && len(t.frames) == 0 && !t.parallel {
+		// Checkpoint cadence: outermost call entries of the cooperative
+		// boot thread are the monitor's quiescent points. Parallel workers
+		// never sweep — their outermost entry says nothing about other
+		// cores being mid-crossing.
 		m.maybeCheckpoint(t)
 	}
 	callee := m.cubicle(tr.callee)
@@ -159,7 +159,7 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 	// Shared cubicle: executes with the privileges, stack and heap of the
 	// calling cubicle; never involves the runtime TCB (§3 ❹).
 	if callee.Kind == KindShared {
-		m.Stats.SharedCalls++
+		m.st(t).SharedCalls++
 		if m.trc != nil {
 			m.trc.SharedCall(t.id, int(t.cur), int(tr.callee), tr.Symbol())
 		}
@@ -181,8 +181,50 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		// accounting; an expired quarantine restarts the callee in place.
 		m.sup.admit(t, tr)
 	}
-	m.Stats.CallsTotal++
-	m.Stats.Calls[Edge{From: t.cur, To: tr.callee}]++
+	st := m.st(t)
+	st.CallsTotal++
+	st.Calls[Edge{From: t.cur, To: tr.callee}]++
+
+	if m.fastCross {
+		// Trusted-crossing fast path: no tracer, injector, metrics
+		// sampling or checkpoint cadence is attached (one precomputed
+		// flag), and admission above already proved the callee healthy.
+		// What remains is exactly the architectural call sequence — the
+		// charges, the frame switch, the two wrpkru executions — with the
+		// slow-path setup (trace event assembly, sampling cadence checks,
+		// injection draws) skipped entirely. Charge order is identical to
+		// the full path below, so virtual time is unaffected.
+		if m.Mode.TrampolinesEnabled() {
+			t.clk.Charge(m.Costs.TrampolineBase)
+			if tr.stackBytes > 0 {
+				t.clk.Charge(uint64(tr.stackBytes) * m.Costs.StackArgByte)
+				st.StackBytesCopied += uint64(tr.stackBytes)
+			}
+		}
+		t.pushFrame(tr.callee, true)
+		defer t.popFrame()
+		if m.sup != nil {
+			defer m.sup.contain(t, tr)
+		}
+		if t.deadline != 0 {
+			m.checkDeadline(t)
+		}
+		if tr.stackBytes > 0 {
+			t.alloca(uint64(tr.stackBytes))
+		}
+		if m.Mode.MPKEnabled() {
+			m.wrpkru(t, m.pkruForFast(t, tr.callee))
+		}
+		rets := tr.fn(e, args)
+		if m.Mode.TrampolinesEnabled() {
+			t.clk.Charge(m.Costs.TrampolineBase)
+		}
+		if m.Mode.MPKEnabled() {
+			m.wrpkru(t, m.pkruForFast(t, h.caller))
+		}
+		return rets
+	}
+
 	if m.met != nil {
 		// Metrics sampling rides the crossing rate: the first crossing at
 		// or past each interval threshold takes the snapshot.
@@ -200,7 +242,7 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		t.clk.Charge(m.Costs.TrampolineBase)
 		if tr.stackBytes > 0 {
 			t.clk.Charge(uint64(tr.stackBytes) * m.Costs.StackArgByte)
-			m.Stats.StackBytesCopied += uint64(tr.stackBytes)
+			st.StackBytesCopied += uint64(tr.stackBytes)
 		}
 	}
 	t.pushFrame(tr.callee, true)
@@ -222,7 +264,7 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		t.alloca(uint64(tr.stackBytes))
 	}
 	if m.Mode.MPKEnabled() {
-		m.wrpkru(t, m.pkruFor(tr.callee))
+		m.wrpkru(t, m.pkruForFast(t, tr.callee))
 	}
 	if m.inj != nil {
 		m.injectAtCrossing(t, tr)
@@ -236,7 +278,7 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 		t.clk.Charge(m.Costs.TrampolineBase)
 	}
 	if m.Mode.MPKEnabled() {
-		m.wrpkru(t, m.pkruFor(h.caller))
+		m.wrpkru(t, m.pkruForFast(t, h.caller))
 	}
 	if m.trc != nil {
 		m.trc.CallExit(t.id, int(h.caller), int(tr.callee), tr.Symbol())
@@ -250,9 +292,9 @@ func (h Handle) Call(e *Env, args ...uint64) []uint64 {
 // modification), guard pages may only be entered at offset 0, and
 // trampoline thunks in the monitor's cubicle are never directly
 // executable by cubicles.
+// Lock-free: the page lookup is atomic and guardPages is immutable after
+// boot-time resolution; the final resolveSpan locks only if it traps.
 func (m *Monitor) ExecuteAt(t *Thread, addr vm.Addr) {
-	m.enter(t)
-	defer m.exit(t)
 	p := m.AS.Page(addr)
 	if p == nil {
 		panic(&ProtectionFault{Addr: addr, Access: mpk.AccessExec, Cubicle: t.cur,

@@ -11,7 +11,10 @@
 // seconds at the paper's 2.20 GHz (Intel Xeon Silver 4210).
 package cycles
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // FrequencyHz is the clock frequency of the paper's evaluation machine,
 // an Intel Xeon Silver 4210 at 2.20 GHz.
@@ -19,12 +22,13 @@ const FrequencyHz = 2_200_000_000
 
 // Clock accumulates virtual cycles. A clock has exactly one writer at any
 // time — the boot thread of a single-core System, or the worker goroutine
-// driving one core of a Machine — so it needs no synchronisation of its
-// own; cross-core reads happen only at quantum barriers (see Machine) or
-// under the cubicle monitor's lock, both of which establish the required
-// happens-before edges.
+// driving one core of a Machine — so advances need no compare-and-swap;
+// the writer publishes each new value with an atomic store and cross-core
+// observers (GVT computation, quarantine deadlines, the monitor's smpNow)
+// read it with an atomic load. The single-writer discipline keeps the
+// plain read-modify in Charge safe: nobody else ever stores.
 type Clock struct {
-	cycles uint64
+	cycles uint64 // atomic: single writer, many readers
 	// workNum/workDen scale modelled-compute charges (ChargeWork) to
 	// represent implementation efficiency differences between runtimes
 	// (e.g. Unikraft 0.4 vs native Linux). Architectural-event charges
@@ -39,9 +43,10 @@ type Clock struct {
 
 // Charge adds n cycles to the clock (architectural events; unscaled).
 func (c *Clock) Charge(n uint64) {
-	c.cycles += n
+	now := c.cycles + n
+	atomic.StoreUint64(&c.cycles, now)
 	if c.onAdvance != nil {
-		c.onAdvance(c.cycles)
+		c.onAdvance(now)
 	}
 }
 
@@ -51,9 +56,10 @@ func (c *Clock) ChargeWork(n uint64) {
 	if c.workDen != 0 {
 		n = n * c.workNum / c.workDen
 	}
-	c.cycles += n
+	now := c.cycles + n
+	atomic.StoreUint64(&c.cycles, now)
 	if c.onAdvance != nil {
-		c.onAdvance(c.cycles)
+		c.onAdvance(now)
 	}
 }
 
@@ -66,8 +72,10 @@ func (c *Clock) SetWorkScale(f float64) {
 	c.workDen = 1000
 }
 
-// Cycles returns the number of cycles charged so far.
-func (c *Clock) Cycles() uint64 { return c.cycles }
+// Cycles returns the number of cycles charged so far. Safe to call from
+// any goroutine; the owning core sees its own advances, remote observers
+// see a value no newer than the clock's latest published store.
+func (c *Clock) Cycles() uint64 { return atomic.LoadUint64(&c.cycles) }
 
 // AdvanceTo moves the clock forward to target if it is behind it. Open-loop
 // load generation uses it to model idle wall-clock time between scheduled
@@ -80,12 +88,12 @@ func (c *Clock) AdvanceTo(target uint64) {
 }
 
 // Reset sets the clock back to zero.
-func (c *Clock) Reset() { c.cycles = 0 }
+func (c *Clock) Reset() { atomic.StoreUint64(&c.cycles, 0) }
 
 // Duration converts the accumulated cycles to wall-clock time at
 // FrequencyHz.
 func (c *Clock) Duration() time.Duration {
-	return Duration(c.cycles)
+	return Duration(c.Cycles())
 }
 
 // Duration converts a cycle count to wall-clock time at FrequencyHz.

@@ -17,6 +17,12 @@ type Peer struct {
 	nextPort uint16
 	// Window is the receive window the peer advertises to the server.
 	Window uint32
+	// ackq lists connections owing a deferred window-update ACK, in the
+	// order the data arrived. Draining this instead of scanning conns keeps
+	// Pump O(live traffic) regardless of how many connections the load
+	// generator has opened, and emits the deferred ACKs in a deterministic
+	// order (map iteration order is not).
+	ackq []*PeerConn
 }
 
 // NewPeer attaches a host peer to the wire.
@@ -39,6 +45,9 @@ type PeerConn struct {
 	// (respecting the server's advertised receive window).
 	pending []byte
 	unacked uint32
+	// ackQueued marks the connection as already on the peer's deferred-ACK
+	// queue; released marks it detached by Release.
+	ackQueued, released bool
 }
 
 // Connect sends a SYN to the given server port and returns the connection
@@ -71,13 +80,16 @@ func (p *Peer) Pump() int {
 	for {
 		f := p.w.HostRecv()
 		if f == nil {
-			// Drained: send any deferred window-update acknowledgements.
-			for _, c := range p.conns {
-				if c.rcvNxt != c.lastAcked {
+			// Drained: send any deferred window-update acknowledgements, in
+			// data-arrival order.
+			for _, c := range p.ackq {
+				c.ackQueued = false
+				if !c.released && c.rcvNxt != c.lastAcked {
 					p.send(c, FlagACK, nil)
 					c.lastAcked = c.rcvNxt
 				}
 			}
+			p.ackq = p.ackq[:0]
 			return n
 		}
 		n++
@@ -103,6 +115,14 @@ func (p *Peer) Pump() int {
 			c.rcvNxt = h.Seq + 1
 			c.Established = true
 			p.send(c, FlagACK, nil)
+			// The handshake ACK intentionally leaves lastAcked behind, so
+			// the drain below re-acknowledges once more: the peer has always
+			// confirmed its receive window right after establishment, and
+			// the figure goldens pin that frame sequence.
+			if !c.ackQueued {
+				c.ackQueued = true
+				p.ackq = append(p.ackq, c)
+			}
 			continue
 		}
 		if h.Len > 0 && h.Seq == c.rcvNxt {
@@ -119,6 +139,9 @@ func (p *Peer) Pump() int {
 		if c.FinRcvd || c.rcvNxt-c.lastAcked >= 4*MSS {
 			p.send(c, FlagACK, nil)
 			c.lastAcked = c.rcvNxt
+		} else if c.rcvNxt != c.lastAcked && !c.ackQueued {
+			c.ackQueued = true
+			p.ackq = append(p.ackq, c)
 		}
 		// Window may have opened: push pending data.
 		c.flush()
@@ -156,6 +179,19 @@ func (c *PeerConn) flush() {
 func (c *PeerConn) Close() {
 	c.p.send(c, FlagFIN|FlagACK, nil)
 	c.sndNxt++
+}
+
+// Release detaches a finished connection from the peer so its state can
+// be collected: frames still in flight for the port are dropped, exactly
+// like a closed socket. Received data stays readable. Without this a
+// long-running load generator accretes one dead PeerConn per request and
+// every Pump drain walks them all.
+func (c *PeerConn) Release() {
+	if c.released {
+		return
+	}
+	c.released = true
+	delete(c.p.conns, c.localPort)
 }
 
 // Received returns everything received so far.

@@ -133,7 +133,7 @@ func PkeyMprotect(as *vm.AddrSpace, addr vm.Addr, npages int, key Key) error {
 		if p == nil {
 			return fmt.Errorf("mpk: pkey_mprotect on unmapped page %#x", (pn+i)<<vm.PageShift)
 		}
-		p.Key = uint8(key)
+		p.SetKey(uint8(key))
 	}
 	// No epoch bump: a retag changes permissions, not the translation, and
 	// software TLBs re-check (PKRU, key, perm) against live metadata.

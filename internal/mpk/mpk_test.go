@@ -115,10 +115,10 @@ func TestPkeyMprotect(t *testing.T) {
 	if err := PkeyMprotect(as, addr, 2, 9); err != nil {
 		t.Fatal(err)
 	}
-	if as.Page(addr).Key != 9 || as.Page(addr.Add(vm.PageSize)).Key != 9 {
+	if as.Page(addr).Key() != 9 || as.Page(addr.Add(vm.PageSize)).Key() != 9 {
 		t.Error("retagged pages do not carry the new key")
 	}
-	if as.Page(addr.Add(2*vm.PageSize)).Key != 2 {
+	if as.Page(addr.Add(2*vm.PageSize)).Key() != 2 {
 		t.Error("retag spilled onto a page outside the range")
 	}
 	if err := PkeyMprotect(as, addr, 1, 16); err == nil {

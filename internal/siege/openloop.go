@@ -146,6 +146,10 @@ func (r *openLoopRun) step() bool {
 		if f.conn.FinRcvd {
 			f.done = true
 			f.doneAt = clock.Cycles()
+			// The response is complete: detach the connection so the peer's
+			// pump stays O(in-flight) however many requests the run issues.
+			// Received data stays readable for finish().
+			f.conn.Release()
 			r.open--
 			progress = true
 		}

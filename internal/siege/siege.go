@@ -210,6 +210,7 @@ type Result struct {
 func (t *Target) Fetch(path string) (*Result, error) {
 	start := t.Sys.M.Clock.Cycles()
 	conn := t.Peer.Connect(80)
+	defer conn.Release()
 	req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", path)
 	sentReq := false
 	for i := 0; i < 5_000_000; i++ {
@@ -265,6 +266,7 @@ func (t *Target) FetchUntil(path string, stop uint64) (*Result, error) {
 	}
 	start := clk.Cycles()
 	conn := t.Peer.Connect(80)
+	defer conn.Release()
 	req := fmt.Sprintf("GET %s HTTP/1.0\r\nHost: cubicle\r\nUser-Agent: siege-sim\r\n\r\n", path)
 	sentReq := false
 	for i := 0; i < 5_000_000; i++ {
@@ -340,6 +342,11 @@ func (t *Target) FetchConcurrent(paths []string) ([]*Result, error) {
 	for i, p := range paths {
 		reqs[i] = &pending{conn: t.Peer.Connect(80), path: p}
 	}
+	defer func() {
+		for _, r := range reqs {
+			r.conn.Release()
+		}
+	}()
 	remaining := len(reqs)
 	for iter := 0; iter < 5_000_000 && remaining > 0; iter++ {
 		t.stepH.Call(t.Sys.Env)

@@ -37,6 +37,8 @@ package trace
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cubicleos/internal/cycles"
 )
@@ -403,9 +405,15 @@ type Tracer struct {
 	s0     *shard // shards[0], kept flat for the single-core fast path
 
 	// open call spans per thread, for elapsed-cycle computation. Thread
-	// IDs are dense; openM holds monitor-context (thread -1) spans.
-	open  [][]openCall
-	openM []openCall
+	// IDs are dense. Each inner stack is written only by its own thread's
+	// goroutine; the outer index is an immutable slice republished under
+	// openGrow when a new thread ID appears, so concurrent recorders can
+	// index it with a plain atomic load and no shared lock. openM holds
+	// monitor-context (thread -1) spans, which only record while the
+	// recording thread holds the monitor's global lock.
+	open     atomic.Pointer[[]*openStack]
+	openGrow sync.Mutex
+	openM    []openCall
 
 	// tlbCounters, when set, supplies the monitor's span-TLB gauges for
 	// Counts (see SetTLBCounters).
@@ -415,6 +423,38 @@ type Tracer struct {
 type openCall struct {
 	edge  Edge
 	start uint64
+}
+
+// openStack is one thread's stack of open call spans. Only that thread's
+// goroutine pushes and pops, so the slice needs no lock of its own — the
+// pointer indirection exists so the outer index can be republished while
+// stacks stay in place.
+type openStack struct {
+	s []openCall
+}
+
+// stackOf returns thread's open-call stack, growing the outer index if
+// this is the first event from that thread ID.
+func (t *Tracer) stackOf(thread int) *openStack {
+	if p := t.open.Load(); p != nil && thread < len(*p) {
+		return (*p)[thread]
+	}
+	t.openGrow.Lock()
+	defer t.openGrow.Unlock()
+	var cur []*openStack
+	if p := t.open.Load(); p != nil {
+		cur = *p
+	}
+	if thread < len(cur) {
+		return cur[thread]
+	}
+	grown := make([]*openStack, thread+1)
+	copy(grown, cur)
+	for i := len(cur); i < len(grown); i++ {
+		grown[i] = &openStack{}
+	}
+	t.open.Store(&grown)
+	return grown[thread]
 }
 
 // New creates a tracer over the given virtual clock with one ring shard of
@@ -506,19 +546,14 @@ func (t *Tracer) pushOpen(thread int, oc openCall) {
 		t.openM = append(t.openM, oc)
 		return
 	}
-	for thread >= len(t.open) {
-		t.open = append(t.open, nil)
-	}
-	t.open[thread] = append(t.open[thread], oc)
+	stk := t.stackOf(thread)
+	stk.s = append(stk.s, oc)
 }
 
 func (t *Tracer) popOpen(thread int) (openCall, bool) {
 	stk := &t.openM
 	if thread >= 0 {
-		if thread >= len(t.open) {
-			return openCall{}, false
-		}
-		stk = &t.open[thread]
+		stk = &t.stackOf(thread).s
 	}
 	if n := len(*stk); n > 0 {
 		oc := (*stk)[n-1]

@@ -13,11 +13,23 @@
 // code never touches an AddrSpace directly; it goes through the checked
 // accessors of the cubicle runtime, which consult the per-thread PKRU
 // before delegating to the raw operations here.
+//
+// Concurrency contract: all mutations (Map, MapAt, Unmap, retags via
+// SetKey/SetPerm) happen under the monitor's global lock — one writer at a
+// time. Reads, however, may come from any core with no lock at all: the
+// cubicle runtime's span-TLB fast path translates addresses lock-free. The
+// page table is therefore published through an atomic pointer (growth
+// copies to a fresh array), each slot is an atomic *Page, the translation
+// epoch is an atomic counter, and the retaggable metadata (key, perm) is a
+// single packed word accessed atomically. A lock-free reader sees either
+// the pre- or post-mutation state of any one word, never a torn mix, and
+// the epoch protocol lets caches detect staleness.
 package vm
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // PageShift is log2 of the page size.
@@ -99,52 +111,143 @@ func (t PageType) String() string {
 // any cubicle.
 const NoOwner = -1
 
-// Page is one mapped page together with its metadata.
+// Page is one mapped page together with its metadata. Owner and Type are
+// fixed at map time; the MPK key and page-table permissions can change
+// while lock-free readers validate against them, so they live in one
+// packed word (perm<<8 | key) behind atomic accessors.
 type Page struct {
 	Data  [PageSize]byte
-	Key   uint8    // MPK protection key currently tagged on the page
-	Perm  Perm     // page-table permissions
+	meta  uint32   // atomic: Perm<<8 | Key
 	Owner int      // owning cubicle ID, or NoOwner
 	Type  PageType // code / global / stack / heap
 }
+
+func packMeta(perm Perm, key uint8) uint32 { return uint32(perm)<<8 | uint32(key) }
+
+// Key returns the MPK protection key currently tagged on the page.
+func (p *Page) Key() uint8 { return uint8(atomic.LoadUint32(&p.meta)) }
+
+// Perm returns the page-table permissions.
+func (p *Page) Perm() Perm { return Perm(atomic.LoadUint32(&p.meta) >> 8) }
+
+// Meta returns the page's permissions and key as one consistent pair —
+// a lock-free checker can never observe a key from before a retag paired
+// with permissions from after it.
+func (p *Page) Meta() (Perm, uint8) {
+	m := atomic.LoadUint32(&p.meta)
+	return Perm(m >> 8), uint8(m)
+}
+
+// SetKey retags the page. Callers serialise (monitor global lock); readers
+// may observe the old or new key, never a torn value.
+func (p *Page) SetKey(key uint8) {
+	m := atomic.LoadUint32(&p.meta)
+	atomic.StoreUint32(&p.meta, m&^0xFF|uint32(key))
+}
+
+// SetPerm replaces the page-table permissions.
+func (p *Page) SetPerm(perm Perm) {
+	m := atomic.LoadUint32(&p.meta)
+	atomic.StoreUint32(&p.meta, m&0xFF|uint32(perm)<<8)
+}
+
+// pageTable is one immutable-length snapshot of the page array. Slots are
+// atomic so a reader can load a translation while the (serialised) writer
+// maps or unmaps neighbouring pages in place.
+type pageTable []atomic.Pointer[Page]
 
 // AddrSpace is the simulated address space: a growable array of pages
 // indexed by page number. Page number 0 is reserved so that Addr 0 is
 // always invalid.
 type AddrSpace struct {
-	pages []*Page
-	free  []uint64 // freed page numbers available for reuse
-	pool  []*Page  // retired Page objects, recycled to keep GC churn flat
+	// pt is the current page table. Growth allocates a larger table,
+	// copies the slots, and publishes it here; readers holding the old
+	// snapshot still resolve correctly (slot stores before the swap went
+	// to the old table, and the epoch protocol catches anything staler).
+	pt atomic.Pointer[pageTable]
+	// top is the next fresh page number handed out by Map when the free
+	// list cannot satisfy a request.
+	top  uint64
+	free []uint64 // freed page numbers available for reuse
+	pool []*Page  // retired Page objects, recycled to keep GC churn flat
+	// pooling gates the retired-page pool. Parallel-mode runs disable it:
+	// a lock-free reader may still hold a *Page briefly after an unmap,
+	// and recycling would rewrite the object under it. With pooling off
+	// the GC's reachability is the grace period.
+	pooling bool
 	// epoch counts translation mutations (map, unmap). Any cached pn→page
 	// binding — notably the per-thread software TLBs of the cubicle
 	// runtime — is valid only for the epoch it was filled in; a bump
 	// invalidates every such cache. In-place metadata changes (retags,
 	// permission changes) do not bump: caches must re-check permissions
-	// against live page state instead.
+	// against live page state instead. Atomic: bumped by the serialised
+	// writer, read by lock-free validators on every TLB hit.
 	epoch uint64
 }
 
 // NewAddrSpace returns an empty address space.
 func NewAddrSpace() *AddrSpace {
-	return &AddrSpace{pages: make([]*Page, 1)} // page 0 reserved
+	as := &AddrSpace{top: 1, pooling: true} // page 0 reserved
+	t := make(pageTable, 1)
+	as.pt.Store(&t)
+	return as
+}
+
+// SetPooling enables or disables recycling of retired Page objects.
+// Disabling drains the pool; parallel-mode callers do this so unmapped
+// pages are reclaimed by the GC only after every lock-free reader that
+// might still reference them has moved on.
+func (as *AddrSpace) SetPooling(on bool) {
+	as.pooling = on
+	if !on {
+		as.pool = nil
+	}
 }
 
 // Epoch returns the current translation epoch. It increases monotonically
 // and never wraps in practice (a 64-bit counter of map/unmap events).
-func (as *AddrSpace) Epoch() uint64 { return as.epoch }
+func (as *AddrSpace) Epoch() uint64 { return atomic.LoadUint64(&as.epoch) }
 
 // BumpEpoch advances the translation epoch. Map and Unmap bump it
 // internally; software TLBs stamp the epoch into their entries, so a bump
 // drops every cached pn→page binding at once. In-place metadata changes
 // (retags, permission changes) deliberately do NOT bump: caches re-check
 // permissions against live page state on every lookup.
-func (as *AddrSpace) BumpEpoch() { as.epoch++ }
+func (as *AddrSpace) BumpEpoch() { atomic.AddUint64(&as.epoch, 1) }
+
+// table returns the current page-table snapshot.
+func (as *AddrSpace) table() pageTable { return *as.pt.Load() }
+
+// ensure grows the page table so that page number pn is addressable.
+// Growth is geometric, so repeated single-page appends stay amortised
+// O(1) despite the copy-on-grow publication.
+func (as *AddrSpace) ensure(pn uint64) {
+	old := as.table()
+	if pn < uint64(len(old)) {
+		return
+	}
+	n := uint64(len(old)) * 2
+	if n <= pn {
+		n = pn + 1
+	}
+	t := make(pageTable, n)
+	for i := range old {
+		t[i].Store(old[i].Load())
+	}
+	as.pt.Store(&t)
+}
+
+// setPage installs p at page number pn (table already grown).
+func (as *AddrSpace) setPage(pn uint64, p *Page) {
+	as.table()[pn].Store(p)
+}
 
 // MappedPages returns the number of currently mapped pages.
 func (as *AddrSpace) MappedPages() int {
 	n := 0
-	for _, p := range as.pages {
-		if p != nil {
+	t := as.table()
+	for i := range t {
+		if t[i].Load() != nil {
 			n++
 		}
 	}
@@ -160,22 +263,24 @@ func (as *AddrSpace) Map(npages int, owner int, typ PageType, perm Perm, key uin
 	if npages <= 0 {
 		return 0, fmt.Errorf("vm: Map with non-positive page count %d", npages)
 	}
-	as.epoch++
+	as.BumpEpoch()
 	if npages == 1 && len(as.free) > 0 {
 		pn := as.free[len(as.free)-1]
 		as.free = as.free[:len(as.free)-1]
-		as.pages[pn] = as.newPage(owner, typ, perm, key)
+		as.setPage(pn, as.newPage(owner, typ, perm, key))
 		return Addr(pn << PageShift), nil
 	}
 	if pn, ok := as.takeRun(npages); ok {
 		for i := 0; i < npages; i++ {
-			as.pages[pn+uint64(i)] = as.newPage(owner, typ, perm, key)
+			as.setPage(pn+uint64(i), as.newPage(owner, typ, perm, key))
 		}
 		return Addr(pn << PageShift), nil
 	}
-	pn := uint64(len(as.pages))
+	pn := as.top
+	as.top += uint64(npages)
+	as.ensure(as.top - 1)
 	for i := 0; i < npages; i++ {
-		as.pages = append(as.pages, as.newPage(owner, typ, perm, key))
+		as.setPage(pn+uint64(i), as.newPage(owner, typ, perm, key))
 	}
 	return Addr(pn << PageShift), nil
 }
@@ -190,10 +295,10 @@ func (as *AddrSpace) newPage(owner int, typ PageType, perm Perm, key uint8) *Pag
 	if n := len(as.pool); n > 0 {
 		p := as.pool[n-1]
 		as.pool = as.pool[:n-1]
-		*p = Page{Key: key, Perm: perm, Owner: owner, Type: typ}
+		*p = Page{meta: packMeta(perm, key), Owner: owner, Type: typ}
 		return p
 	}
-	return &Page{Key: key, Perm: perm, Owner: owner, Type: typ}
+	return &Page{meta: packMeta(perm, key), Owner: owner, Type: typ}
 }
 
 // takeRun removes a contiguous run of npages free page numbers from the
@@ -236,7 +341,7 @@ func (as *AddrSpace) MapAt(pn uint64, owner int, typ PageType, perm Perm, key ui
 	if pn == 0 {
 		return nil, fmt.Errorf("vm: MapAt of reserved page 0")
 	}
-	if pn < uint64(len(as.pages)) && as.pages[pn] != nil {
+	if as.Page(PageAddr(pn)) != nil {
 		return nil, fmt.Errorf("vm: MapAt of already-mapped page %#x", pn<<PageShift)
 	}
 	for i, f := range as.free {
@@ -245,12 +350,13 @@ func (as *AddrSpace) MapAt(pn uint64, owner int, typ PageType, perm Perm, key ui
 			break
 		}
 	}
-	for uint64(len(as.pages)) <= pn {
-		as.pages = append(as.pages, nil)
+	as.ensure(pn)
+	if pn >= as.top {
+		as.top = pn + 1
 	}
 	p := as.newPage(owner, typ, perm, key)
-	as.pages[pn] = p
-	as.epoch++
+	as.setPage(pn, p)
+	as.BumpEpoch()
 	return p, nil
 }
 
@@ -261,36 +367,43 @@ func (as *AddrSpace) Unmap(addr Addr, npages int) error {
 		return fmt.Errorf("vm: Unmap of unaligned address %#x", uint64(addr))
 	}
 	pn := addr.PageNum()
+	t := as.table()
 	for i := uint64(0); i < uint64(npages); i++ {
-		if pn+i >= uint64(len(as.pages)) || as.pages[pn+i] == nil {
+		if pn+i >= uint64(len(t)) || t[pn+i].Load() == nil {
 			return fmt.Errorf("vm: Unmap of unmapped page %#x", (pn+i)<<PageShift)
 		}
 	}
 	for i := uint64(0); i < uint64(npages); i++ {
-		as.pool = append(as.pool, as.pages[pn+i])
-		as.pages[pn+i] = nil
+		if as.pooling {
+			as.pool = append(as.pool, t[pn+i].Load())
+		}
+		t[pn+i].Store(nil)
 		as.free = append(as.free, pn+i)
 	}
-	as.epoch++
+	as.BumpEpoch()
 	return nil
 }
 
 // ForEachPage calls fn for every mapped page, in page-number order.
 func (as *AddrSpace) ForEachPage(fn func(pn uint64, p *Page)) {
-	for pn, p := range as.pages {
-		if p != nil {
+	t := as.table()
+	for pn := range t {
+		if p := t[pn].Load(); p != nil {
 			fn(uint64(pn), p)
 		}
 	}
 }
 
-// Page returns the page containing addr, or nil if it is unmapped.
+// Page returns the page containing addr, or nil if it is unmapped. It is
+// safe to call with no lock from any goroutine: the table snapshot and the
+// slot are both atomic, and staleness is bounded by the epoch protocol.
 func (as *AddrSpace) Page(addr Addr) *Page {
+	t := *as.pt.Load()
 	pn := addr.PageNum()
-	if pn >= uint64(len(as.pages)) {
+	if pn >= uint64(len(t)) {
 		return nil
 	}
-	return as.pages[pn]
+	return t[pn].Load()
 }
 
 // errRange describes an access that touches unmapped memory.

@@ -67,8 +67,8 @@ func TestMapAssignsMetadata(t *testing.T) {
 		if p == nil {
 			t.Fatalf("page %d unmapped", i)
 		}
-		if p.Owner != 7 || p.Type != PageHeap || p.Key != 5 || !p.Perm.Has(PermWrite) {
-			t.Errorf("page %d metadata = owner %d type %v key %d perm %v", i, p.Owner, p.Type, p.Key, p.Perm)
+		if p.Owner != 7 || p.Type != PageHeap || p.Key() != 5 || !p.Perm().Has(PermWrite) {
+			t.Errorf("page %d metadata = owner %d type %v key %d perm %v", i, p.Owner, p.Type, p.Key(), p.Perm())
 		}
 	}
 }
@@ -100,7 +100,7 @@ func TestUnmapAndReuse(t *testing.T) {
 		t.Errorf("freed page not reused: got %#x want %#x", uint64(c), uint64(a))
 	}
 	p := as.Page(c)
-	if p.Owner != 2 || p.Type != PageStack || p.Key != 3 {
+	if p.Owner != 2 || p.Type != PageStack || p.Key() != 3 {
 		t.Error("reused page kept stale metadata")
 	}
 	_ = b
@@ -273,8 +273,9 @@ func TestMapAtRestoresSpecificPage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Owner != 5 || p.Key != 9 || p.Perm != PermRead || p.Type != PageHeap {
-		t.Errorf("restored page metadata = %+v", *p)
+	if p.Owner != 5 || p.Key() != 9 || p.Perm() != PermRead || p.Type != PageHeap {
+		t.Errorf("restored page metadata = owner %d key %d perm %v type %v",
+			p.Owner, p.Key(), p.Perm(), p.Type)
 	}
 	if as.Page(PageAddr(pn)) != p {
 		t.Error("MapAt did not install the page at the requested number")
